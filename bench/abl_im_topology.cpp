@@ -1,0 +1,94 @@
+// Ablation abl-A: how much Interconnection Matrix does the architecture
+// actually need?
+//
+// The paper's IM is the PLB's flexibility anchor: it closes memory-element
+// loops locally and makes all PLB pins equivalent. We deplete it — full
+// crossbar, 50%, 25% populated, and a variant with no LE-output -> LE-input
+// feedback paths — and report which designs remain implementable and at what
+// cost. The flow already performs topology-aware LE pin matching, so a
+// failure here is architectural, not a tool artefact.
+#include <cstdio>
+
+#include "asynclib/adders.hpp"
+#include "asynclib/fifos.hpp"
+#include "base/check.hpp"
+#include "base/strings.hpp"
+#include "base/table.hpp"
+#include "cad/flow.hpp"
+#include "eval/metrics.hpp"
+
+using namespace afpga;
+
+namespace {
+
+std::string attempt(const netlist::Netlist& nl, const asynclib::MappingHints& hints,
+                    core::ImTopology topo, std::string* detail) {
+    core::ArchSpec arch = core::paper_arch();
+    arch.width = 12;
+    arch.height = 12;
+    arch.channel_width = 16;
+    arch.im_topology = topo;
+    // Try a few seeds: sparse IMs make pin matching placement-sensitive.
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        cad::FlowOptions opts;
+        opts.seed = seed;
+        try {
+            const auto fr = cad::run_flow(nl, hints, arch, opts);
+            const auto f = eval::filling_ratio(fr);
+            *detail = "filling " + base::format_percent(f.outputs) + ", seed " +
+                      std::to_string(seed);
+            return "OK";
+        } catch (const base::Error& e) {
+            *detail = e.what();
+        }
+    }
+    // Classify the failure for the table.
+    if (detail->find("cannot deliver") != std::string::npos ||
+        detail->find("feedback") != std::string::npos)
+        return "UNMAPPABLE";
+    if (detail->find("routing failed") != std::string::npos) return "UNROUTABLE";
+    return "FAILED";
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== abl-A: IM topology ablation ===\n\n");
+    base::TextTable t({"design", "IM topology", "result", "detail"});
+
+    struct Design {
+        std::string name;
+        netlist::Netlist nl;
+        asynclib::MappingHints hints;
+    };
+    std::vector<Design> designs;
+    {
+        auto d = asynclib::make_qdi_adder(2);
+        designs.push_back({"qdi-adder-2b", std::move(d.nl), std::move(d.hints)});
+    }
+    {
+        auto d = asynclib::make_micropipeline_adder(2);
+        designs.push_back({"mp-adder-2b", std::move(d.nl), {}});
+    }
+    {
+        auto d = asynclib::make_wchb_fifo(2, 2);
+        designs.push_back({"wchb-fifo-2x2", std::move(d.nl), std::move(d.hints)});
+    }
+
+    for (const Design& d : designs) {
+        for (core::ImTopology topo :
+             {core::ImTopology::FullCrossbar, core::ImTopology::Sparse50,
+              core::ImTopology::Sparse25, core::ImTopology::NoFeedback}) {
+            std::string detail;
+            const std::string result = attempt(d.nl, d.hints, topo, &detail);
+            if (detail.size() > 60) detail = detail.substr(0, 57) + "...";
+            t.add_row({d.name, to_string(topo), result, detail});
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected shape: the full crossbar implements every style; removing\n");
+    std::printf("LE feedback breaks ALL asynchronous designs (no memory elements —\n");
+    std::printf("the paper's looped-logic mechanism is essential); sparse IMs trade\n");
+    std::printf("configuration bits against mappability.\n");
+    return 0;
+}

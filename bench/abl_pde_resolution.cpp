@@ -1,0 +1,127 @@
+// Ablation abl-B: Programmable Delay Element resolution and margin.
+//
+// The PDE is what lets the fabric host timing-assumption styles. Two knobs
+// matter: the tap quantum (resolution of the programmable delay) and the
+// safety margin the flow programs on top of the estimated datapath delay.
+// We sweep both for a micropipeline adder, then verify the bundling
+// constraint post-route by simulation: a too-coarse PDE or too-thin margin
+// corrupts long-carry sums exactly as the theory predicts.
+#include <cstdio>
+
+#include "asynclib/adders.hpp"
+#include "base/check.hpp"
+#include "base/strings.hpp"
+#include "base/table.hpp"
+#include "cad/flow.hpp"
+#include "sim/monitors.hpp"
+#include "sim/simulator.hpp"
+#include "sim/testbench.hpp"
+
+using namespace afpga;
+
+namespace {
+
+struct Outcome {
+    std::string status;
+    int correct = 0;
+    int total = 0;
+    std::int64_t pde_delay_ps = 0;
+};
+
+Outcome evaluate(std::int64_t quantum_ps, std::uint32_t taps, double margin) {
+    core::ArchSpec arch = core::paper_arch();
+    arch.pde_quantum_ps = quantum_ps;
+    arch.pde_taps = taps;
+    cad::FlowOptions opts;
+    opts.pde_extra_margin = margin;
+
+    auto adder = asynclib::make_micropipeline_adder(4);
+    Outcome o;
+    cad::FlowResult fr;
+    try {
+        fr = cad::run_flow(adder.nl, {}, arch, opts);
+    } catch (const base::Error& e) {
+        o.status = std::string(e.what()).find("PDE range") != std::string::npos
+                       ? "PDE range exceeded"
+                       : "flow failed";
+        return o;
+    }
+    // Read back the programmed PDE delay from the bitstream.
+    for (std::size_t ci = 0; ci < fr.packed.clusters.size(); ++ci) {
+        if (!fr.packed.clusters[ci].pde_index) continue;
+        o.pde_delay_ps = fr.bits->plb(fr.placement.cluster_loc[ci]).pde.delay_ps(arch);
+    }
+
+    const auto design = fr.elaborate();
+    sim::Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+
+    auto po_net = [&](const std::string& name) {
+        for (const auto& [n, net] : design.nl.primary_outputs())
+            if (n == name) return net;
+        base::fail("missing PO " + name);
+    };
+    sim::BundledStageIface iface;
+    for (std::size_t i = 0; i < 4; ++i)
+        iface.data_in.push_back(design.nl.find_net(base::bus_bit("a", i)));
+    for (std::size_t i = 0; i < 4; ++i)
+        iface.data_in.push_back(design.nl.find_net(base::bus_bit("b", i)));
+    iface.data_in.push_back(design.nl.find_net("cin"));
+    iface.req_in = design.nl.find_net("req_in");
+    iface.ack_out = design.nl.find_net("ack_out");
+    for (std::size_t i = 0; i < 4; ++i) iface.data_out.push_back(po_net(base::bus_bit("sum", i)));
+    iface.data_out.push_back(po_net("cout"));
+    iface.req_out = po_net("req_out");
+    iface.ack_in = po_net("ack_in");
+
+    // Long-carry patterns stress the matched delay hardest.
+    const std::uint64_t stims[] = {0xF | (0x1 << 4), 0xF | (0xF << 4), 0x8 | (0x8 << 4),
+                                   0x7 | (0x9 << 4), 0x1 | (0xF << 4), 0xF | (0x1 << 4) | (1 << 8)};
+    for (std::uint64_t v : stims) {
+        const std::uint64_t a = v & 0xF;
+        const std::uint64_t b = (v >> 4) & 0xF;
+        const std::uint64_t cin = (v >> 8) & 1;
+        ++o.total;
+        try {
+            if (sim::bundled_apply_token(sim, iface, v, 200) == a + b + cin) ++o.correct;
+        } catch (const base::Error&) {
+            // X sampled or handshake stuck: counts as incorrect.
+        }
+    }
+    o.status = o.correct == o.total ? "PASS" : "DATA CORRUPTED";
+    return o;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== abl-B: PDE resolution / margin vs bundling constraint "
+                "(4-bit micropipeline adder, post-route) ===\n\n");
+    base::TextTable t({"tap quantum", "taps", "extra margin", "programmed delay",
+                       "long-carry tokens", "verdict"});
+    struct Cfg {
+        std::int64_t quantum;
+        std::uint32_t taps;
+        double margin;
+    };
+    const Cfg cfgs[] = {
+        {250, 32, 1.0}, {250, 32, 0.5}, {250, 32, 0.0}, {500, 16, 1.0}, {500, 16, 0.0},
+        {1000, 8, 1.0}, {2000, 4, 0.0}, {125, 64, 1.0}, {250, 4, 1.0},
+    };
+    for (const Cfg& c : cfgs) {
+        const Outcome o = evaluate(c.quantum, c.taps, c.margin);
+        t.add_row({std::to_string(c.quantum) + " ps", std::to_string(c.taps),
+                   base::format_percent(c.margin, 0),
+                   o.pde_delay_ps ? std::to_string(o.pde_delay_ps) + " ps" : "-",
+                   o.total ? std::to_string(o.correct) + "/" + std::to_string(o.total) : "-",
+                   o.status});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected shape: generous margin + fine resolution pass; a PDE whose\n");
+    std::printf("range cannot cover the routed datapath is rejected by the flow; a\n");
+    std::printf("zero-margin configuration rides the estimate and corrupts long-carry\n");
+    std::printf("sums when routing adds delay the estimate missed.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+// Extension experiment ext-B: the paper's motivation, quantified.
+//
+// "The use of synchronous FPGAs is possible but most of the FPGA resources
+// are then unexploited" (Section 1, citing ref. [3]). We map the same
+// asynchronous netlists onto a plain synchronous LUT4 island cell and
+// compare against our fabric's LEs: cell counts, memory loops exposed to
+// general routing (the hazard source a dedicated IM avoids), and truth-table
+// bit utilisation.
+#include <cstdio>
+
+#include "asynclib/adders.hpp"
+#include "asynclib/fifos.hpp"
+#include "base/strings.hpp"
+#include "base/table.hpp"
+#include "cad/flow.hpp"
+#include "eval/baseline.hpp"
+#include "eval/metrics.hpp"
+
+using namespace afpga;
+
+namespace {
+
+void row(base::TextTable& t, const std::string& name, const netlist::Netlist& nl,
+         const asynclib::MappingHints& hints) {
+    core::ArchSpec arch = core::paper_arch();
+    arch.width = 12;
+    arch.height = 12;
+    arch.channel_width = 16;
+    const auto fr = cad::run_flow(nl, hints, arch, {});
+    const auto f = eval::filling_ratio(fr);
+    const auto lut4 = eval::map_to_lut4(nl);
+    // An LE provides two LUT6 halves; a CLB of the baseline provides 2 LUT4s.
+    const double overhead = f.used_les
+                                ? static_cast<double>(lut4.luts) /
+                                      static_cast<double>(2 * f.used_les)
+                                : 0.0;
+    t.add_row({name, std::to_string(f.used_les), std::to_string(f.occupied_plbs),
+               std::to_string(lut4.luts), std::to_string(lut4.clbs),
+               std::to_string(lut4.luts_for_memory), std::to_string(lut4.luts_for_delay),
+               std::to_string(lut4.feedback_nets),
+               base::format_percent(lut4.bit_utilization),
+               base::format_double(overhead, 2) + "x"});
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== ext-B: same circuits on a synchronous LUT4 island FPGA "
+                "(ref. [3] scenario) ===\n\n");
+    base::TextTable t({"design", "our LEs", "our PLBs", "LUT4 cells", "LUT4 CLBs",
+                       "LUT4s for C-gates", "LUT4s for delays", "loops via routing",
+                       "LUT4-bit util", "cells per LE-pair"});
+
+    {
+        auto d = asynclib::make_qdi_adder(1);
+        row(t, "qdi-adder-1b", d.nl, d.hints);
+    }
+    {
+        auto d = asynclib::make_qdi_adder(4);
+        row(t, "qdi-adder-4b", d.nl, d.hints);
+    }
+    {
+        auto d = asynclib::make_micropipeline_adder(4);
+        row(t, "mp-adder-4b", d.nl, {});
+    }
+    {
+        auto d = asynclib::make_wchb_fifo(4, 4);
+        row(t, "wchb-fifo-4x4", d.nl, d.hints);
+    }
+    {
+        auto d = asynclib::make_micropipeline_fifo(4, 4);
+        row(t, "mp-fifo-4x4", d.nl, {});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Reading: on the LUT4 baseline every C-element is a looped LUT whose\n");
+    std::printf("feedback crosses the general routing network (hazard-prone, slow) and\n");
+    std::printf("matched delays burn whole LUTs as buffers; the dedicated PLB keeps\n");
+    std::printf("loops inside the IM and delays inside the PDE. LUT4-bit utilisation\n");
+    std::printf("shows how little of the provisioned truth-table storage async logic\n");
+    std::printf("exploits on a synchronous cell — the paper's 'unexploited resources'.\n");
+    return 0;
+}

@@ -1,0 +1,157 @@
+// Extension experiment ext-C: what the choice of data encoding buys.
+//
+// Section 2: "it is possible to implement asynchronous logic with different
+// protocols or data encoding ... These choices permit the implementation of
+// a same design varying the electrical properties of the circuit, like
+// speed, power-consumption or electromagnetic emission."
+//
+// We quantify the switching-activity side of that claim: the same 2-bit
+// function (sum mod 4) is implemented dual-rail and 1-of-4, all 16 input
+// symbol pairs are applied through full 4-phase cycles, and every net
+// transition is counted (transitions ~ dynamic energy; fewer simultaneous
+// edges ~ less EMI). A 1-of-4 digit fires ONE rail per two bits where
+// dual-rail fires two — the multi-rail encoding the LE's extra outputs are
+// there to serve.
+#include <cstdio>
+
+#include "asynclib/dualrail.hpp"
+#include "asynclib/oneofn.hpp"
+#include "base/strings.hpp"
+#include "base/table.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "sim/testbench.hpp"
+
+using namespace afpga;
+using netlist::Logic;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::TruthTable;
+
+namespace {
+
+std::uint64_t total_transitions(const sim::Simulator& sim) {
+    std::uint64_t t = 0;
+    for (NetId n : sim.netlist().net_ids()) t += sim.transitions(n);
+    return t;
+}
+
+struct Report {
+    std::size_t cells = 0;
+    double transitions_per_token = 0;
+    double data_wire_edges_per_token = 0;  // PI rails only (the channel cost)
+    std::int64_t avg_cycle_ps = 0;
+};
+
+Report run_dual_rail() {
+    Netlist nl("dr_add");
+    const auto ins = asynclib::add_dual_rail_inputs(nl, "x", 4);  // two 2-bit operands
+    const auto bit0 = TruthTable::from_function(4, [](std::uint32_t m) {
+        return (((m & 3) + ((m >> 2) & 3)) & 1) != 0;
+    });
+    const auto bit1 = TruthTable::from_function(4, [](std::uint32_t m) {
+        return (((m & 3) + ((m >> 2) & 3)) & 2) != 0;
+    });
+    auto res = asynclib::expand_dims(nl, {bit0, bit1}, ins, "f");
+    const NetId done = asynclib::add_completion_detector(nl, res.outputs, "cd");
+    nl.add_output("done", done);
+    for (std::size_t o = 0; o < 2; ++o) {
+        nl.add_output("o" + std::to_string(o) + ".t", res.outputs[o].t);
+        nl.add_output("o" + std::to_string(o) + ".f", res.outputs[o].f);
+    }
+    sim::Simulator sim(nl);
+    sim.run();
+    sim::QdiCombIface iface{ins, res.outputs, done};
+    const std::uint64_t t0 = total_transitions(sim);
+    std::uint64_t pi_edges0 = 0;
+    for (NetId pi : nl.primary_inputs()) pi_edges0 += sim.transitions(pi);
+    const std::int64_t start = sim.now();
+    int tokens = 0;
+    for (std::uint64_t x = 0; x < 4; ++x)
+        for (std::uint64_t y = 0; y < 4; ++y) {
+            (void)sim::qdi_apply_token(sim, iface, x | (y << 2));
+            ++tokens;
+        }
+    Report r;
+    r.cells = nl.num_cells();
+    r.transitions_per_token =
+        static_cast<double>(total_transitions(sim) - t0) / tokens;
+    std::uint64_t pi_edges = 0;
+    for (NetId pi : nl.primary_inputs()) pi_edges += sim.transitions(pi);
+    r.data_wire_edges_per_token = static_cast<double>(pi_edges - pi_edges0) / tokens;
+    r.avg_cycle_ps = (sim.now() - start) / tokens;
+    return r;
+}
+
+Report run_one_of_four() {
+    Netlist nl("of4_add");
+    const auto ins = asynclib::add_one_of_four_inputs(nl, "x", 2);
+    const auto bit0 = TruthTable::from_function(4, [](std::uint32_t m) {
+        return (((m & 3) + ((m >> 2) & 3)) & 1) != 0;
+    });
+    const auto bit1 = TruthTable::from_function(4, [](std::uint32_t m) {
+        return (((m & 3) + ((m >> 2) & 3)) & 2) != 0;
+    });
+    auto res = asynclib::expand_one_of_four(nl, {bit0, bit1}, ins, "f");
+    const NetId done = asynclib::add_of4_completion(nl, res.outputs, "cd");
+    nl.add_output("done", done);
+    for (int s = 0; s < 4; ++s)
+        nl.add_output("o.r" + std::to_string(s),
+                      res.outputs[0].rail[static_cast<std::size_t>(s)]);
+    sim::Simulator sim(nl);
+    sim.run();
+
+    const std::uint64_t t0 = total_transitions(sim);
+    std::uint64_t pi_edges0 = 0;
+    for (NetId pi : nl.primary_inputs()) pi_edges0 += sim.transitions(pi);
+    const std::int64_t start = sim.now();
+    const NetId pdone = nl.find_net("cd.done");
+    int tokens = 0;
+    for (std::uint64_t x = 0; x < 4; ++x)
+        for (std::uint64_t y = 0; y < 4; ++y) {
+            sim.schedule_pi(ins[0].rail[x], Logic::T);
+            sim.schedule_pi(ins[1].rail[y], Logic::T);
+            sim.run_until(pdone, Logic::T, sim.now() + 10'000'000);
+            sim.schedule_pi(ins[0].rail[x], Logic::F);
+            sim.schedule_pi(ins[1].rail[y], Logic::F);
+            sim.run_until(pdone, Logic::F, sim.now() + 10'000'000);
+            ++tokens;
+        }
+    Report r;
+    r.cells = nl.num_cells();
+    r.transitions_per_token = static_cast<double>(total_transitions(sim) - t0) / tokens;
+    std::uint64_t pi_edges = 0;
+    for (NetId pi : nl.primary_inputs()) pi_edges += sim.transitions(pi);
+    r.data_wire_edges_per_token = static_cast<double>(pi_edges - pi_edges0) / tokens;
+    r.avg_cycle_ps = (sim.now() - start) / tokens;
+    return r;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== ext-C: encoding choice vs switching activity "
+                "(2-bit add mod 4, 16 tokens, full 4-phase cycles) ===\n\n");
+    const Report dr = run_dual_rail();
+    const Report of4 = run_one_of_four();
+
+    base::TextTable t({"encoding", "gates", "input-wire edges/token",
+                       "total net transitions/token", "avg cycle (ps)"});
+    t.add_row({"dual-rail (1-of-2 per bit)", std::to_string(dr.cells),
+               base::format_double(dr.data_wire_edges_per_token, 1),
+               base::format_double(dr.transitions_per_token, 1),
+               std::to_string(dr.avg_cycle_ps)});
+    t.add_row({"1-of-4 (per 2 bits)", std::to_string(of4.cells),
+               base::format_double(of4.data_wire_edges_per_token, 1),
+               base::format_double(of4.transitions_per_token, 1),
+               std::to_string(of4.avg_cycle_ps)});
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Shape: a 1-of-4 channel fires one rail per 2-bit symbol where\n");
+    std::printf("dual-rail fires two — half the data-wire edges per token (%.1f vs\n",
+                of4.data_wire_edges_per_token);
+    std::printf("%.1f here), which is the power/EMI lever Section 2 describes. The\n",
+                dr.data_wire_edges_per_token);
+    std::printf("cost is minterm fan-in: same C-gate count, wider OR planes.\n");
+    return 0;
+}

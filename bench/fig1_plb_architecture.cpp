@@ -1,0 +1,128 @@
+// Fig. 1 reproduction: the internal organisation of the PLB.
+//
+// Prints the PLB's component inventory (IM, 2 LEs, PDE), the IM crossbar
+// dimensions and population for each topology, the configuration bit budget,
+// the routing-network statistics of the default fabric, and demonstrates the
+// paper's memory-element mechanism: a Muller C-element implemented as a
+// looped LUT closed through the IM, verified by post-bitstream simulation.
+#include <cstdio>
+
+#include "base/strings.hpp"
+#include "base/table.hpp"
+#include "cad/flow.hpp"
+#include "core/archspec.hpp"
+#include "core/rrgraph.hpp"
+#include "sim/simulator.hpp"
+
+using namespace afpga;
+
+namespace {
+
+void print_plb_inventory(const core::ArchSpec& a) {
+    base::TextTable t({"PLB component", "count", "parameters", "config bits"});
+    const std::size_t le_bits = 64 + 64 + 4 + 2 + 2;
+    t.add_row({"Logic Element (LUT7-3 + LUT2-1)", std::to_string(a.les_per_plb),
+               "7 inputs, outputs O0/O1/O2 + LUT2 O3", std::to_string(le_bits) + " each"});
+    t.add_row({"Interconnection Matrix", "1",
+               std::to_string(a.im_num_sources()) + " sources x " +
+                   std::to_string(a.im_num_sinks()) + " sinks",
+               std::to_string(a.im_num_sinks() * a.im_select_bits())});
+    t.add_row({"Programmable Delay Element", "1",
+               std::to_string(a.pde_taps) + " taps x " + std::to_string(a.pde_quantum_ps) +
+                   " ps",
+               std::to_string(a.pde_tap_bits())});
+    t.add_row({"PLB total", "",
+               std::to_string(a.plb_inputs) + " inputs, " + std::to_string(a.plb_outputs) +
+                   " outputs",
+               std::to_string(a.plb_config_bits())});
+    std::printf("%s\n", t.render().c_str());
+}
+
+void print_im_population(const core::ArchSpec& base_arch) {
+    base::TextTable t({"IM topology", "populated crosspoints", "of", "fraction"});
+    for (core::ImTopology topo :
+         {core::ImTopology::FullCrossbar, core::ImTopology::Sparse50,
+          core::ImTopology::Sparse25, core::ImTopology::NoFeedback}) {
+        core::ArchSpec a = base_arch;
+        a.im_topology = topo;
+        std::size_t pop = 0;
+        const std::size_t total =
+            std::size_t{a.im_num_sources()} * a.im_num_sinks();
+        for (std::uint32_t s = 0; s < a.im_num_sources(); ++s)
+            for (std::uint32_t k = 0; k < a.im_num_sinks(); ++k)
+                if (a.im_connects(s, k)) ++pop;
+        t.add_row({to_string(topo), std::to_string(pop), std::to_string(total),
+                   base::format_percent(static_cast<double>(pop) / static_cast<double>(total))});
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+void print_routing_network(const core::ArchSpec& a) {
+    const core::RRGraph rr(a);
+    base::TextTable t({"routing network", "value"});
+    t.add_row({"array", std::to_string(a.width) + " x " + std::to_string(a.height) + " PLBs"});
+    t.add_row({"channel width", std::to_string(a.channel_width) + " tracks"});
+    t.add_row({"wire segments", std::to_string(rr.num_wires())});
+    t.add_row({"RR nodes", std::to_string(rr.num_nodes())});
+    t.add_row({"programmable switches (RR edges)", std::to_string(rr.num_edges())});
+    t.add_row({"avg wire fanout", base::format_double(rr.avg_wire_fanout(), 2)});
+    t.add_row({"Fc_in / Fc_out", base::format_double(a.fc_in, 2) + " / " +
+                                     base::format_double(a.fc_out, 2)});
+    std::printf("%s\n", t.render().c_str());
+}
+
+/// The Section-3 claim: "memory elements are implemented by mapping looped
+/// combinatorial logic using the interconnection matrix integrated into the
+/// PLB". Push a bare C-element through the full flow and check join/hold
+/// semantics on the circuit reconstructed from the bitstream.
+void demonstrate_muller_via_im(const core::ArchSpec& arch) {
+    netlist::Netlist nl("muller_demo");
+    const netlist::NetId a = nl.add_input("a");
+    const netlist::NetId b = nl.add_input("b");
+    const netlist::NetId c = nl.add_cell(netlist::CellFunc::C, "c", {a, b});
+    nl.add_output("c", c);
+
+    const auto fr = cad::run_flow(nl, {}, arch, {});
+    const auto design = fr.elaborate();
+    sim::Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+
+    const netlist::NetId pa = design.nl.find_net("a");
+    const netlist::NetId pb = design.nl.find_net("b");
+    netlist::NetId pc;
+    for (const auto& [name, net] : design.nl.primary_outputs())
+        if (name == "c") pc = net;
+
+    auto step = [&](netlist::Logic va, netlist::Logic vb) {
+        sim.schedule_pi(pa, va);
+        sim.schedule_pi(pb, vb);
+        sim.run();
+        return sim.value(pc);
+    };
+    const bool ok = step(netlist::Logic::T, netlist::Logic::F) == netlist::Logic::F &&
+                    step(netlist::Logic::T, netlist::Logic::T) == netlist::Logic::T &&
+                    step(netlist::Logic::F, netlist::Logic::T) == netlist::Logic::T &&
+                    step(netlist::Logic::F, netlist::Logic::F) == netlist::Logic::F;
+
+    // The loop must close inside one PLB: exactly one occupied PLB, and the
+    // LE input listens to an LE output of the same PLB through the IM.
+    const std::size_t occupied = fr.bits->occupied_plbs();
+    std::printf("Muller C-element as looped LUT through the IM: %s "
+                "(join/hold verified post-bitstream; %zu PLB occupied)\n\n",
+                ok ? "PASS" : "FAIL", occupied);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Fig. 1: PLB internal organisation "
+                "(IM + 2 LEs + PDE, island-style fabric) ===\n\n");
+    const core::ArchSpec a = core::paper_arch();
+    print_plb_inventory(a);
+    print_im_population(a);
+    print_routing_network(a);
+    demonstrate_muller_via_im(a);
+    return 0;
+}

@@ -1,0 +1,108 @@
+// CAD and simulator performance microbenchmarks (google-benchmark).
+//
+// Not a paper experiment — engineering due diligence: the tool must stay
+// interactive at the design sizes the fabric supports.
+#include <benchmark/benchmark.h>
+
+#include "asynclib/adders.hpp"
+#include "asynclib/fifos.hpp"
+#include "cad/flow.hpp"
+#include "sim/channels.hpp"
+#include "sim/simulator.hpp"
+#include "sim/testbench.hpp"
+
+using namespace afpga;
+
+namespace {
+
+core::ArchSpec bench_arch() {
+    core::ArchSpec a = core::paper_arch();
+    a.width = 12;
+    a.height = 12;
+    a.channel_width = 16;
+    return a;
+}
+
+void BM_Techmap(benchmark::State& state) {
+    auto adder = asynclib::make_qdi_adder(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto md = cad::techmap(adder.nl, adder.hints);
+        benchmark::DoNotOptimize(md.les.size());
+    }
+}
+BENCHMARK(BM_Techmap)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_PackPlace(benchmark::State& state) {
+    auto adder = asynclib::make_qdi_adder(static_cast<std::size_t>(state.range(0)));
+    const auto arch = bench_arch();
+    const auto md = cad::techmap(adder.nl, adder.hints);
+    for (auto _ : state) {
+        auto pd = cad::pack(md, arch);
+        cad::PlaceOptions opts;
+        opts.seed = 7;
+        auto pl = cad::place(pd, md, arch, opts);
+        benchmark::DoNotOptimize(pl.final_cost);
+    }
+}
+BENCHMARK(BM_PackPlace)->Arg(2)->Arg(4);
+
+void BM_FullFlow(benchmark::State& state) {
+    auto adder = asynclib::make_qdi_adder(static_cast<std::size_t>(state.range(0)));
+    const auto arch = bench_arch();
+    for (auto _ : state) {
+        auto fr = cad::run_flow(adder.nl, adder.hints, arch, {});
+        benchmark::DoNotOptimize(fr.bits->num_enabled_edges());
+    }
+}
+BENCHMARK(BM_FullFlow)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_RRGraphBuild(benchmark::State& state) {
+    core::ArchSpec a = core::paper_arch();
+    a.width = static_cast<std::uint32_t>(state.range(0));
+    a.height = a.width;
+    for (auto _ : state) {
+        core::RRGraph rr(a);
+        benchmark::DoNotOptimize(rr.num_edges());
+    }
+}
+BENCHMARK(BM_RRGraphBuild)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_SimTokens(benchmark::State& state) {
+    auto adder = asynclib::make_qdi_adder(4);
+    sim::Simulator sim(adder.nl);
+    sim.run();
+    sim::QdiCombIface iface;
+    iface.inputs = adder.a;
+    iface.inputs.insert(iface.inputs.end(), adder.b.begin(), adder.b.end());
+    iface.inputs.push_back(adder.cin);
+    iface.outputs = adder.sum;
+    iface.outputs.push_back(adder.cout);
+    iface.done = adder.done;
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::qdi_apply_token(sim, iface, v));
+        v = (v + 1) & 0x1FF;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimTokens);
+
+void BM_SimFifoStream(benchmark::State& state) {
+    for (auto _ : state) {
+        auto fifo = asynclib::make_wchb_fifo(4, 8);
+        sim::Simulator sim(fifo.nl);
+        sim.run();
+        std::vector<std::uint64_t> tokens(64, 9);
+        sim::DrStreamSource src(sim, fifo.in, fifo.ack_in, tokens, 50);
+        sim::DrStreamSink sink(sim, fifo.out, fifo.ack_out, 50);
+        src.start();
+        sim.run(2'000'000'000);
+        benchmark::DoNotOptimize(sink.received().size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_SimFifoStream)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Full-adder tour: the paper's Fig. 3 demonstration as a narrated example.
+//
+// The same 1-bit full adder is implemented in the two styles the paper
+// demonstrates — micropipeline (bundled data + matched delay, Fig. 3a) and
+// QDI (dual-rail DIMS, Fig. 3b) — on the same fabric, showing how one
+// architecture hosts both. See bench/fig3_full_adder for the mapping tables;
+// this example focuses on the protocol behaviour.
+#include <cstdio>
+
+#include "asynclib/adders.hpp"
+#include "cad/flow.hpp"
+#include "sim/simulator.hpp"
+#include "sim/testbench.hpp"
+#include "sim/vcd.hpp"
+
+using namespace afpga;
+
+namespace {
+
+netlist::NetId po_net(const netlist::Netlist& nl, const std::string& name) {
+    for (const auto& [n, net] : nl.primary_outputs())
+        if (n == name) return net;
+    return netlist::NetId::invalid();
+}
+
+void tour_micropipeline() {
+    std::printf("--- micropipeline style (Fig. 3a) ---\n");
+    std::printf("Data travels on plain wires; validity is a request signal whose\n");
+    std::printf("path is delayed by the PDE to outlast the datapath (bundling).\n\n");
+
+    auto adder = asynclib::make_micropipeline_adder(1);
+    const auto fr = cad::run_flow(adder.nl, {}, core::paper_arch(), {});
+    const auto design = fr.elaborate();
+
+    sim::Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+    // Drop a waveform for inspection with gtkwave.
+    sim::VcdWriter vcd(sim, "mp_full_adder.vcd");
+
+    sim::BundledStageIface iface;
+    iface.data_in = {design.nl.find_net("a[0]"), design.nl.find_net("b[0]"),
+                     design.nl.find_net("cin")};
+    iface.req_in = design.nl.find_net("req_in");
+    iface.ack_out = design.nl.find_net("ack_out");
+    iface.data_out = {po_net(design.nl, "sum[0]"), po_net(design.nl, "cout")};
+    iface.req_out = po_net(design.nl, "req_out");
+    iface.ack_in = po_net(design.nl, "ack_in");
+
+    std::printf(" a b cin | sum cout (4-phase handshake per row)\n");
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        const std::uint64_t out = sim::bundled_apply_token(sim, iface, v, 200);
+        std::printf(" %llu %llu  %llu  |  %llu   %llu\n",
+                    static_cast<unsigned long long>(v & 1),
+                    static_cast<unsigned long long>((v >> 1) & 1),
+                    static_cast<unsigned long long>((v >> 2) & 1),
+                    static_cast<unsigned long long>(out & 1),
+                    static_cast<unsigned long long>((out >> 1) & 1));
+    }
+    std::printf("waveform written to mp_full_adder.vcd\n\n");
+}
+
+void tour_qdi() {
+    std::printf("--- QDI style (Fig. 3b) ---\n");
+    std::printf("Each bit rides two rails (one-hot); validity is IN the data, so no\n");
+    std::printf("timing assumption is needed: completion is detected, not assumed.\n\n");
+
+    auto adder = asynclib::make_qdi_adder(1);
+    const auto fr = cad::run_flow(adder.nl, adder.hints, core::paper_arch(), {});
+    const auto design = fr.elaborate();
+
+    sim::Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+    sim::VcdWriter vcd(sim, "qdi_full_adder.vcd");
+
+    sim::QdiCombIface iface;
+    iface.inputs = {{design.nl.find_net("a[0].t"), design.nl.find_net("a[0].f")},
+                    {design.nl.find_net("b[0].t"), design.nl.find_net("b[0].f")},
+                    {design.nl.find_net("cin.t"), design.nl.find_net("cin.f")}};
+    iface.outputs = {{po_net(design.nl, "sum[0].t"), po_net(design.nl, "sum[0].f")},
+                     {po_net(design.nl, "cout.t"), po_net(design.nl, "cout.f")}};
+    iface.done = po_net(design.nl, "done");
+
+    std::printf(" a b cin | sum cout   (token -> done rises -> spacer -> done falls)\n");
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        const std::int64_t t0 = sim.now();
+        const std::uint64_t out = sim::qdi_apply_token(sim, iface, v);
+        std::printf(" %llu %llu  %llu  |  %llu   %llu    cycle %lld ps\n",
+                    static_cast<unsigned long long>(v & 1),
+                    static_cast<unsigned long long>((v >> 1) & 1),
+                    static_cast<unsigned long long>((v >> 2) & 1),
+                    static_cast<unsigned long long>(out & 1),
+                    static_cast<unsigned long long>((out >> 1) & 1),
+                    static_cast<long long>(sim.now() - t0));
+    }
+    std::printf("waveform written to qdi_full_adder.vcd\n\n");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== One adder, two asynchronous styles, one fabric ===\n\n");
+    tour_micropipeline();
+    tour_qdi();
+    std::printf("Both implementations run on identical PLBs — the style lives in the\n");
+    std::printf("configuration bits, not in the silicon. That is the paper's thesis.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+// A realistic QDI datapath block: 4-bit dual-rail ripple-carry adder with
+// group completion, implemented on the fabric and validated post-route with
+// random vectors and protocol monitors. Demonstrates average-case behaviour:
+// the completion time of a QDI adder tracks the actual carry chain of each
+// input pair, not the worst case.
+#include <cstdio>
+
+#include "asynclib/adders.hpp"
+#include "base/rng.hpp"
+#include "base/strings.hpp"
+#include "cad/flow.hpp"
+#include "eval/metrics.hpp"
+#include "sim/monitors.hpp"
+#include "sim/simulator.hpp"
+#include "sim/testbench.hpp"
+
+using namespace afpga;
+
+namespace {
+constexpr std::size_t kBits = 4;
+}
+
+int main() {
+    auto adder = asynclib::make_qdi_adder(kBits);
+    std::printf("4-bit QDI ripple adder: %zu cells, %zu nets\n", adder.nl.num_cells(),
+                adder.nl.num_nets());
+
+    core::ArchSpec arch = core::paper_arch();
+    arch.width = 10;
+    arch.height = 10;
+    arch.channel_width = 14;
+    const auto fr = cad::run_flow(adder.nl, adder.hints, arch, {});
+    std::printf("%s\n\n", eval::summarize(fr).c_str());
+
+    const auto design = fr.elaborate();
+    sim::Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+
+    auto po_net = [&](const std::string& name) {
+        for (const auto& [n, net] : design.nl.primary_outputs())
+            if (n == name) return net;
+        return netlist::NetId::invalid();
+    };
+    sim::QdiCombIface iface;
+    for (std::size_t i = 0; i < kBits; ++i)
+        iface.inputs.push_back({design.nl.find_net(base::bus_bit("a", i) + ".t"),
+                                design.nl.find_net(base::bus_bit("a", i) + ".f")});
+    for (std::size_t i = 0; i < kBits; ++i)
+        iface.inputs.push_back({design.nl.find_net(base::bus_bit("b", i) + ".t"),
+                                design.nl.find_net(base::bus_bit("b", i) + ".f")});
+    iface.inputs.push_back({design.nl.find_net("cin.t"), design.nl.find_net("cin.f")});
+    for (std::size_t i = 0; i < kBits; ++i)
+        iface.outputs.push_back({po_net(base::bus_bit("sum", i) + ".t"),
+                                 po_net(base::bus_bit("sum", i) + ".f")});
+    iface.outputs.push_back({po_net("cout.t"), po_net("cout.f")});
+    iface.done = po_net("done");
+
+    sim::DualRailChannelMonitor mon(sim, iface.outputs, iface.done, "adder.out");
+
+    base::Rng rng(2026);
+    int correct = 0;
+    const int kVectors = 64;
+    std::int64_t fastest = INT64_MAX;
+    std::int64_t slowest = 0;
+    for (int k = 0; k < kVectors; ++k) {
+        const std::uint64_t a = rng.below(16);
+        const std::uint64_t b = rng.below(16);
+        const std::uint64_t cin = rng.below(2);
+        const std::uint64_t v = a | (b << kBits) | (cin << (2 * kBits));
+        const std::int64_t t0 = sim.now();
+        const std::uint64_t got = sim::qdi_apply_token(sim, iface, v);
+        const std::int64_t cycle = sim.now() - t0;
+        fastest = std::min(fastest, cycle);
+        slowest = std::max(slowest, cycle);
+        correct += (got == a + b + cin);
+    }
+    std::printf("random vectors: %d/%d correct\n", correct, kVectors);
+    std::printf("protocol: %zu violations, %llu tokens observed\n", mon.violations().size(),
+                static_cast<unsigned long long>(mon.tokens_seen()));
+    std::printf("4-phase cycle time: fastest %lld ps, slowest %lld ps "
+                "(data-dependent completion — the QDI average-case property)\n",
+                static_cast<long long>(fastest), static_cast<long long>(slowest));
+    return correct == kVectors && mon.violations().empty() ? 0 : 1;
+}

@@ -1,0 +1,165 @@
+#include "asynclib/adders.hpp"
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+
+namespace afpga::asynclib {
+
+using base::bus_bit;
+using base::check;
+using netlist::CellFunc;
+using netlist::NetId;
+using netlist::TruthTable;
+
+TruthTable full_adder_sum_tt() {
+    return TruthTable::from_function(
+        3, [](std::uint32_t m) { return (((m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1)) & 1) != 0; });
+}
+
+TruthTable full_adder_cout_tt() {
+    return TruthTable::from_function(
+        3, [](std::uint32_t m) { return ((m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1)) >= 2; });
+}
+
+QdiAdder make_qdi_adder(std::size_t n_bits, QdiCompletion completion) {
+    check(n_bits >= 1, "make_qdi_adder: need at least 1 bit");
+    QdiAdder r;
+    r.nl = netlist::Netlist("qdi_adder" + std::to_string(n_bits));
+    r.a = add_dual_rail_inputs(r.nl, "a", n_bits);
+    r.b = add_dual_rail_inputs(r.nl, "b", n_bits);
+    DualRail carry;
+    carry.t = r.nl.add_input("cin.t");
+    carry.f = r.nl.add_input("cin.f");
+    r.cin = carry;
+
+    std::vector<netlist::NetId> group_valids;
+    const std::vector<TruthTable> specs = {full_adder_sum_tt(), full_adder_cout_tt()};
+    for (std::size_t i = 0; i < n_bits; ++i) {
+        DimsResult fa = expand_dims(r.nl, specs, {r.a[i], r.b[i], carry},
+                                    "fa" + std::to_string(i));
+        r.sum.push_back(fa.outputs[0]);
+        carry = fa.outputs[1];
+        if (completion == QdiCompletion::GroupValidity)
+            group_valids.push_back(
+                add_dims_group_completion(r.nl, fa, "fa" + std::to_string(i)));
+        r.hints.merge(fa.hints);
+        r.nl.set_net_name(fa.outputs[0].t, bus_bit("sum", i) + ".t");
+        r.nl.set_net_name(fa.outputs[0].f, bus_bit("sum", i) + ".f");
+    }
+    r.cout = carry;
+    r.nl.set_net_name(r.cout.t, "cout.t");
+    r.nl.set_net_name(r.cout.f, "cout.f");
+
+    for (std::size_t i = 0; i < n_bits; ++i) {
+        r.nl.add_output(bus_bit("sum", i) + ".t", r.sum[i].t);
+        r.nl.add_output(bus_bit("sum", i) + ".f", r.sum[i].f);
+    }
+    r.nl.add_output("cout.t", r.cout.t);
+    r.nl.add_output("cout.f", r.cout.f);
+
+    switch (completion) {
+        case QdiCompletion::GroupValidity: {
+            // Strict weak-condition completion: join the per-FA minterm group
+            // validities (which fill the minterm LEs' LUT2 slots) with the
+            // output-rail validities, so done certifies that every OR plane
+            // has actually settled — robust against any routing skew.
+            std::vector<netlist::NetId> join = std::move(group_valids);
+            for (std::size_t i = 0; i < n_bits; ++i)
+                join.push_back(r.nl.add_cell(CellFunc::Or, "cd.ov" + std::to_string(i),
+                                             {r.sum[i].t, r.sum[i].f}));
+            join.push_back(r.nl.add_cell(CellFunc::Or, "cd.ovc", {r.cout.t, r.cout.f}));
+            r.done = c_tree(r.nl, std::move(join), "cd.done", 4);
+            r.nl.add_output("done", r.done);
+            break;
+        }
+        case QdiCompletion::OutputRails: {
+            std::vector<DualRail> outs = r.sum;
+            outs.push_back(r.cout);
+            r.done = add_completion_detector(r.nl, outs, "cd", &r.hints);
+            r.nl.add_output("done", r.done);
+            break;
+        }
+        case QdiCompletion::None: break;
+    }
+    r.nl.validate();
+    return r;
+}
+
+MpAdder make_micropipeline_adder(std::size_t n_bits, double delay_margin) {
+    check(n_bits >= 1, "make_micropipeline_adder: need at least 1 bit");
+    MpAdder r;
+    r.nl = netlist::Netlist("mp_adder" + std::to_string(n_bits));
+    for (std::size_t i = 0; i < n_bits; ++i) r.a.push_back(r.nl.add_input(bus_bit("a", i)));
+    for (std::size_t i = 0; i < n_bits; ++i) r.b.push_back(r.nl.add_input(bus_bit("b", i)));
+    r.cin = r.nl.add_input("cin");
+    r.req_in = r.nl.add_input("req_in");
+    r.ack_out = r.nl.add_input("ack_out");
+
+    // Stage latches bundle all data wires of the input channel.
+    std::vector<NetId> data = r.a;
+    data.insert(data.end(), r.b.begin(), r.b.end());
+    data.push_back(r.cin);
+    r.stage = add_micropipeline_stage(r.nl, data, r.req_in, r.ack_out, "st0");
+
+    // Datapath: ripple-carry adder on the latched values (Fig. 3a per bit:
+    // sum = XOR3, cout = MAJ3).
+    NetId carry = r.stage.q[2 * n_bits];  // latched cin
+    for (std::size_t i = 0; i < n_bits; ++i) {
+        const NetId qa = r.stage.q[i];
+        const NetId qb = r.stage.q[n_bits + i];
+        const NetId s =
+            r.nl.add_cell(CellFunc::Xor, bus_bit("sum", i), {qa, qb, carry});
+        carry = r.nl.add_cell(CellFunc::Maj, bus_bit("cy", i), {qa, qb, carry});
+        r.sum.push_back(s);
+    }
+    r.cout = carry;
+    r.nl.set_net_name(r.cout, "cout");
+
+    std::vector<NetId> endpoints = r.sum;
+    endpoints.push_back(r.cout);
+    r.matched_delay_ps = tune_matched_delay(r.nl, r.stage, endpoints, delay_margin);
+
+    for (std::size_t i = 0; i < n_bits; ++i) r.nl.add_output(bus_bit("sum", i), r.sum[i]);
+    r.nl.add_output("cout", r.cout);
+    r.nl.add_output("req_out", r.stage.req_out);
+    r.nl.add_output("ack_in", r.stage.ack_to_prev);
+    r.req_out = r.stage.req_out;
+    r.ack_in = r.stage.ack_to_prev;
+    r.nl.validate();
+    return r;
+}
+
+QdiMultiplier make_qdi_multiplier(std::size_t n_bits) {
+    check(n_bits >= 1 && n_bits <= 3, "make_qdi_multiplier: 1..3 bits supported");
+    QdiMultiplier r;
+    r.nl = netlist::Netlist("qdi_mul" + std::to_string(n_bits));
+    r.a = add_dual_rail_inputs(r.nl, "a", n_bits);
+    r.b = add_dual_rail_inputs(r.nl, "b", n_bits);
+
+    std::vector<DualRail> ins = r.a;
+    ins.insert(ins.end(), r.b.begin(), r.b.end());
+    std::vector<TruthTable> specs;
+    for (std::size_t o = 0; o < 2 * n_bits; ++o) {
+        specs.push_back(TruthTable::from_function(2 * n_bits, [&](std::uint32_t m) {
+            const std::uint32_t a = m & ((1u << n_bits) - 1);
+            const std::uint32_t b = (m >> n_bits) & ((1u << n_bits) - 1);
+            return ((a * b) >> o) & 1u;
+        }));
+    }
+    DimsResult res = expand_dims(r.nl, specs, ins, "mul");
+    r.p = res.outputs;
+    r.hints.merge(res.hints);
+    r.done = add_dims_completion(r.nl, res, "cd");
+    r.hints.merge(res.hints);
+    for (std::size_t o = 0; o < 2 * n_bits; ++o) {
+        r.nl.set_net_name(r.p[o].t, bus_bit("p", o) + ".t");
+        r.nl.set_net_name(r.p[o].f, bus_bit("p", o) + ".f");
+        r.nl.add_output(bus_bit("p", o) + ".t", r.p[o].t);
+        r.nl.add_output(bus_bit("p", o) + ".f", r.p[o].f);
+    }
+    r.nl.add_output("done", r.done);
+    r.nl.validate();
+    return r;
+}
+
+}  // namespace afpga::asynclib

@@ -1,0 +1,86 @@
+// The paper's demonstration circuits (Fig. 3): a 1-bit full adder in QDI
+// dual-rail (DIMS) and in micropipeline bundled-data style, plus the n-bit
+// ripple-carry generalisations used by the filling-ratio sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asynclib/dualrail.hpp"
+#include "asynclib/micropipeline.hpp"
+#include "asynclib/styles.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/truthtable.hpp"
+
+namespace afpga::asynclib {
+
+/// sum(a,b,cin) and cout(a,b,cin) truth tables (variable order a,b,cin).
+[[nodiscard]] netlist::TruthTable full_adder_sum_tt();
+[[nodiscard]] netlist::TruthTable full_adder_cout_tt();
+
+/// A QDI dual-rail combinational block with completion detection.
+/// Primary inputs: the input rails; primary outputs: the output rails plus
+/// "done". The environment runs the 4-phase protocol around it.
+struct QdiAdder {
+    netlist::Netlist nl;
+    std::vector<DualRail> a;   ///< n bits
+    std::vector<DualRail> b;   ///< n bits
+    DualRail cin;
+    std::vector<DualRail> sum;  ///< n bits
+    DualRail cout;
+    netlist::NetId done;
+    MappingHints hints;
+};
+
+/// How the QDI adder's completion (done) signal is built.
+enum class QdiCompletion : std::uint8_t {
+    GroupValidity,  ///< per-LE minterm-pair OR2s in the LUT2 slots (paper's
+                    ///< intended LUT2 use), OR-combined per digit, C-joined
+    OutputRails,    ///< classic per-output validity ORs + C-tree
+    None,           ///< bare function block (no done output)
+};
+
+/// Fig. 3b: 1-bit DIMS full adder (n = 1), or its n-bit ripple extension.
+[[nodiscard]] QdiAdder make_qdi_adder(std::size_t n_bits,
+                                      QdiCompletion completion = QdiCompletion::GroupValidity);
+
+/// A micropipeline bundled-data adder: one pipeline stage whose datapath is
+/// an n-bit ripple-carry adder (XOR3/MAJ3 per bit, as in Fig. 3a).
+/// Primary inputs: a[n], b[n], cin, req_in, ack_out.
+/// Primary outputs: sum[n], cout, req_out, ack_in.
+struct MpAdder {
+    netlist::Netlist nl;
+    std::vector<netlist::NetId> a;
+    std::vector<netlist::NetId> b;
+    netlist::NetId cin;
+    std::vector<netlist::NetId> sum;
+    netlist::NetId cout;
+    netlist::NetId req_in;    ///< PI
+    netlist::NetId ack_out;   ///< PI (sink's acknowledge)
+    netlist::NetId req_out;   ///< PO
+    netlist::NetId ack_in;    ///< PO (to the source)
+    MpStage stage;
+    std::int64_t matched_delay_ps = 0;
+};
+
+/// Fig. 3a generalised to n bits. `delay_margin` is the relative safety
+/// margin programmed into the matched delay (0.25 = 25% slack).
+[[nodiscard]] MpAdder make_micropipeline_adder(std::size_t n_bits, double delay_margin = 0.25);
+
+/// A QDI dual-rail multiplier (n x n -> 2n bits, n <= 3), built as one DIMS
+/// block over the 2n input bits — the brute-force-but-delay-insensitive
+/// construction (C-gate arity = 2n, so n = 3 uses the LE's full 6+feedback
+/// reach). Strict completion included.
+struct QdiMultiplier {
+    netlist::Netlist nl;
+    std::vector<DualRail> a;
+    std::vector<DualRail> b;
+    std::vector<DualRail> p;  ///< 2n product bits
+    netlist::NetId done;
+    MappingHints hints;
+};
+
+[[nodiscard]] QdiMultiplier make_qdi_multiplier(std::size_t n_bits);
+
+}  // namespace afpga::asynclib

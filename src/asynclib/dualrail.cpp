@@ -1,0 +1,181 @@
+#include "asynclib/dualrail.hpp"
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+
+namespace afpga::asynclib {
+
+using base::bus_bit;
+using base::check;
+using netlist::CellFunc;
+using netlist::NetId;
+
+std::vector<DualRail> add_dual_rail_inputs(Netlist& nl, const std::string& name, std::size_t n) {
+    std::vector<DualRail> bits;
+    bits.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        DualRail b;
+        b.t = nl.add_input(bus_bit(name, i) + ".t");
+        b.f = nl.add_input(bus_bit(name, i) + ".f");
+        bits.push_back(b);
+    }
+    return bits;
+}
+
+namespace {
+
+/// Generic balanced reduction tree.
+NetId reduce_tree(Netlist& nl, std::vector<NetId> nets, CellFunc func, const std::string& name,
+                  std::size_t max_arity) {
+    check(!nets.empty(), "reduce_tree: no inputs");
+    check(max_arity >= 2 && max_arity <= 7, "reduce_tree: bad arity");
+    if (nets.size() == 1) return nl.add_cell(CellFunc::Buf, name, {nets[0]});
+    std::size_t level = 0;
+    while (nets.size() > 1) {
+        std::vector<NetId> next;
+        for (std::size_t i = 0; i < nets.size(); i += max_arity) {
+            const std::size_t hi = std::min(i + max_arity, nets.size());
+            if (hi - i == 1) {
+                next.push_back(nets[i]);
+                continue;
+            }
+            std::vector<NetId> group(nets.begin() + static_cast<std::ptrdiff_t>(i),
+                                     nets.begin() + static_cast<std::ptrdiff_t>(hi));
+            const std::string nm = nets.size() <= max_arity
+                                       ? name
+                                       : name + ".l" + std::to_string(level) + "_" +
+                                             std::to_string(i / max_arity);
+            next.push_back(nl.add_cell(func, nm, std::move(group)));
+        }
+        nets = std::move(next);
+        ++level;
+    }
+    return nets[0];
+}
+
+}  // namespace
+
+NetId or_tree(Netlist& nl, std::vector<NetId> nets, const std::string& name,
+              std::size_t max_arity) {
+    return reduce_tree(nl, std::move(nets), CellFunc::Or, name, max_arity);
+}
+
+NetId c_tree(Netlist& nl, std::vector<NetId> nets, const std::string& name,
+             std::size_t max_arity) {
+    return reduce_tree(nl, std::move(nets), CellFunc::C, name, max_arity);
+}
+
+NetId add_validity(Netlist& nl, const DualRail& sig, const std::string& name,
+                   MappingHints* hints) {
+    const NetId v = nl.add_cell(CellFunc::Or, name, {sig.t, sig.f});
+    if (hints) hints->validity_nets.push_back(v);
+    return v;
+}
+
+DimsResult expand_dims(Netlist& nl, const std::vector<TruthTable>& specs,
+                       const std::vector<DualRail>& inputs, const std::string& prefix) {
+    const std::size_t n = inputs.size();
+    check(n >= 1 && n <= 7, "expand_dims: 1..7 inputs supported");
+    check(!specs.empty(), "expand_dims: no outputs");
+    for (const TruthTable& t : specs)
+        check(t.arity() == n, "expand_dims: spec arity mismatch");
+
+    DimsResult res;
+
+    // Minterm C-gates, shared across outputs: every minterm is needed by
+    // every output (it feeds either the 1-rail or the 0-rail OR plane).
+    std::vector<NetId> minterm(std::size_t{1} << n);
+    for (std::uint32_t m = 0; m < (1u << n); ++m) {
+        std::vector<NetId> rails;
+        rails.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            rails.push_back(((m >> i) & 1u) ? inputs[i].t : inputs[i].f);
+        if (n == 1) {
+            minterm[m] = rails[0];  // a single rail is already the "join"
+        } else {
+            minterm[m] = nl.add_cell(CellFunc::C, prefix + ".min" + std::to_string(m),
+                                     std::move(rails));
+            ++res.num_minterm_gates;
+        }
+    }
+    // Adjacent minterms (m, m^1) differ in one input bit only, so the pair
+    // shares all rails but one — ideal co-tenants for an LE's two halves.
+    for (std::uint32_t m = 0; n >= 2 && m + 1 < (1u << n); m += 2)
+        res.hints.rail_pairs.emplace_back(minterm[m], minterm[m | 1]);
+    res.minterms = minterm;
+
+    // Per-output OR planes.
+    for (std::size_t o = 0; o < specs.size(); ++o) {
+        std::vector<NetId> ones;
+        std::vector<NetId> zeros;
+        for (std::uint32_t m = 0; m < (1u << n); ++m)
+            (specs[o].eval(m) ? ones : zeros).push_back(minterm[m]);
+        const std::string base = prefix + ".o" + std::to_string(o);
+        DualRail out;
+        // A constant spec has an empty rail; tie it to const-0 (never fires).
+        out.t = ones.empty() ? nl.add_cell(CellFunc::Const0, base + ".t", {})
+                             : or_tree(nl, std::move(ones), base + ".t", 4);
+        out.f = zeros.empty() ? nl.add_cell(CellFunc::Const0, base + ".f", {})
+                              : or_tree(nl, std::move(zeros), base + ".f", 4);
+        res.num_or_gates += (ones.empty() ? 0 : 1) + (zeros.empty() ? 0 : 1);
+        res.hints.rail_pairs.emplace_back(out.t, out.f);
+        res.outputs.push_back(out);
+    }
+    return res;
+}
+
+NetId add_completion_detector(Netlist& nl, const std::vector<DualRail>& signals,
+                              const std::string& name, MappingHints* hints) {
+    check(!signals.empty(), "add_completion_detector: no signals");
+    std::vector<NetId> valids;
+    valids.reserve(signals.size());
+    MappingHints local;
+    for (std::size_t i = 0; i < signals.size(); ++i)
+        valids.push_back(add_validity(nl, signals[i], name + ".v" + std::to_string(i), &local));
+    const NetId done = c_tree(nl, std::move(valids), name + ".done", 4);
+    if (hints) hints->merge(local);
+    return done;
+}
+
+NetId add_dims_group_completion(Netlist& nl, DimsResult& dims, const std::string& name) {
+    check(dims.minterms.size() >= 4, "add_dims_group_completion: need >= 2 input variables");
+    std::vector<NetId> partials;
+    for (std::size_t m = 0; m + 1 < dims.minterms.size(); m += 2) {
+        const NetId v = nl.add_cell(CellFunc::Or, name + ".pv" + std::to_string(m / 2),
+                                    {dims.minterms[m], dims.minterms[m + 1]});
+        dims.hints.validity_nets.push_back(v);
+        partials.push_back(v);
+    }
+    if (dims.minterms.size() % 2 != 0) partials.push_back(dims.minterms.back());
+    return or_tree(nl, std::move(partials), name + ".v", 4);
+}
+
+NetId add_dims_completion(Netlist& nl, DimsResult& dims, const std::string& name) {
+    std::vector<NetId> join;
+    join.push_back(add_dims_group_completion(nl, dims, name));
+    for (std::size_t o = 0; o < dims.outputs.size(); ++o)
+        join.push_back(nl.add_cell(CellFunc::Or, name + ".ov" + std::to_string(o),
+                                   {dims.outputs[o].t, dims.outputs[o].f}));
+    return c_tree(nl, std::move(join), name + ".done", 4);
+}
+
+WchbStage add_wchb_stage(Netlist& nl, const std::vector<DualRail>& in, NetId ack_from_next,
+                         const std::string& prefix) {
+    check(!in.empty(), "add_wchb_stage: empty word");
+    WchbStage st;
+    // Common enable: next stage empty (ack low) -> enable high -> accept token.
+    const NetId en = nl.add_cell(CellFunc::Inv, prefix + ".en", {ack_from_next});
+    st.en_cell = nl.driver_of(en);
+    st.out.reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        DualRail o;
+        o.t = nl.add_cell(CellFunc::C, base::bus_bit(prefix + ".q", i) + ".t", {in[i].t, en});
+        o.f = nl.add_cell(CellFunc::C, base::bus_bit(prefix + ".q", i) + ".f", {in[i].f, en});
+        st.hints.rail_pairs.emplace_back(o.t, o.f);
+        st.out.push_back(o);
+    }
+    st.ack_to_prev = add_completion_detector(nl, st.out, prefix + ".cd", &st.hints);
+    return st;
+}
+
+}  // namespace afpga::asynclib

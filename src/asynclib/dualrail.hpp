@@ -1,0 +1,105 @@
+// QDI dual-rail circuit generation: DIMS function expansion, completion
+// detection and WCHB pipeline buffers (4-phase return-to-zero).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asynclib/styles.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/truthtable.hpp"
+
+namespace afpga::asynclib {
+
+using netlist::Netlist;
+using netlist::TruthTable;
+
+/// Create `n` dual-rail primary-input bits named `<name>[i].t/.f`.
+[[nodiscard]] std::vector<DualRail> add_dual_rail_inputs(Netlist& nl, const std::string& name,
+                                                         std::size_t n);
+
+/// Balanced OR tree over `nets` (max_arity-ary); returns the root net.
+/// A single input is passed through a BUF so the result is a fresh net.
+[[nodiscard]] netlist::NetId or_tree(Netlist& nl, std::vector<netlist::NetId> nets,
+                                     const std::string& name, std::size_t max_arity = 4);
+
+/// Balanced Muller-C tree (joins when all inputs agree) — the canonical
+/// completion-detection combiner.
+[[nodiscard]] netlist::NetId c_tree(Netlist& nl, std::vector<netlist::NetId> nets,
+                                    const std::string& name, std::size_t max_arity = 4);
+
+/// Per-signal validity: OR of the two rails (fires on valid, clears on
+/// spacer). Recorded in `hints` as a validity net if provided.
+[[nodiscard]] netlist::NetId add_validity(Netlist& nl, const DualRail& sig,
+                                          const std::string& name,
+                                          MappingHints* hints = nullptr);
+
+/// Result of a DIMS expansion.
+struct DimsResult {
+    std::vector<DualRail> outputs;   ///< one dual-rail signal per spec output
+    MappingHints hints;              ///< rail pairs for the mapper
+    std::vector<netlist::NetId> minterms;  ///< the shared minterm join nets
+    std::size_t num_minterm_gates = 0;
+    std::size_t num_or_gates = 0;
+};
+
+/// Delay-Insensitive Minterm Synthesis (the construction behind Fig. 3b).
+///
+/// For every input assignment `m` a Muller C-gate joins the corresponding
+/// input rails (minterm becomes valid only when ALL inputs are valid and
+/// match `m`, and clears only when ALL inputs are back to spacer — this is
+/// what makes the block QDI). Each output's 1-rail ORs the minterms where
+/// the spec is 1; the 0-rail ORs the rest. Minterm gates are shared between
+/// outputs.
+///
+/// `specs` are functions over the same `inputs.size()` variables
+/// (2..7 supported: the C-gate arity equals the input count).
+[[nodiscard]] DimsResult expand_dims(Netlist& nl, const std::vector<TruthTable>& specs,
+                                     const std::vector<DualRail>& inputs,
+                                     const std::string& prefix);
+
+/// Completion detector over a set of dual-rail signals: per-signal validity
+/// ORs combined by a C-tree. Fires when every signal is valid; clears when
+/// every signal is back to spacer.
+[[nodiscard]] netlist::NetId add_completion_detector(Netlist& nl,
+                                                     const std::vector<DualRail>& signals,
+                                                     const std::string& name,
+                                                     MappingHints* hints = nullptr);
+
+/// Group validity of a DIMS block's minterm code: the minterms form a
+/// 1-of-2^n code (exactly one fires per token), so their OR signals input
+/// arrival. Built as per-pair OR2s (tagged as validity functions so the
+/// mapper drops them into the LUT2 slot of the LE hosting that minterm pair —
+/// the paper's intended LUT2 use) followed by an OR tree. Requires n >= 2.
+///
+/// NOTE: this certifies that the minterm layer fired, NOT that the OR planes
+/// behind it have settled — on its own it is a timing assumption, not QDI.
+/// Use add_dims_completion for a strict completion signal.
+[[nodiscard]] netlist::NetId add_dims_group_completion(Netlist& nl, DimsResult& dims,
+                                                       const std::string& name);
+
+/// Strict (weak-condition) completion for a DIMS block: C-joins the group
+/// validity (which fills the minterm LEs' LUT2 slots) with the per-output
+/// rail validities, so `done` rises only after every output rail has settled
+/// and falls only after every rail returned to spacer. QDI-safe under any
+/// routing skew.
+[[nodiscard]] netlist::NetId add_dims_completion(Netlist& nl, DimsResult& dims,
+                                                 const std::string& name);
+
+/// One WCHB (weak-conditioned half buffer) pipeline stage for a dual-rail
+/// word. `en` semantics: out rails join input rails with the common enable
+/// (the inverted acknowledge from the next stage); ack to the previous stage
+/// is the stage's own completion.
+struct WchbStage {
+    std::vector<DualRail> out;
+    netlist::NetId ack_to_prev;  ///< completion of this stage's latch
+    netlist::CellId en_cell;     ///< the INV on ack_from_next (pin 0 rewirable)
+    MappingHints hints;
+};
+
+/// Build a WCHB stage: `ack_from_next` is the downstream acknowledge
+/// (active-high: raised when the next stage has consumed the token).
+[[nodiscard]] WchbStage add_wchb_stage(Netlist& nl, const std::vector<DualRail>& in,
+                                       netlist::NetId ack_from_next, const std::string& prefix);
+
+}  // namespace afpga::asynclib

@@ -1,0 +1,127 @@
+#include "asynclib/fifos.hpp"
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+
+namespace afpga::asynclib {
+
+using base::check;
+using netlist::CellFunc;
+using netlist::NetId;
+
+WchbFifo make_wchb_fifo(std::size_t n_bits, std::size_t n_stages) {
+    check(n_bits >= 1 && n_stages >= 1, "make_wchb_fifo: bad shape");
+    WchbFifo f;
+    f.nl = netlist::Netlist("wchb_fifo_" + std::to_string(n_bits) + "x" +
+                            std::to_string(n_stages));
+    f.in = add_dual_rail_inputs(f.nl, "in", n_bits);
+    f.ack_out = f.nl.add_input("ack_out");
+
+    // Acknowledges flow backwards: build each stage against a placeholder,
+    // then rewire every enable to the completion of the following stage.
+    const NetId placeholder = f.nl.add_cell(CellFunc::Const0, "ack_placeholder", {});
+    std::vector<DualRail> word = f.in;
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        WchbStage st = add_wchb_stage(f.nl, word, placeholder, "st" + std::to_string(s));
+        word = st.out;
+        f.hints.merge(st.hints);
+        f.stages.push_back(std::move(st));
+    }
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        const NetId ack_next =
+            (s + 1 < n_stages) ? f.stages[s + 1].ack_to_prev : f.ack_out;
+        f.nl.rewire_input(f.stages[s].en_cell, 0, ack_next);
+    }
+
+    f.out = word;
+    f.ack_in = f.stages.front().ack_to_prev;
+    for (std::size_t i = 0; i < n_bits; ++i) {
+        f.nl.add_output(base::bus_bit("out", i) + ".t", f.out[i].t);
+        f.nl.add_output(base::bus_bit("out", i) + ".f", f.out[i].f);
+    }
+    f.nl.add_output("ack_in", f.ack_in);
+    f.nl.validate();
+    return f;
+}
+
+MpFifo make_micropipeline_fifo(std::size_t n_bits, std::size_t n_stages, double delay_margin) {
+    check(n_bits >= 1 && n_stages >= 1, "make_micropipeline_fifo: bad shape");
+    MpFifo f;
+    f.nl = netlist::Netlist("mp_fifo_" + std::to_string(n_bits) + "x" +
+                            std::to_string(n_stages));
+    for (std::size_t i = 0; i < n_bits; ++i) f.in.push_back(f.nl.add_input(base::bus_bit("in", i)));
+    f.req_in = f.nl.add_input("req_in");
+    f.ack_out = f.nl.add_input("ack_out");
+
+    const NetId placeholder = f.nl.add_cell(CellFunc::Const0, "ack_placeholder", {});
+    std::vector<NetId> word = f.in;
+    NetId req = f.req_in;
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        MpStage st = add_micropipeline_stage(f.nl, word, req, placeholder,
+                                             "st" + std::to_string(s));
+        word = st.q;
+        req = st.req_out;
+        f.stages.push_back(std::move(st));
+    }
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        const NetId ack_next = (s + 1 < n_stages) ? f.stages[s + 1].ack_to_prev : f.ack_out;
+        f.nl.rewire_input(f.stages[s].nack_cell, 0, ack_next);
+    }
+    // No logic between stages: the matched delay only needs to cover the
+    // latch propagation to the next stage's D inputs.
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        const std::vector<NetId> endpoints = f.stages[s].q;
+        tune_matched_delay(f.nl, f.stages[s], endpoints, delay_margin);
+    }
+
+    f.out = word;
+    f.req_out = req;
+    f.ack_in = f.stages.front().ack_to_prev;
+    for (std::size_t i = 0; i < n_bits; ++i) f.nl.add_output(base::bus_bit("out", i), f.out[i]);
+    f.nl.add_output("req_out", f.req_out);
+    f.nl.add_output("ack_in", f.ack_in);
+    f.nl.validate();
+    return f;
+}
+
+MousetrapFifo make_mousetrap_fifo(std::size_t n_bits, std::size_t n_stages,
+                                  double delay_margin) {
+    check(n_bits >= 1 && n_stages >= 1, "make_mousetrap_fifo: bad shape");
+    MousetrapFifo f;
+    f.nl = netlist::Netlist("mt_fifo_" + std::to_string(n_bits) + "x" +
+                            std::to_string(n_stages));
+    for (std::size_t i = 0; i < n_bits; ++i)
+        f.in.push_back(f.nl.add_input(base::bus_bit("in", i)));
+    f.req_in = f.nl.add_input("req_in");
+    f.ack_out = f.nl.add_input("ack_out");
+
+    const NetId placeholder = f.nl.add_cell(CellFunc::Const0, "ack_placeholder", {});
+    std::vector<NetId> word = f.in;
+    NetId req = f.req_in;
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        MousetrapStage st =
+            add_mousetrap_stage(f.nl, word, req, placeholder, "st" + std::to_string(s));
+        word = st.q;
+        req = st.req_out;
+        f.stages.push_back(std::move(st));
+    }
+    // Acks flow backwards: stage s listens to the NEXT stage's captured
+    // phase (its ack_to_prev), the last stage to the environment.
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        const NetId ack_next = (s + 1 < n_stages) ? f.stages[s + 1].ack_to_prev : f.ack_out;
+        f.nl.rewire_input(f.stages[s].en_cell, 1, ack_next);
+    }
+    for (std::size_t s = 0; s < n_stages; ++s)
+        tune_mousetrap_delay(f.nl, f.stages[s], f.stages[s].q, delay_margin);
+
+    f.out = word;
+    f.req_out = req;
+    f.ack_in = f.stages.front().ack_to_prev;
+    for (std::size_t i = 0; i < n_bits; ++i) f.nl.add_output(base::bus_bit("out", i), f.out[i]);
+    f.nl.add_output("req_out", f.req_out);
+    f.nl.add_output("ack_in", f.ack_in);
+    f.nl.validate();
+    return f;
+}
+
+}  // namespace afpga::asynclib

@@ -1,0 +1,61 @@
+// Linear pipeline (FIFO) generators used by the throughput experiments:
+// WCHB dual-rail FIFOs and bundled-data micropipeline FIFOs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asynclib/dualrail.hpp"
+#include "asynclib/micropipeline.hpp"
+#include "asynclib/styles.hpp"
+
+namespace afpga::asynclib {
+
+/// A dual-rail WCHB FIFO.
+/// Primary inputs: in rails + ack_out; primary outputs: out rails + ack_in.
+struct WchbFifo {
+    netlist::Netlist nl;
+    std::vector<DualRail> in;
+    std::vector<DualRail> out;
+    netlist::NetId ack_in;   ///< PO: acknowledge to the source
+    netlist::NetId ack_out;  ///< PI: acknowledge from the sink
+    std::vector<WchbStage> stages;
+    MappingHints hints;
+};
+
+[[nodiscard]] WchbFifo make_wchb_fifo(std::size_t n_bits, std::size_t n_stages);
+
+/// A bundled-data micropipeline FIFO (no logic between stages).
+/// Primary inputs: data + req_in + ack_out; outputs: data + req_out + ack_in.
+struct MpFifo {
+    netlist::Netlist nl;
+    std::vector<netlist::NetId> in;
+    std::vector<netlist::NetId> out;
+    netlist::NetId req_in;   ///< PI
+    netlist::NetId ack_out;  ///< PI
+    netlist::NetId req_out;  ///< PO
+    netlist::NetId ack_in;   ///< PO
+    std::vector<MpStage> stages;
+};
+
+[[nodiscard]] MpFifo make_micropipeline_fifo(std::size_t n_bits, std::size_t n_stages,
+                                             double delay_margin = 0.25);
+
+/// A 2-phase MOUSETRAP FIFO (transition signalling — the third style).
+/// Primary inputs: data + req_in + ack_out; outputs: data + req_out + ack_in.
+struct MousetrapFifo {
+    netlist::Netlist nl;
+    std::vector<netlist::NetId> in;
+    std::vector<netlist::NetId> out;
+    netlist::NetId req_in;   ///< PI (toggles per token)
+    netlist::NetId ack_out;  ///< PI (sink's toggle acknowledge)
+    netlist::NetId req_out;  ///< PO
+    netlist::NetId ack_in;   ///< PO
+    std::vector<MousetrapStage> stages;
+};
+
+[[nodiscard]] MousetrapFifo make_mousetrap_fifo(std::size_t n_bits, std::size_t n_stages,
+                                                double delay_margin = 0.25);
+
+}  // namespace afpga::asynclib

@@ -1,0 +1,98 @@
+#include "asynclib/micropipeline.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+#include "netlist/analyze.hpp"
+
+namespace afpga::asynclib {
+
+using base::bus_bit;
+using base::check;
+using netlist::CellFunc;
+
+MpStage add_micropipeline_stage(Netlist& nl, const std::vector<NetId>& data_in, NetId req_in,
+                                NetId ack_from_next, const std::string& prefix) {
+    check(!data_in.empty(), "add_micropipeline_stage: no data");
+    MpStage st;
+    const NetId nack = nl.add_cell(CellFunc::Inv, prefix + ".nack", {ack_from_next});
+    st.nack_cell = nl.driver_of(nack);
+    st.c = nl.add_cell(CellFunc::C, prefix + ".c", {req_in, nack});
+    st.ack_to_prev = st.c;
+    const NetId en = nl.add_cell(CellFunc::Inv, prefix + ".en", {st.c});
+    st.q.reserve(data_in.size());
+    for (std::size_t i = 0; i < data_in.size(); ++i) {
+        const NetId q = nl.add_cell(CellFunc::Latch, bus_bit(prefix + ".q", i), {data_in[i], en});
+        st.latch_cells.push_back(nl.driver_of(q));
+        st.q.push_back(q);
+    }
+    st.req_out = nl.add_cell(CellFunc::Delay, prefix + ".dly", {st.c});
+    st.delay_cell = nl.driver_of(st.req_out);
+    return st;
+}
+
+MousetrapStage add_mousetrap_stage(Netlist& nl, const std::vector<NetId>& data_in,
+                                   NetId req_in, NetId ack_from_next,
+                                   const std::string& prefix) {
+    check(!data_in.empty(), "add_mousetrap_stage: no data");
+    MousetrapStage st;
+    // Latch the phase bit first with a placeholder enable, then build the
+    // XNOR from the latched phase and rewire the latches onto it (the enable
+    // depends on its own latch's output — the mousetrap's snap).
+    const NetId placeholder = nl.add_cell(CellFunc::Const1, prefix + ".en0", {});
+    st.req_latched = nl.add_cell(CellFunc::Latch, prefix + ".rl", {req_in, placeholder});
+    st.latch_cells.push_back(nl.driver_of(st.req_latched));
+    st.q.reserve(data_in.size());
+    for (std::size_t i = 0; i < data_in.size(); ++i) {
+        const NetId q =
+            nl.add_cell(CellFunc::Latch, bus_bit(prefix + ".q", i), {data_in[i], placeholder});
+        st.latch_cells.push_back(nl.driver_of(q));
+        st.q.push_back(q);
+    }
+    st.en = nl.add_cell(CellFunc::Xnor, prefix + ".en", {st.req_latched, ack_from_next});
+    st.en_cell = nl.driver_of(st.en);
+    for (CellId latch : st.latch_cells) nl.rewire_input(latch, 1, st.en);
+    st.ack_to_prev = st.req_latched;
+    st.req_out = nl.add_cell(CellFunc::Delay, prefix + ".dly", {st.req_latched});
+    st.delay_cell = nl.driver_of(st.req_out);
+    return st;
+}
+
+std::int64_t tune_mousetrap_delay(Netlist& nl, const MousetrapStage& stage,
+                                  const std::vector<NetId>& endpoints, double margin,
+                                  std::int64_t extra_net_delay_ps) {
+    check(margin >= 0.0, "tune_mousetrap_delay: negative margin");
+    const auto arrival = netlist::net_arrival_times(nl, extra_net_delay_ps);
+    std::int64_t worst = 0;
+    for (NetId e : endpoints) {
+        check(e.valid() && e.index() < arrival.size(), "tune_mousetrap_delay: bad endpoint");
+        worst = std::max(worst, arrival[e.index()]);
+    }
+    const auto delay = static_cast<std::int64_t>(static_cast<double>(worst) * (1.0 + margin));
+    nl.set_cell_delay(stage.delay_cell, std::max<std::int64_t>(delay, 1));
+    return std::max<std::int64_t>(delay, 1);
+}
+
+std::int64_t tune_matched_delay(Netlist& nl, const MpStage& stage,
+                                const std::vector<NetId>& endpoints, double margin,
+                                std::int64_t extra_net_delay_ps) {
+    check(margin >= 0.0, "tune_matched_delay: negative margin");
+    // Arrival analysis launches from sequential outputs (the latches) at t=0;
+    // the worst endpoint arrival is the datapath delay the request must cover.
+    const auto arrival = netlist::net_arrival_times(nl, extra_net_delay_ps);
+    std::int64_t worst = 0;
+    for (NetId e : endpoints) {
+        check(e.valid() && e.index() < arrival.size(), "tune_matched_delay: bad endpoint");
+        worst = std::max(worst, arrival[e.index()]);
+    }
+    // The request leaves through the controller's C-gate as well; the matched
+    // delay only needs to cover the datapath *beyond* what the control path
+    // already spends, but the conservative choice (full datapath + margin)
+    // is what a designer would program into the PDE.
+    const auto delay = static_cast<std::int64_t>(static_cast<double>(worst) * (1.0 + margin));
+    nl.set_cell_delay(stage.delay_cell, std::max<std::int64_t>(delay, 1));
+    return std::max<std::int64_t>(delay, 1);
+}
+
+}  // namespace afpga::asynclib

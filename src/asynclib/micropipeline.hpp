@@ -1,0 +1,84 @@
+// Micropipeline (4-phase bundled-data) circuit generation.
+//
+// The style that exercises the PLB's Programmable Delay Element: data travels
+// on plain single-rail wires, validity is signalled by a request whose path
+// carries a matched delay at least as long as the datapath (the "bundling
+// constraint"). Latch controllers are Muller-C based half-buffers
+// (Sparsø & Furber, ch. 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asynclib/styles.hpp"
+#include "netlist/netlist.hpp"
+
+namespace afpga::asynclib {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+
+/// One bundled-data pipeline stage.
+///
+/// Handshake structure (4-phase RTZ, normally-transparent latches):
+///   c        = C2(req_in, INV(ack_from_next))   -- stage state
+///   ack_prev = c                                -- to the upstream stage
+///   latch_en = INV(c)                           -- latches close on capture
+///   req_out  = DELAY(c)                         -- matched delay (the PDE)
+struct MpStage {
+    std::vector<NetId> q;   ///< latch outputs (stage-local data)
+    NetId c;                ///< controller state net
+    NetId ack_to_prev;      ///< equals c (half-buffer)
+    NetId req_out;          ///< delayed request to the next stage
+    CellId delay_cell;      ///< the matched-delay cell, for later tuning / PDE binding
+    CellId nack_cell;       ///< the INV on ack_from_next (pin 0 rewirable)
+    std::vector<CellId> latch_cells;
+};
+
+/// Append one latch+controller stage capturing `data_in` on `req_in`.
+[[nodiscard]] MpStage add_micropipeline_stage(Netlist& nl, const std::vector<NetId>& data_in,
+                                              NetId req_in, NetId ack_from_next,
+                                              const std::string& prefix);
+
+/// Retune a stage's matched delay so that it covers the longest static path
+/// from the stage's latch outputs to `endpoints` (typically the next stage's
+/// latch data inputs), times (1 + margin). Uses intrinsic cell delays plus
+/// `extra_net_delay_ps` per net hop; the CAD flow re-runs this after routing
+/// with real wire delays. Returns the delay installed (ps).
+std::int64_t tune_matched_delay(Netlist& nl, const MpStage& stage,
+                                const std::vector<NetId>& endpoints, double margin,
+                                std::int64_t extra_net_delay_ps = 0);
+
+/// One 2-phase (transition-signalling) bundled-data stage — MOUSETRAP
+/// (Singh & Nowick). Every transition of req is a token; the latch bank is
+/// normally transparent and snaps shut the instant a token is captured:
+///   q_i      = LATCH(d_i, en)
+///   req_l    = LATCH(req_in, en)     -- the captured phase bit
+///   en       = XNOR(req_l, ack_from_next)
+///   ack_prev = req_l
+///   req_out  = DELAY(req_l)          -- matched delay (the PDE)
+struct MousetrapStage {
+    std::vector<NetId> q;
+    NetId req_latched;   ///< captured phase (= ack_to_prev)
+    NetId ack_to_prev;
+    NetId req_out;       ///< delayed request to the next stage
+    NetId en;
+    CellId delay_cell;
+    CellId en_cell;      ///< the XNOR; pin 1 (ack side) is rewirable
+    std::vector<CellId> latch_cells;
+};
+
+[[nodiscard]] MousetrapStage add_mousetrap_stage(Netlist& nl,
+                                                 const std::vector<NetId>& data_in,
+                                                 NetId req_in, NetId ack_from_next,
+                                                 const std::string& prefix);
+
+/// Retune a MOUSETRAP stage's matched delay (same contract as the 4-phase
+/// version).
+std::int64_t tune_mousetrap_delay(Netlist& nl, const MousetrapStage& stage,
+                                  const std::vector<NetId>& endpoints, double margin,
+                                  std::int64_t extra_net_delay_ps = 0);
+
+}  // namespace afpga::asynclib

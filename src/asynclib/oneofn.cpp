@@ -1,0 +1,122 @@
+#include "asynclib/oneofn.hpp"
+
+#include "asynclib/dualrail.hpp"
+#include "base/check.hpp"
+#include "base/strings.hpp"
+
+namespace afpga::asynclib {
+
+using base::bus_bit;
+using base::check;
+using netlist::CellFunc;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::TruthTable;
+
+std::vector<OneOfFour> add_one_of_four_inputs(Netlist& nl, const std::string& name,
+                                              std::size_t n) {
+    std::vector<OneOfFour> digits;
+    digits.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        OneOfFour d;
+        for (std::size_t s = 0; s < 4; ++s)
+            d.rail[s] = nl.add_input(bus_bit(name, i) + ".r" + std::to_string(s));
+        digits.push_back(d);
+    }
+    return digits;
+}
+
+Of4Result expand_one_of_four(Netlist& nl, const std::vector<TruthTable>& specs_bits,
+                             const std::vector<OneOfFour>& inputs, const std::string& prefix) {
+    const std::size_t nd = inputs.size();
+    check(nd >= 1 && nd <= 3, "expand_one_of_four: 1..3 input digits supported");
+    check(!specs_bits.empty() && specs_bits.size() % 2 == 0,
+          "expand_one_of_four: need an even number of bit specs (2 per output digit)");
+    for (const TruthTable& t : specs_bits)
+        check(t.arity() == 2 * nd, "expand_one_of_four: spec arity mismatch");
+
+    Of4Result res;
+    const std::size_t n_combos = std::size_t{1} << (2 * nd);  // 4^nd symbol combinations
+
+    // One C-gate per input-symbol combination (arity = number of digits).
+    std::vector<NetId> minterm(n_combos);
+    for (std::uint32_t m = 0; m < n_combos; ++m) {
+        std::vector<NetId> rails;
+        rails.reserve(nd);
+        for (std::size_t i = 0; i < nd; ++i) {
+            const std::uint32_t sym = (m >> (2 * i)) & 3u;
+            rails.push_back(inputs[i].rail[sym]);
+        }
+        if (nd == 1) {
+            minterm[m] = rails[0];
+        } else {
+            minterm[m] =
+                nl.add_cell(CellFunc::C, prefix + ".min" + std::to_string(m), std::move(rails));
+            ++res.num_minterm_gates;
+        }
+    }
+
+    const std::size_t n_out_digits = specs_bits.size() / 2;
+    for (std::size_t o = 0; o < n_out_digits; ++o) {
+        OneOfFour out;
+        for (std::uint32_t s = 0; s < 4; ++s) {
+            std::vector<NetId> terms;
+            for (std::uint32_t m = 0; m < n_combos; ++m) {
+                const std::uint32_t bit0 = specs_bits[2 * o].eval(m) ? 1u : 0u;
+                const std::uint32_t bit1 = specs_bits[2 * o + 1].eval(m) ? 1u : 0u;
+                if ((bit1 << 1 | bit0) == s) terms.push_back(minterm[m]);
+            }
+            const std::string nm =
+                prefix + ".d" + std::to_string(o) + ".r" + std::to_string(s);
+            if (terms.empty()) {
+                out.rail[s] = nl.add_cell(CellFunc::Const0, nm, {});
+            } else {
+                out.rail[s] = or_tree(nl, std::move(terms), nm, 4);
+                ++res.num_or_gates;
+            }
+        }
+        // Record the four rails pairwise so the mapper can co-locate them
+        // two per LE (each LE hosts half a digit).
+        res.hints.rail_pairs.emplace_back(out.rail[0], out.rail[1]);
+        res.hints.rail_pairs.emplace_back(out.rail[2], out.rail[3]);
+        res.outputs.push_back(out);
+    }
+    return res;
+}
+
+NetId add_of4_completion(Netlist& nl, const std::vector<OneOfFour>& digits,
+                         const std::string& name) {
+    check(!digits.empty(), "add_of4_completion: no digits");
+    std::vector<NetId> valids;
+    valids.reserve(digits.size());
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        valids.push_back(nl.add_cell(
+            CellFunc::Or, name + ".v" + std::to_string(i),
+            {digits[i].rail[0], digits[i].rail[1], digits[i].rail[2], digits[i].rail[3]}));
+    }
+    return c_tree(nl, std::move(valids), name + ".done", 4);
+}
+
+OneOfFour recode_dual_rail_pair(Netlist& nl, const DualRail& lo, const DualRail& hi,
+                                const std::string& prefix) {
+    OneOfFour d;
+    // symbol s = hi<<1 | lo
+    d.rail[0] = nl.add_cell(CellFunc::C, prefix + ".r0", {lo.f, hi.f});
+    d.rail[1] = nl.add_cell(CellFunc::C, prefix + ".r1", {lo.t, hi.f});
+    d.rail[2] = nl.add_cell(CellFunc::C, prefix + ".r2", {lo.f, hi.t});
+    d.rail[3] = nl.add_cell(CellFunc::C, prefix + ".r3", {lo.t, hi.t});
+    return d;
+}
+
+std::pair<DualRail, DualRail> decode_to_dual_rail(Netlist& nl, const OneOfFour& digit,
+                                                  const std::string& prefix) {
+    DualRail lo;
+    DualRail hi;
+    lo.t = nl.add_cell(CellFunc::Or, prefix + ".lo.t", {digit.rail[1], digit.rail[3]});
+    lo.f = nl.add_cell(CellFunc::Or, prefix + ".lo.f", {digit.rail[0], digit.rail[2]});
+    hi.t = nl.add_cell(CellFunc::Or, prefix + ".hi.t", {digit.rail[2], digit.rail[3]});
+    hi.f = nl.add_cell(CellFunc::Or, prefix + ".hi.f", {digit.rail[0], digit.rail[1]});
+    return {lo, hi};
+}
+
+}  // namespace afpga::asynclib

@@ -1,0 +1,58 @@
+// 1-of-4 (multi-rail) QDI circuit generation — the encoding the LE's
+// multi-output LUT is explicitly designed to serve ("1 of N encoding needs
+// to be supported at the hardware level to have the best PLB filling ratio").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asynclib/styles.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/truthtable.hpp"
+
+namespace afpga::asynclib {
+
+/// Create `n` 1-of-4 primary-input digits named `<name>[i].r0..r3`.
+[[nodiscard]] std::vector<OneOfFour> add_one_of_four_inputs(netlist::Netlist& nl,
+                                                            const std::string& name,
+                                                            std::size_t n);
+
+/// Result of a 1-of-4 minterm expansion.
+struct Of4Result {
+    std::vector<OneOfFour> outputs;  ///< one digit per output digit of the spec
+    MappingHints hints;              ///< rail quadruples recorded pairwise
+    std::size_t num_minterm_gates = 0;
+    std::size_t num_or_gates = 0;
+};
+
+/// Minterm synthesis for 1-of-4 digits (the radix-4 analogue of DIMS).
+///
+/// `spec` maps input digit symbols to output digit symbols: it is evaluated
+/// bitwise — input digit i contributes bits (2i, 2i+1) of the assignment,
+/// output digit o reads bits (2o, 2o+1) of the result. A C-gate joins one
+/// rail of every input digit per input-symbol combination; each output rail
+/// ORs the minterms mapping to its symbol.
+///
+/// `specs_bits` holds 2*num_out_digits truth tables over 2*inputs.size()
+/// boolean variables (LSB-first digit packing).
+[[nodiscard]] Of4Result expand_one_of_four(netlist::Netlist& nl,
+                                           const std::vector<netlist::TruthTable>& specs_bits,
+                                           const std::vector<OneOfFour>& inputs,
+                                           const std::string& prefix);
+
+/// Completion detector over 1-of-4 digits (per-digit OR4, then C-tree).
+[[nodiscard]] netlist::NetId add_of4_completion(netlist::Netlist& nl,
+                                                const std::vector<OneOfFour>& digits,
+                                                const std::string& name);
+
+/// Dual-rail -> 1-of-4 recoder for two dual-rail bits (r[s] = C2 join of the
+/// rails encoding symbol s).
+[[nodiscard]] OneOfFour recode_dual_rail_pair(netlist::Netlist& nl, const DualRail& lo,
+                                              const DualRail& hi, const std::string& prefix);
+
+/// 1-of-4 -> dual-rail decoder (each output rail is an OR of two symbol rails).
+[[nodiscard]] std::pair<DualRail, DualRail> decode_to_dual_rail(netlist::Netlist& nl,
+                                                                const OneOfFour& digit,
+                                                                const std::string& prefix);
+
+}  // namespace afpga::asynclib

@@ -1,0 +1,51 @@
+#include "asynclib/styles.hpp"
+
+namespace afpga::asynclib {
+
+std::string to_string(Protocol p) {
+    switch (p) {
+        case Protocol::FourPhase: return "4-phase";
+        case Protocol::TwoPhase: return "2-phase";
+    }
+    return "?";
+}
+
+std::string to_string(Encoding e) {
+    switch (e) {
+        case Encoding::BundledData: return "bundled-data";
+        case Encoding::DualRail: return "dual-rail";
+        case Encoding::OneOfFour: return "1-of-4";
+    }
+    return "?";
+}
+
+std::string to_string(TimingModel t) {
+    switch (t) {
+        case TimingModel::DelayInsensitive: return "DI";
+        case TimingModel::QuasiDelayInsensitive: return "QDI";
+        case TimingModel::BundledDataAssumption: return "bundled";
+    }
+    return "?";
+}
+
+const std::vector<Style>& standard_styles() {
+    static const std::vector<Style> kStyles = {
+        {"qdi-dual-rail", Protocol::FourPhase, Encoding::DualRail,
+         TimingModel::QuasiDelayInsensitive},
+        {"qdi-1of4", Protocol::FourPhase, Encoding::OneOfFour,
+         TimingModel::QuasiDelayInsensitive},
+        {"micropipeline", Protocol::FourPhase, Encoding::BundledData,
+         TimingModel::BundledDataAssumption},
+        {"mousetrap-2ph", Protocol::TwoPhase, Encoding::BundledData,
+         TimingModel::BundledDataAssumption},
+    };
+    return kStyles;
+}
+
+void MappingHints::merge(const MappingHints& other) {
+    rail_pairs.insert(rail_pairs.end(), other.rail_pairs.begin(), other.rail_pairs.end());
+    validity_nets.insert(validity_nets.end(), other.validity_nets.begin(),
+                         other.validity_nets.end());
+}
+
+}  // namespace afpga::asynclib

@@ -1,0 +1,95 @@
+// Taxonomy of asynchronous design styles (Section 2 of the paper) and the
+// net-level channel descriptors shared by all circuit generators.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace afpga::asynclib {
+
+using netlist::NetId;
+
+/// Handshake protocol family.
+enum class Protocol : std::uint8_t {
+    FourPhase,  ///< return-to-zero; the paper's demonstration protocol
+    TwoPhase,   ///< transition signalling (modelled by the channel monitors)
+};
+
+/// Data encoding on a channel.
+enum class Encoding : std::uint8_t {
+    BundledData,  ///< single-rail data + matched-delay request (micropipeline)
+    DualRail,     ///< 1-of-2 per bit (QDI)
+    OneOfFour,    ///< 1-of-4 per digit (2 bits per digit, QDI multi-rail)
+};
+
+/// Timing discipline of a circuit style.
+enum class TimingModel : std::uint8_t {
+    DelayInsensitive,    ///< no assumptions (DI)
+    QuasiDelayInsensitive,  ///< isochronic forks only (QDI)
+    BundledDataAssumption,  ///< matched delays (micropipeline)
+};
+
+[[nodiscard]] std::string to_string(Protocol p);
+[[nodiscard]] std::string to_string(Encoding e);
+[[nodiscard]] std::string to_string(TimingModel t);
+
+/// A named style = protocol + encoding + timing model, e.g. the paper's two
+/// demonstrators: QDI / dual-rail / 4-phase and micropipeline / bundled / 4-phase.
+struct Style {
+    std::string name;
+    Protocol protocol;
+    Encoding encoding;
+    TimingModel timing;
+};
+
+/// The styles exercised by the reproduction.
+[[nodiscard]] const std::vector<Style>& standard_styles();
+
+/// One dual-rail bit: `t` is the 1-rail, `f` the 0-rail.
+struct DualRail {
+    NetId t;
+    NetId f;
+};
+
+/// One 1-of-4 digit (two data bits per digit).
+struct OneOfFour {
+    std::array<NetId, 4> rail;  ///< rail[s] fires for symbol s in 0..3
+};
+
+/// Dual-rail channel endpoint: data rails plus the acknowledge wire.
+struct DrChannel {
+    std::vector<DualRail> bits;
+    NetId ack;
+};
+
+/// Bundled-data channel endpoint: data wires, request and acknowledge.
+struct BdChannel {
+    std::vector<NetId> data;
+    NetId req;
+    NetId ack;
+};
+
+/// 1-of-4 channel endpoint.
+struct Of4Channel {
+    std::vector<OneOfFour> digits;
+    NetId ack;
+};
+
+/// Style-agnostic mapping hints the generators hand to the technology
+/// mapper so it can exploit the LE's multi-output LUT structure:
+/// - `rail_pairs`: two nets that are the complementary rails of one function
+///   and therefore share their input support — ideal for the two LUT6
+///   halves of one LE;
+/// - `validity_nets`: 2-input functions whose inputs are exactly a rail pair
+///   (the per-signal validity OR) — candidates for the LE's LUT2 slot.
+struct MappingHints {
+    std::vector<std::pair<NetId, NetId>> rail_pairs;
+    std::vector<NetId> validity_nets;
+
+    void merge(const MappingHints& other);
+};
+
+}  // namespace afpga::asynclib

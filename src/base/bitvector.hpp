@@ -1,0 +1,61 @@
+// Dynamic bit vector used for LUT truth tables and configuration bitstreams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace afpga::base {
+
+/// A resizable vector of bits with word-level access.
+///
+/// Bit `i` lives in word `i / 64`, bit position `i % 64`. Unused high bits of
+/// the last word are kept zero (maintained by all mutators) so that word-wise
+/// comparison and hashing are well defined.
+class BitVector {
+public:
+    BitVector() = default;
+    explicit BitVector(std::size_t nbits, bool fill = false);
+
+    [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+    [[nodiscard]] bool empty() const noexcept { return nbits_ == 0; }
+
+    [[nodiscard]] bool get(std::size_t i) const;
+    void set(std::size_t i, bool v);
+    void flip(std::size_t i);
+
+    /// Append a single bit at the end.
+    void push_back(bool v);
+    /// Append the low `n` bits of `word` (LSB first).
+    void append_bits(std::uint64_t word, std::size_t n);
+    /// Read `n` bits starting at `pos` as an LSB-first word. n <= 64.
+    [[nodiscard]] std::uint64_t get_bits(std::size_t pos, std::size_t n) const;
+    /// Overwrite `n` bits starting at `pos` with the low bits of `word`.
+    void set_bits(std::size_t pos, std::uint64_t word, std::size_t n);
+
+    void resize(std::size_t nbits, bool fill = false);
+    void clear() noexcept;
+
+    [[nodiscard]] std::size_t count_ones() const noexcept;
+    /// True if every bit is zero.
+    [[nodiscard]] bool none() const noexcept;
+
+    /// CRC-32 (IEEE 802.3 polynomial) over the packed byte representation.
+    [[nodiscard]] std::uint32_t crc32() const noexcept;
+
+    /// "0101..." LSB-first rendering, for diagnostics.
+    [[nodiscard]] std::string to_string() const;
+
+    [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+    friend bool operator==(const BitVector& a, const BitVector& b) noexcept = default;
+
+private:
+    void mask_tail() noexcept;
+
+    std::size_t nbits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace afpga::base

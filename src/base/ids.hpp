@@ -1,0 +1,56 @@
+// Strongly-typed integer identifiers.
+//
+// Every object table in the code base (cells, nets, RR nodes, PLBs, ...)
+// indexes its elements with a distinct StrongId instantiation so that an
+// index into one table cannot silently be used against another.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace afpga::base {
+
+/// A type-safe wrapper around a 32-bit index.
+///
+/// `Tag` is any (possibly incomplete) type used purely to distinguish
+/// instantiations. The sentinel value (all ones) denotes "invalid".
+template <typename Tag>
+class StrongId {
+public:
+    using value_type = std::uint32_t;
+    static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+    constexpr StrongId() noexcept = default;
+    constexpr explicit StrongId(value_type v) noexcept : value_(v) {}
+    constexpr explicit StrongId(std::size_t v) noexcept : value_(static_cast<value_type>(v)) {}
+
+    [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+    [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+    /// Convenience for indexing std::vector without casts at call sites.
+    [[nodiscard]] constexpr std::size_t index() const noexcept { return value_; }
+
+    [[nodiscard]] static constexpr StrongId invalid() noexcept { return StrongId{}; }
+
+    friend constexpr bool operator==(StrongId a, StrongId b) noexcept = default;
+    friend constexpr auto operator<=>(StrongId a, StrongId b) noexcept = default;
+
+    friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+        if (!id.valid()) return os << "<invalid>";
+        return os << id.value();
+    }
+
+private:
+    value_type value_ = kInvalid;
+};
+
+}  // namespace afpga::base
+
+template <typename Tag>
+struct std::hash<afpga::base::StrongId<Tag>> {
+    std::size_t operator()(afpga::base::StrongId<Tag> id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value());
+    }
+};

@@ -1,0 +1,57 @@
+// Deterministic random number generation for CAD algorithms and test sweeps.
+//
+// All stochastic stages (placement, tie-breaking, workload generation) take an
+// explicit Rng so that a fixed seed reproduces the exact same bitstream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace afpga::base {
+
+/// splitmix64-seeded xoshiro256** generator.
+///
+/// Chosen over std::mt19937_64 for a compact, well-documented state that makes
+/// determinism across standard-library implementations trivial to guarantee.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0xA5F0'12D3'55AA'9E37ULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept;
+
+    /// Uniform 64-bit word.
+    std::uint64_t next() noexcept;
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) noexcept;
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept;
+
+    /// Bernoulli draw.
+    bool chance(double p) noexcept { return uniform() < p; }
+
+    /// Fisher–Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) noexcept {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(below(i));
+            using std::swap;
+            swap(v[i - 1], v[j]);
+        }
+    }
+
+    /// Pick a uniformly random element index; container must be non-empty.
+    template <typename T>
+    std::size_t pick_index(const std::vector<T>& v) noexcept {
+        return static_cast<std::size_t>(below(v.size()));
+    }
+
+private:
+    std::uint64_t s_[4] = {};
+};
+
+}  // namespace afpga::base

@@ -1,0 +1,28 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afpga::base {
+
+/// printf-style double formatting with fixed decimals.
+[[nodiscard]] std::string format_double(double v, int decimals);
+
+/// "12.3%" style percentage rendering of a ratio in [0,1].
+[[nodiscard]] std::string format_percent(double ratio, int decimals = 1);
+
+/// Join elements with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split on a single-character separator; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// name + "[" + i + "]" — the canonical bus-bit naming used by generators.
+[[nodiscard]] std::string bus_bit(std::string_view name, std::size_t i);
+
+}  // namespace afpga::base

@@ -1,0 +1,42 @@
+#include "base/table.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace afpga::base {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    check(!header_.empty(), "TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    check(row.size() == header_.size(), "TextTable: row arity mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size()) out += std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(header_, out);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out += std::string(total, '-');
+    out += '\n';
+    for (const auto& row : rows_) emit_row(row, out);
+    return out;
+}
+
+}  // namespace afpga::base

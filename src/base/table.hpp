@@ -1,0 +1,29 @@
+// Aligned text tables — the output format of every bench binary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace afpga::base {
+
+/// Builds a monospace table with a header row, auto-sized columns and an
+/// ASCII rule under the header; benches print these to reproduce the paper's
+/// tables/figure data as rows.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Append a data row; must have the same arity as the header.
+    void add_row(std::vector<std::string> row);
+
+    /// Render with columns padded to the widest cell.
+    [[nodiscard]] std::string render() const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace afpga::base

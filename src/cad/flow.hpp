@@ -1,0 +1,58 @@
+// The end-to-end CAD flow: gates -> LEs -> PLBs -> placement -> routing ->
+// configuration bitstream, plus the delay annotations and PDE solving that
+// asynchronous styles need.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "asynclib/styles.hpp"
+#include "cad/mapped.hpp"
+#include "cad/pack.hpp"
+#include "cad/place.hpp"
+#include "cad/route.hpp"
+#include "cad/techmap.hpp"
+#include "core/bitstream.hpp"
+#include "core/elaborate.hpp"
+#include "core/rrgraph.hpp"
+
+namespace afpga::cad {
+
+struct FlowOptions {
+    std::uint64_t seed = 1;
+    TechmapOptions techmap;
+    PackOptions pack;
+    PlaceOptions place;
+    RouterOptions route;
+    /// Extra relative margin applied to every PDE's required delay on top of
+    /// what the generator asked for, absorbing post-route wire delay
+    /// (abl_pde_resolution sweeps this).
+    double pde_extra_margin = 1.0;
+    /// Check every LE function against its source cone after mapping.
+    bool verify_mapping = true;
+};
+
+/// Everything the flow produced; enough to elaborate, simulate and report.
+struct FlowResult {
+    core::ArchSpec arch;
+    MappedDesign mapped;
+    PackedDesign packed;
+    Placement placement;
+    RoutingResult routing;
+    std::shared_ptr<core::RRGraph> rr;      ///< shared: benches reuse it
+    std::shared_ptr<core::Bitstream> bits;
+    std::unordered_map<std::uint32_t, std::string> pad_names;
+
+    /// Reconstruct the implemented netlist from the bitstream.
+    [[nodiscard]] core::ElaboratedDesign elaborate() const;
+};
+
+/// Run the full flow. Throws base::Error when the design cannot be
+/// implemented on `arch` (too many PLBs, unroutable, PDE out of range, ...).
+[[nodiscard]] FlowResult run_flow(const netlist::Netlist& nl,
+                                  const asynclib::MappingHints& hints,
+                                  const core::ArchSpec& arch, const FlowOptions& opts = {});
+
+}  // namespace afpga::cad

@@ -1,0 +1,83 @@
+// Data model of a technology-mapped design.
+//
+// Signals are identified by the NetIds of the SOURCE netlist throughout the
+// CAD flow (mapping never invents new logical signals; it only regroups the
+// logic that computes them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/truthtable.hpp"
+
+namespace afpga::cad {
+
+using netlist::NetId;
+using netlist::TruthTable;
+
+/// One LUT function destined for an LE half (<=6 inputs) or a whole LE
+/// (exactly 7 inputs through the O2 mux path).
+struct LeFunc {
+    TruthTable tt;               ///< over `inputs` (variable i = inputs[i])
+    std::vector<NetId> inputs;   ///< source-netlist signals (may include `output` itself)
+    NetId output;                ///< the signal this function produces
+    bool has_feedback = false;   ///< inputs contains output (memory element)
+};
+
+/// One Logic Element instance: either two paired halves (A/B) or one
+/// 7-input function, plus the optional LUT2 slot.
+struct LeInst {
+    std::optional<LeFunc> a;      ///< half A (O0)
+    std::optional<LeFunc> b;      ///< half B (O1)
+    std::optional<LeFunc> full7;  ///< whole-LE function (O2); exclusive with a/b
+    std::optional<LeFunc> lut2;   ///< validity slot (O3); inputs must be this LE's outputs
+
+    /// Signals this LE consumes from its input pins (union support, <= 7).
+    [[nodiscard]] std::vector<NetId> input_signals() const;
+    /// Signals this LE produces (1..3).
+    [[nodiscard]] std::vector<NetId> output_signals() const;
+    /// Which LE output slot (0..3) produces `signal`, or 4 if none.
+    [[nodiscard]] std::uint32_t output_slot(NetId signal) const;
+    /// Number of the four hardware outputs in use (filling-ratio numerator).
+    [[nodiscard]] std::uint32_t used_outputs() const;
+};
+
+/// One Programmable Delay Element instance (from a DELAY cell).
+struct PdeInst {
+    NetId input;
+    NetId output;
+    std::int64_t required_delay_ps = 0;
+};
+
+/// The mapped design.
+struct MappedDesign {
+    std::vector<LeInst> les;
+    std::vector<PdeInst> pdes;
+
+    /// Signals that are constants (folded CONST cells): signal -> value.
+    std::unordered_map<NetId, bool> constant_signals;
+    /// Canonical signal substitution produced by buffer folding.
+    std::unordered_map<NetId, NetId> canonical;
+
+    /// Source-netlist primary I/O after canonicalisation.
+    std::vector<std::pair<std::string, NetId>> primary_inputs;   // name, signal
+    std::vector<std::pair<std::string, NetId>> primary_outputs;  // name, signal
+
+    [[nodiscard]] NetId canon(NetId n) const {
+        auto it = canonical.find(n);
+        return it == canonical.end() ? n : it->second;
+    }
+
+    /// signal -> (le index, output slot) for LE-produced signals.
+    [[nodiscard]] std::unordered_map<NetId, std::pair<std::size_t, std::uint32_t>>
+    driver_index() const;
+
+    /// Totals for reporting.
+    [[nodiscard]] std::size_t num_le_functions() const;
+};
+
+}  // namespace afpga::cad

@@ -1,0 +1,194 @@
+#include "cad/pack.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/check.hpp"
+
+namespace afpga::cad {
+
+using base::check;
+
+namespace {
+
+void add_unique(std::vector<NetId>& v, NetId n) {
+    if (std::find(v.begin(), v.end(), n) == v.end()) v.push_back(n);
+}
+
+}  // namespace
+
+std::vector<NetId> Cluster::produced(const MappedDesign& md) const {
+    std::vector<NetId> out;
+    for (std::size_t li : le_indices)
+        for (NetId s : md.les[li].output_signals()) add_unique(out, s);
+    if (pde_index) add_unique(out, md.pdes[*pde_index].output);
+    return out;
+}
+
+std::vector<NetId> Cluster::external_inputs(const MappedDesign& md) const {
+    const std::vector<NetId> made = produced(md);
+    std::vector<NetId> in;
+    auto consider = [&](NetId s) {
+        if (std::find(made.begin(), made.end(), s) != made.end()) return;
+        if (md.constant_signals.count(s)) return;  // IM constants, not pins
+        add_unique(in, s);
+    };
+    for (std::size_t li : le_indices)
+        for (NetId s : md.les[li].input_signals()) consider(s);
+    if (pde_index) consider(md.pdes[*pde_index].input);
+    return in;
+}
+
+std::vector<NetId> Cluster::external_outputs(
+    const MappedDesign& md,
+    const std::unordered_map<NetId, std::vector<std::size_t>>& consumers_of,
+    const std::vector<std::size_t>& cluster_of_le, const std::vector<std::size_t>& cluster_of_pde,
+    std::size_t self_index) const {
+    (void)cluster_of_le;
+    (void)cluster_of_pde;
+    std::unordered_set<NetId> po_signals;
+    for (const auto& [name, s] : md.primary_outputs) po_signals.insert(s);
+    std::vector<NetId> out;
+    for (NetId s : produced(md)) {
+        const auto it = consumers_of.find(s);
+        bool external = po_signals.count(s) != 0;
+        if (it != consumers_of.end())
+            for (std::size_t c : it->second)
+                if (c != self_index) external = true;
+        if (external) add_unique(out, s);
+    }
+    return out;
+}
+
+std::unordered_map<NetId, std::vector<std::size_t>> PackedDesign::build_consumers(
+    const MappedDesign& md) const {
+    std::unordered_map<NetId, std::vector<std::size_t>> consumers;
+    auto add = [&consumers](NetId s, std::size_t cluster) {
+        auto& v = consumers[s];
+        if (std::find(v.begin(), v.end(), cluster) == v.end()) v.push_back(cluster);
+    };
+    for (std::size_t li = 0; li < md.les.size(); ++li)
+        for (NetId s : md.les[li].input_signals()) add(s, cluster_of_le[li]);
+    for (std::size_t pi = 0; pi < md.pdes.size(); ++pi)
+        add(md.pdes[pi].input, cluster_of_pde[pi]);
+    return consumers;
+}
+
+PackedDesign pack(const MappedDesign& md, const core::ArchSpec& arch, const PackOptions& opts) {
+    PackedDesign pd;
+    pd.cluster_of_le.assign(md.les.size(), SIZE_MAX);
+    pd.cluster_of_pde.assign(md.pdes.size(), SIZE_MAX);
+
+    // Consumers by signal over LE/PDE indices (for affinity and pin counting).
+    std::unordered_map<NetId, std::vector<std::size_t>> le_consumers;
+    for (std::size_t li = 0; li < md.les.size(); ++li)
+        for (NetId s : md.les[li].input_signals()) le_consumers[s].push_back(li);
+    std::unordered_set<NetId> po_signals;
+    for (const auto& [name, s] : md.primary_outputs) po_signals.insert(s);
+
+    auto cluster_legal = [&](const Cluster& c) {
+        if (c.le_indices.size() > arch.les_per_plb) return false;
+        if (c.external_inputs(md).size() > arch.plb_inputs) return false;
+        // Conservative output bound: count every produced signal that has any
+        // consumer or PO (a superset of what finally leaves the cluster).
+        std::size_t outs = 0;
+        for (NetId s : c.produced(md)) {
+            bool needed = po_signals.count(s) != 0;
+            const auto it = le_consumers.find(s);
+            if (it != le_consumers.end()) {
+                for (std::size_t li : it->second)
+                    if (std::find(c.le_indices.begin(), c.le_indices.end(), li) ==
+                        c.le_indices.end())
+                        needed = true;
+            }
+            for (const PdeInst& p : md.pdes)
+                if (p.input == s) needed = true;  // refined after PDE attach
+            if (needed) ++outs;
+        }
+        return outs <= arch.plb_outputs;
+    };
+
+    auto affinity = [&](const Cluster& c, std::size_t li) {
+        std::size_t shared = 0;
+        const auto c_in = c.external_inputs(md);
+        const auto c_made = c.produced(md);
+        for (NetId s : md.les[li].input_signals()) {
+            if (std::find(c_in.begin(), c_in.end(), s) != c_in.end()) ++shared;
+            if (std::find(c_made.begin(), c_made.end(), s) != c_made.end()) shared += 2;
+        }
+        for (NetId s : md.les[li].output_signals()) {
+            if (std::find(c_in.begin(), c_in.end(), s) != c_in.end()) shared += 2;
+        }
+        return shared;
+    };
+
+    std::vector<bool> assigned(md.les.size(), false);
+    for (std::size_t seed = 0; seed < md.les.size(); ++seed) {
+        if (assigned[seed]) continue;
+        Cluster c;
+        c.le_indices.push_back(seed);
+        assigned[seed] = true;
+        check(cluster_legal(c), "pack: single LE exceeds PLB pin budget");
+        while (c.le_indices.size() < arch.les_per_plb) {
+            std::size_t best = SIZE_MAX;
+            std::size_t best_aff = 0;
+            for (std::size_t li = 0; li < md.les.size(); ++li) {
+                if (assigned[li]) continue;
+                if (!opts.affinity_clustering) {
+                    best = li;  // first-fit
+                    break;
+                }
+                const std::size_t aff = 1 + affinity(c, li);
+                if (aff > best_aff) {
+                    Cluster trial = c;
+                    trial.le_indices.push_back(li);
+                    if (!cluster_legal(trial)) continue;
+                    best_aff = aff;
+                    best = li;
+                }
+            }
+            if (best == SIZE_MAX) break;
+            Cluster trial = c;
+            trial.le_indices.push_back(best);
+            if (!cluster_legal(trial)) break;
+            c = std::move(trial);
+            assigned[best] = true;
+        }
+        for (std::size_t li : c.le_indices) pd.cluster_of_le[li] = pd.clusters.size();
+        pd.clusters.push_back(std::move(c));
+    }
+
+    // Attach PDEs: prefer the cluster producing the PDE's input signal, then
+    // any cluster consuming its output, then a fresh cluster.
+    for (std::size_t pi = 0; pi < md.pdes.size(); ++pi) {
+        const PdeInst& p = md.pdes[pi];
+        std::size_t chosen = SIZE_MAX;
+        for (std::size_t ci = 0; ci < pd.clusters.size() && chosen == SIZE_MAX; ++ci) {
+            if (pd.clusters[ci].pde_index) continue;
+            const auto made = pd.clusters[ci].produced(md);
+            if (std::find(made.begin(), made.end(), p.input) != made.end()) {
+                Cluster trial = pd.clusters[ci];
+                trial.pde_index = pi;
+                if (trial.external_inputs(md).size() <= arch.plb_inputs) chosen = ci;
+            }
+        }
+        for (std::size_t ci = 0; ci < pd.clusters.size() && chosen == SIZE_MAX; ++ci) {
+            if (pd.clusters[ci].pde_index) continue;
+            Cluster trial = pd.clusters[ci];
+            trial.pde_index = pi;
+            if (trial.external_inputs(md).size() <= arch.plb_inputs) chosen = ci;
+        }
+        if (chosen == SIZE_MAX) {
+            Cluster c;
+            c.pde_index = pi;
+            chosen = pd.clusters.size();
+            pd.clusters.push_back(std::move(c));
+        } else {
+            pd.clusters[chosen].pde_index = pi;
+        }
+        pd.cluster_of_pde[pi] = chosen;
+    }
+    return pd;
+}
+
+}  // namespace afpga::cad

@@ -1,0 +1,52 @@
+// Packing: group LE instances (and at most one PDE) into PLB-sized clusters
+// under the PLB pin budget, maximising shared signals so the IM (not the
+// global routing network) carries as much connectivity as possible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cad/mapped.hpp"
+#include "core/archspec.hpp"
+
+namespace afpga::cad {
+
+/// One PLB worth of logic.
+struct Cluster {
+    std::vector<std::size_t> le_indices;   ///< into MappedDesign::les (<= les_per_plb)
+    std::optional<std::size_t> pde_index;  ///< into MappedDesign::pdes
+
+    /// Signals entering the cluster through PLB input pins.
+    [[nodiscard]] std::vector<NetId> external_inputs(const MappedDesign& md) const;
+    /// Signals produced here that someone outside consumes (incl. POs).
+    [[nodiscard]] std::vector<NetId> external_outputs(
+        const MappedDesign& md,
+        const std::unordered_map<NetId, std::vector<std::size_t>>& consumers_of,
+        const std::vector<std::size_t>& cluster_of_le,
+        const std::vector<std::size_t>& cluster_of_pde, std::size_t self_index) const;
+    /// All signals produced inside (whether exported or not).
+    [[nodiscard]] std::vector<NetId> produced(const MappedDesign& md) const;
+};
+
+struct PackedDesign {
+    std::vector<Cluster> clusters;
+    std::vector<std::size_t> cluster_of_le;   ///< le index -> cluster index
+    std::vector<std::size_t> cluster_of_pde;  ///< pde index -> cluster index
+
+    /// signal -> clusters that consume it (deduplicated).
+    [[nodiscard]] std::unordered_map<NetId, std::vector<std::size_t>> build_consumers(
+        const MappedDesign& md) const;
+};
+
+struct PackOptions {
+    bool affinity_clustering = true;  ///< ablation: false = first-fit order
+};
+
+/// Throws base::Error if a single LE exceeds the PLB pin budget (cannot
+/// happen with the default architecture) or the design needs more PLBs than
+/// exist in `arch` is NOT checked here (the placer owns that check).
+[[nodiscard]] PackedDesign pack(const MappedDesign& md, const core::ArchSpec& arch,
+                                const PackOptions& opts = {});
+
+}  // namespace afpga::cad

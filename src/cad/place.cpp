@@ -1,0 +1,370 @@
+#include "cad/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.hpp"
+#include "base/rng.hpp"
+
+namespace afpga::cad {
+
+using base::check;
+using core::PlbCoord;
+
+namespace {
+
+/// A movable object: a cluster or an I/O signal bound to a pad.
+struct Entity {
+    enum class Kind : std::uint8_t { Cluster, Pi, Po } kind;
+    std::size_t index;  // cluster index, or index into pi/po lists
+};
+
+struct Pt {
+    double x;
+    double y;
+};
+
+/// One logical connection for wirelength: driver + sinks as entity ids.
+struct PlNet {
+    std::vector<std::size_t> entities;  // indices into the entity table
+};
+
+struct State {
+    const core::ArchSpec* arch;
+    core::FabricGeometry geom;
+    std::vector<Entity> entities;
+    std::vector<PlNet> nets;
+    std::vector<std::vector<std::size_t>> nets_of_entity;
+
+    // positions
+    std::vector<PlbCoord> cluster_loc;
+    std::vector<std::uint32_t> pad_of_io;  // per Pi/Po entity order (see io_slot)
+    std::vector<std::size_t> io_entity_ids;
+
+    // occupancy
+    std::vector<std::size_t> grid;  // (x + y*W) -> entity id + 1, 0 = empty
+    std::vector<std::size_t> pad_owner;  // pad -> io slot + 1
+
+    explicit State(const core::ArchSpec& a) : arch(&a), geom(a) {}
+
+    [[nodiscard]] Pt position(std::size_t eid) const {
+        const Entity& e = entities[eid];
+        if (e.kind == Entity::Kind::Cluster) {
+            const PlbCoord c = cluster_loc[e.index];
+            return {c.x + 1.0, c.y + 1.0};
+        }
+        const std::uint32_t pad = pad_of_io[io_slot(eid)];
+        const core::IobCoord io = geom.pad_iob(pad);
+        switch (io.side) {
+            case core::Side::Bottom: return {io.offset + 1.0, 0.0};
+            case core::Side::Top: return {io.offset + 1.0, arch->height + 1.0};
+            case core::Side::Left: return {0.0, io.offset + 1.0};
+            case core::Side::Right: return {arch->width + 1.0, io.offset + 1.0};
+        }
+        return {0, 0};
+    }
+
+    [[nodiscard]] std::size_t io_slot(std::size_t eid) const {
+        // io entities are appended after clusters in order; slot = position.
+        const auto it = std::find(io_entity_ids.begin(), io_entity_ids.end(), eid);
+        return static_cast<std::size_t>(it - io_entity_ids.begin());
+    }
+
+    [[nodiscard]] double net_cost(const PlNet& n) const {
+        double xmin = 1e18;
+        double xmax = -1e18;
+        double ymin = 1e18;
+        double ymax = -1e18;
+        for (std::size_t eid : n.entities) {
+            const Pt p = position(eid);
+            xmin = std::min(xmin, p.x);
+            xmax = std::max(xmax, p.x);
+            ymin = std::min(ymin, p.y);
+            ymax = std::max(ymax, p.y);
+        }
+        return (xmax - xmin) + (ymax - ymin);
+    }
+
+    [[nodiscard]] double cost_of(const std::vector<std::size_t>& net_ids) const {
+        double c = 0;
+        for (std::size_t ni : net_ids) c += net_cost(nets[ni]);
+        return c;
+    }
+};
+
+}  // namespace
+
+Placement place(const PackedDesign& pd, const MappedDesign& md, const core::ArchSpec& arch,
+                const PlaceOptions& opts) {
+    arch.validate();
+    State st(arch);
+    const std::uint32_t W = arch.width;
+    const std::uint32_t H = arch.height;
+    check(pd.clusters.size() <= std::size_t{W} * H,
+          "place: design needs " + std::to_string(pd.clusters.size()) + " PLBs but fabric has " +
+              std::to_string(W * H));
+    check(md.primary_inputs.size() + md.primary_outputs.size() <= st.geom.num_pads(),
+          "place: not enough I/O pads");
+
+    // --- entity table ---------------------------------------------------------
+    for (std::size_t ci = 0; ci < pd.clusters.size(); ++ci)
+        st.entities.push_back({Entity::Kind::Cluster, ci});
+    for (std::size_t i = 0; i < md.primary_inputs.size(); ++i) {
+        st.io_entity_ids.push_back(st.entities.size());
+        st.entities.push_back({Entity::Kind::Pi, i});
+    }
+    for (std::size_t i = 0; i < md.primary_outputs.size(); ++i) {
+        st.io_entity_ids.push_back(st.entities.size());
+        st.entities.push_back({Entity::Kind::Po, i});
+    }
+
+    // --- nets ------------------------------------------------------------------
+    const auto consumers = pd.build_consumers(md);
+    std::unordered_map<NetId, std::size_t> pi_entity;  // signal -> entity
+    for (std::size_t i = 0; i < md.primary_inputs.size(); ++i)
+        pi_entity[md.primary_inputs[i].second] = pd.clusters.size() + i;
+    std::unordered_map<NetId, std::vector<std::size_t>> po_entities;
+    for (std::size_t i = 0; i < md.primary_outputs.size(); ++i)
+        po_entities[md.primary_outputs[i].second].push_back(pd.clusters.size() +
+                                                            md.primary_inputs.size() + i);
+    std::unordered_map<NetId, std::size_t> producer_cluster;
+    for (std::size_t ci = 0; ci < pd.clusters.size(); ++ci)
+        for (NetId s : pd.clusters[ci].produced(md)) producer_cluster[s] = ci;
+
+    std::unordered_map<NetId, PlNet> net_by_signal;
+    auto net_for = [&](NetId s) -> PlNet& { return net_by_signal[s]; };
+    for (const auto& [s, clist] : consumers) {
+        PlNet& n = net_for(s);
+        for (std::size_t c : clist)
+            if (std::find(n.entities.begin(), n.entities.end(), c) == n.entities.end())
+                n.entities.push_back(c);
+    }
+    for (const auto& [s, ents] : po_entities)
+        for (std::size_t e : ents) net_for(s).entities.push_back(e);
+    for (auto& [s, n] : net_by_signal) {
+        if (md.constant_signals.count(s)) {
+            n.entities.clear();  // constants are materialised inside the IM
+            continue;
+        }
+        const auto pit = pi_entity.find(s);
+        if (pit != pi_entity.end()) {
+            n.entities.push_back(pit->second);
+        } else {
+            const auto dit = producer_cluster.find(s);
+            check(dit != producer_cluster.end(), "place: undriven signal in netlist");
+            if (std::find(n.entities.begin(), n.entities.end(), dit->second) ==
+                n.entities.end())
+                n.entities.push_back(dit->second);
+        }
+    }
+    for (auto& [s, n] : net_by_signal)
+        if (n.entities.size() >= 2) st.nets.push_back(std::move(n));
+    st.nets_of_entity.assign(st.entities.size(), {});
+    for (std::size_t ni = 0; ni < st.nets.size(); ++ni)
+        for (std::size_t eid : st.nets[ni].entities) st.nets_of_entity[eid].push_back(ni);
+
+    // --- initial placement ------------------------------------------------------
+    base::Rng rng(opts.seed);
+    st.cluster_loc.resize(pd.clusters.size());
+    st.grid.assign(std::size_t{W} * H, 0);
+    {
+        std::vector<std::uint32_t> cells(W * H);
+        for (std::uint32_t i = 0; i < W * H; ++i) cells[i] = i;
+        rng.shuffle(cells);
+        for (std::size_t ci = 0; ci < pd.clusters.size(); ++ci) {
+            st.cluster_loc[ci] = {cells[ci] % W, cells[ci] / W};
+            st.grid[cells[ci]] = ci + 1;
+        }
+    }
+    st.pad_of_io.resize(st.io_entity_ids.size());
+    st.pad_owner.assign(st.geom.num_pads(), 0);
+    {
+        std::vector<std::uint32_t> pads(st.geom.num_pads());
+        for (std::uint32_t i = 0; i < pads.size(); ++i) pads[i] = i;
+        rng.shuffle(pads);
+        for (std::size_t i = 0; i < st.io_entity_ids.size(); ++i) {
+            st.pad_of_io[i] = pads[i];
+            st.pad_owner[pads[i]] = i + 1;
+        }
+    }
+
+    double cost = 0;
+    for (const PlNet& n : st.nets) cost += st.net_cost(n);
+
+    Placement result;
+
+    // --- annealing ---------------------------------------------------------------
+    auto try_move = [&](double temperature, bool commit_stats) -> double {
+        // Returns the applied delta (0 if rejected).
+        const bool move_cluster =
+            st.io_entity_ids.empty() ||
+            (!pd.clusters.empty() && rng.chance(0.7));
+        if (move_cluster && pd.clusters.empty()) return 0;
+        if (commit_stats) ++result.moves_tried;
+
+        if (move_cluster) {
+            const std::size_t ci = static_cast<std::size_t>(rng.below(pd.clusters.size()));
+            const std::uint32_t cell = static_cast<std::uint32_t>(rng.below(W * H));
+            const PlbCoord to{cell % W, cell / W};
+            const PlbCoord from = st.cluster_loc[ci];
+            if (to == from) return 0;
+            const std::size_t other = st.grid[cell];  // entity id + 1 (cluster only)
+            std::vector<std::size_t> affected = st.nets_of_entity[ci];
+            if (other)
+                for (std::size_t ni : st.nets_of_entity[other - 1]) affected.push_back(ni);
+            std::sort(affected.begin(), affected.end());
+            affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+            const double before = st.cost_of(affected);
+            st.cluster_loc[ci] = to;
+            st.grid[cell] = ci + 1;
+            st.grid[from.y * W + from.x] = other;
+            if (other) st.cluster_loc[other - 1] = from;
+            const double after = st.cost_of(affected);
+            const double delta = after - before;
+            if (delta <= 0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9))) {
+                if (commit_stats) ++result.moves_accepted;
+                return delta;
+            }
+            st.cluster_loc[ci] = from;
+            st.grid[from.y * W + from.x] = ci + 1;
+            st.grid[cell] = other;
+            if (other) st.cluster_loc[other - 1] = to;
+            return 0;
+        }
+        const std::size_t slot = static_cast<std::size_t>(rng.below(st.io_entity_ids.size()));
+        const std::uint32_t to_pad = static_cast<std::uint32_t>(rng.below(st.geom.num_pads()));
+        const std::uint32_t from_pad = st.pad_of_io[slot];
+        if (to_pad == from_pad) return 0;
+        const std::size_t other = st.pad_owner[to_pad];
+        const std::size_t eid = st.io_entity_ids[slot];
+        std::vector<std::size_t> affected = st.nets_of_entity[eid];
+        if (other)
+            for (std::size_t ni : st.nets_of_entity[st.io_entity_ids[other - 1]])
+                affected.push_back(ni);
+        std::sort(affected.begin(), affected.end());
+        affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+        const double before = st.cost_of(affected);
+        st.pad_of_io[slot] = to_pad;
+        st.pad_owner[to_pad] = slot + 1;
+        st.pad_owner[from_pad] = other;
+        if (other) st.pad_of_io[other - 1] = from_pad;
+        const double after = st.cost_of(affected);
+        const double delta = after - before;
+        if (delta <= 0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9))) {
+            if (commit_stats) ++result.moves_accepted;
+            return delta;
+        }
+        st.pad_of_io[slot] = from_pad;
+        st.pad_owner[from_pad] = slot + 1;
+        st.pad_owner[to_pad] = other;
+        if (other) st.pad_of_io[other - 1] = to_pad;
+        return 0;
+    };
+
+    if (opts.anneal && !st.nets.empty()) {
+        // Initial temperature: accept-everything probe (VPR's 20*sigma rule).
+        std::vector<double> deltas;
+        for (int i = 0; i < 100; ++i) {
+            const double d = try_move(1e18, false);
+            deltas.push_back(d);
+        }
+        double mean = 0;
+        for (double d : deltas) mean += d;
+        mean /= static_cast<double>(deltas.size());
+        double var = 0;
+        for (double d : deltas) var += (d - mean) * (d - mean);
+        var /= static_cast<double>(deltas.size());
+        double temperature = std::max(1.0, 20.0 * std::sqrt(var));
+
+        const std::size_t n_ent = st.entities.size();
+        const auto moves_per_temp = static_cast<std::size_t>(
+            std::max(16.0, opts.moves_scale * std::pow(static_cast<double>(n_ent), 4.0 / 3.0)));
+        // Recompute cost (probe moves changed the state).
+        cost = 0;
+        for (const PlNet& n : st.nets) cost += st.net_cost(n);
+
+        for (int round = 0; round < 300; ++round) {
+            for (std::size_t m = 0; m < moves_per_temp; ++m) cost += try_move(temperature, true);
+            temperature *= opts.alpha;
+            if (temperature < 0.005 * std::max(cost, 1.0) / static_cast<double>(st.nets.size()))
+                break;
+        }
+    }
+
+    // --- export -------------------------------------------------------------------
+    result.cluster_loc = st.cluster_loc;
+    for (std::size_t i = 0; i < md.primary_inputs.size(); ++i)
+        result.pi_pad[md.primary_inputs[i].first] = st.pad_of_io[i];
+    for (std::size_t i = 0; i < md.primary_outputs.size(); ++i)
+        result.po_pad[md.primary_outputs[i].first] =
+            st.pad_of_io[md.primary_inputs.size() + i];
+    double final_cost = 0;
+    for (const PlNet& n : st.nets) final_cost += st.net_cost(n);
+    result.final_cost = final_cost;
+    return result;
+}
+
+double placement_wirelength(const PackedDesign& pd, const MappedDesign& md,
+                            const core::ArchSpec& arch, const Placement& pl) {
+    // Rebuild the cost exactly as place() does, for reporting.
+    PlaceOptions opts;
+    opts.anneal = false;
+    (void)opts;
+    // Cheap recomputation: reuse place's machinery is awkward; compute HPWL
+    // directly over signals here.
+    const auto consumers = pd.build_consumers(md);
+    core::FabricGeometry geom(arch);
+    auto pad_pt = [&](std::uint32_t pad) {
+        const core::IobCoord io = geom.pad_iob(pad);
+        switch (io.side) {
+            case core::Side::Bottom: return std::pair<double, double>{io.offset + 1.0, 0.0};
+            case core::Side::Top:
+                return std::pair<double, double>{io.offset + 1.0, arch.height + 1.0};
+            case core::Side::Left: return std::pair<double, double>{0.0, io.offset + 1.0};
+            case core::Side::Right:
+                return std::pair<double, double>{arch.width + 1.0, io.offset + 1.0};
+        }
+        return std::pair<double, double>{0, 0};
+    };
+    std::unordered_map<NetId, std::size_t> producer_cluster;
+    for (std::size_t ci = 0; ci < pd.clusters.size(); ++ci)
+        for (NetId s : pd.clusters[ci].produced(md)) producer_cluster[s] = ci;
+    std::unordered_map<NetId, std::string> pi_name;
+    for (const auto& [name, s] : md.primary_inputs) pi_name[s] = name;
+
+    double total = 0;
+    std::unordered_map<NetId, std::vector<std::pair<double, double>>> pts;
+    for (const auto& [s, clist] : consumers) {
+        auto& v = pts[s];
+        for (std::size_t c : clist)
+            v.emplace_back(pl.cluster_loc[c].x + 1.0, pl.cluster_loc[c].y + 1.0);
+    }
+    for (const auto& [name, s] : md.primary_outputs) pts[s].push_back(pad_pt(pl.po_pad.at(name)));
+    for (auto& [s, v] : pts) {
+        if (md.constant_signals.count(s)) continue;
+        const auto pit = pi_name.find(s);
+        if (pit != pi_name.end()) {
+            v.push_back(pad_pt(pl.pi_pad.at(pit->second)));
+        } else {
+            const auto dit = producer_cluster.find(s);
+            if (dit != producer_cluster.end())
+                v.emplace_back(pl.cluster_loc[dit->second].x + 1.0,
+                               pl.cluster_loc[dit->second].y + 1.0);
+        }
+        if (v.size() < 2) continue;
+        double xmin = 1e18;
+        double xmax = -1e18;
+        double ymin = 1e18;
+        double ymax = -1e18;
+        for (auto [x, y] : v) {
+            xmin = std::min(xmin, x);
+            xmax = std::max(xmax, x);
+            ymin = std::min(ymin, y);
+            ymax = std::max(ymax, y);
+        }
+        total += (xmax - xmin) + (ymax - ymin);
+    }
+    return total;
+}
+
+}  // namespace afpga::cad

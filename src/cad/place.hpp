@@ -1,0 +1,40 @@
+// Placement: simulated annealing over PLB locations and I/O pad assignment
+// (VPR-style adaptive schedule, half-perimeter wirelength cost).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cad/pack.hpp"
+#include "core/fabric.hpp"
+
+namespace afpga::cad {
+
+struct Placement {
+    std::vector<core::PlbCoord> cluster_loc;           ///< per cluster
+    std::unordered_map<std::string, std::uint32_t> pi_pad;  ///< PI name -> pad
+    std::unordered_map<std::string, std::uint32_t> po_pad;  ///< PO name -> pad
+    double final_cost = 0.0;
+    std::uint64_t moves_tried = 0;
+    std::uint64_t moves_accepted = 0;
+};
+
+struct PlaceOptions {
+    std::uint64_t seed = 1;
+    double alpha = 0.9;            ///< temperature decay
+    double moves_scale = 10.0;     ///< moves per temperature ~ scale * n^(4/3)
+    bool anneal = true;            ///< false: keep the seeded random placement
+};
+
+/// Throws base::Error if the design does not fit (clusters > W*H or I/Os >
+/// pads).
+[[nodiscard]] Placement place(const PackedDesign& pd, const MappedDesign& md,
+                              const core::ArchSpec& arch, const PlaceOptions& opts = {});
+
+/// Total half-perimeter wirelength of a placement (reported by benches).
+[[nodiscard]] double placement_wirelength(const PackedDesign& pd, const MappedDesign& md,
+                                          const core::ArchSpec& arch, const Placement& pl);
+
+}  // namespace afpga::cad

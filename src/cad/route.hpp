@@ -1,0 +1,73 @@
+// Routing: PathFinder negotiated-congestion routing over the RR graph with
+// an A* lookahead.
+//
+// Two architecture-specific twists:
+//  - sources are pin-equivalent: a net driven by a PLB may leave through ANY
+//    free output pin (the IM connects any LE output to any output pin), so
+//    the wavefront is seeded from all of the PLB's opins and the winning pin
+//    is reported back to the flow;
+//  - sinks are pin-equivalent per PLB: a net needs to reach ONE input pin of
+//    each consumer PLB (the IM fans it out internally).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rrgraph.hpp"
+#include "netlist/netlist.hpp"
+
+namespace afpga::cad {
+
+/// One net to route.
+struct RouteRequest {
+    netlist::NetId signal;  ///< for diagnostics
+    bool src_is_pad = false;
+    std::uint32_t src_pad = 0;       ///< if src_is_pad
+    core::PlbCoord src_plb;          ///< else
+    /// PLB output pins the net may leave through (empty = all). The flow
+    /// restricts this when the IM topology cannot connect the signal's
+    /// source to every output-pin sink.
+    std::vector<std::uint32_t> allowed_src_pins;
+    struct Sink {
+        bool is_pad = false;
+        std::uint32_t pad = 0;
+        core::PlbCoord plb;
+    };
+    std::vector<Sink> sinks;  ///< deduplicated per PLB by the caller
+};
+
+/// Routed tree of one net.
+struct RouteTree {
+    std::uint32_t root_opin = UINT32_MAX;    ///< chosen source node
+    std::vector<std::uint32_t> edges;        ///< RR edge ids in use
+    struct SinkResult {
+        std::uint32_t ipin = UINT32_MAX;
+        std::int64_t delay_ps = 0;           ///< node-delay sum root..ipin
+    };
+    std::vector<SinkResult> sinks;           ///< parallel to RouteRequest::sinks
+};
+
+struct RouterOptions {
+    int max_iterations = 40;
+    double pres_fac_first = 0.6;
+    double pres_fac_mult = 1.7;
+    double hist_fac = 1.0;
+    double astar_fac = 1.0;  ///< 0 = pure Dijkstra
+    bool verbose = false;    ///< print per-iteration congestion to stderr
+};
+
+struct RoutingResult {
+    std::vector<RouteTree> trees;  ///< parallel to requests
+    int iterations = 0;
+    bool success = false;
+    std::size_t overused_nodes = 0;  ///< after the last iteration
+    /// On failure: human-readable description of the conflicting resources.
+    std::vector<std::string> overuse_report;
+};
+
+/// Route all requests. Throws base::Error only on malformed requests;
+/// congestion failure is reported via RoutingResult::success.
+[[nodiscard]] RoutingResult route(const core::RRGraph& rr, const std::vector<RouteRequest>& reqs,
+                                  const RouterOptions& opts = {});
+
+}  // namespace afpga::cad

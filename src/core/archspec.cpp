@@ -1,0 +1,100 @@
+#include "core/archspec.hpp"
+
+#include <bit>
+
+#include "base/check.hpp"
+
+namespace afpga::core {
+
+using base::check;
+
+std::string to_string(ImTopology t) {
+    switch (t) {
+        case ImTopology::FullCrossbar: return "full-crossbar";
+        case ImTopology::Sparse50: return "sparse-50";
+        case ImTopology::Sparse25: return "sparse-25";
+        case ImTopology::NoFeedback: return "no-feedback";
+    }
+    return "?";
+}
+
+bool ArchSpec::im_connects(std::uint32_t source, std::uint32_t sink) const noexcept {
+    if (source >= im_num_sources() || sink >= im_num_sinks()) return false;
+    // Constants are always reachable (needed to tie off unused inputs).
+    const bool is_const = source == im_src_const0() || source == im_src_const1();
+    switch (im_topology) {
+        case ImTopology::FullCrossbar: return true;
+        case ImTopology::Sparse50:
+            return is_const || ((source + sink) % 2 == 0);
+        case ImTopology::Sparse25:
+            return is_const || ((source + sink) % 4 == 0);
+        case ImTopology::NoFeedback: {
+            const bool src_is_le = source >= plb_inputs && source < im_src_pde_out();
+            const bool sink_is_le_input = sink < les_per_plb * le_inputs;
+            return !(src_is_le && sink_is_le_input);
+        }
+    }
+    return true;
+}
+
+std::size_t ArchSpec::im_select_bits() const noexcept {
+    std::size_t bits = 1;
+    while ((1u << bits) < im_num_sources() + 1) ++bits;  // +1 for "unused"
+    return bits;
+}
+
+std::size_t ArchSpec::pde_tap_bits() const noexcept {
+    std::size_t bits = 1;
+    while ((1u << bits) < pde_taps) ++bits;
+    return bits;
+}
+
+std::size_t ArchSpec::plb_config_bits() const noexcept {
+    // Per LE: two LUT6 tables + LUT2 table + two 2-bit output selects.
+    const std::size_t le_bits = 64 + 64 + 4 + 2 + 2;
+    return les_per_plb * le_bits + im_num_sinks() * im_select_bits() + pde_tap_bits();
+}
+
+void ArchSpec::validate() const {
+    check(width >= 1 && height >= 1, "ArchSpec: empty array");
+    check(channel_width >= 2, "ArchSpec: channel too narrow");
+    check(fc_in > 0.0 && fc_in <= 1.0 && fc_out > 0.0 && fc_out <= 1.0, "ArchSpec: bad Fc");
+    check(le_inputs == 7, "ArchSpec: the LE model is fixed at 7 inputs (LUT7-3)");
+    check(les_per_plb >= 1 && les_per_plb <= 4, "ArchSpec: 1..4 LEs per PLB");
+    check(plb_inputs >= le_inputs, "ArchSpec: PLB must expose at least one LE's inputs");
+    check(plb_outputs >= les_per_plb, "ArchSpec: at least one output pin per LE");
+    check(pde_taps >= 2 && pde_taps <= 64, "ArchSpec: 2..64 PDE taps");
+    check(pde_quantum_ps > 0, "ArchSpec: PDE quantum must be positive");
+    check(pads_per_iob >= 1, "ArchSpec: need at least one pad per IOB");
+}
+
+std::uint64_t ArchSpec::fingerprint() const noexcept {
+    auto mix = [](std::uint64_t h, std::uint64_t v) {
+        h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+        return h;
+    };
+    std::uint64_t h = 0xA55A'FEED'0123'4567ULL;
+    h = mix(h, width);
+    h = mix(h, height);
+    h = mix(h, channel_width);
+    h = mix(h, static_cast<std::uint64_t>(fc_in * 1000));
+    h = mix(h, static_cast<std::uint64_t>(fc_out * 1000));
+    h = mix(h, pads_per_iob);
+    h = mix(h, plb_inputs);
+    h = mix(h, plb_outputs);
+    h = mix(h, les_per_plb);
+    h = mix(h, static_cast<std::uint64_t>(im_topology));
+    h = mix(h, le_inputs);
+    h = mix(h, pde_taps);
+    h = mix(h, static_cast<std::uint64_t>(pde_quantum_ps));
+    h = mix(h, static_cast<std::uint64_t>(lut_delay_ps));
+    h = mix(h, static_cast<std::uint64_t>(lut2_delay_ps));
+    h = mix(h, static_cast<std::uint64_t>(im_delay_ps));
+    h = mix(h, static_cast<std::uint64_t>(wire_delay_ps));
+    h = mix(h, static_cast<std::uint64_t>(pin_delay_ps));
+    return h;
+}
+
+ArchSpec paper_arch() { return ArchSpec{}; }
+
+}  // namespace afpga::core

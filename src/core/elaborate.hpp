@@ -1,0 +1,59 @@
+// Fabric elaboration: decode a configuration bitstream back into a flat,
+// simulatable gate-level netlist with wire delays.
+//
+// This is the fidelity anchor of the reproduction: the CAD flow writes a
+// bitstream; elaborate() reconstructs the implemented circuit FROM THE BITS
+// ALONE (LE truth tables, IM selects, PDE taps, enabled routing switches) and
+// the test suite checks that this reconstruction behaves exactly like the
+// original source netlist under token simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bitstream.hpp"
+#include "core/rrgraph.hpp"
+#include "netlist/netlist.hpp"
+
+namespace afpga::core {
+
+/// Extra wire delay to apply to one cell input (resolved against the
+/// elaborated netlist; sim::Simulator consumes these via set_sink_delay).
+struct SinkDelayAnnotation {
+    netlist::CellId cell;
+    std::uint32_t pin = 0;
+    std::int64_t delay_ps = 0;
+};
+
+/// The reconstructed circuit.
+struct ElaboratedDesign {
+    netlist::Netlist nl;
+    std::vector<SinkDelayAnnotation> wire_delays;
+    /// pad index -> PI net (input pads) — PIs are also in nl.primary_inputs().
+    std::unordered_map<std::uint32_t, netlist::NetId> pad_to_pi;
+    /// pad index -> PO name (output pads).
+    std::unordered_map<std::uint32_t, std::string> pad_to_po;
+
+    /// Apply wire_delays to a simulator built on `nl`.
+    void annotate(class sim_applier&) = delete;  // see apply_wire_delays below
+};
+
+/// Resolve the annotations into (net, sink index, delay) triples suitable for
+/// Simulator::set_sink_delay.
+struct ResolvedSinkDelay {
+    netlist::NetId net;
+    std::size_t sink_idx = 0;
+    std::int64_t delay_ps = 0;
+};
+[[nodiscard]] std::vector<ResolvedSinkDelay> resolve_wire_delays(const ElaboratedDesign& d);
+
+/// Decode `bits` against the fabric `rr` describes. `pad_names` optionally
+/// assigns user names to pads (pad index -> name); unnamed pads get
+/// geometry-derived names.
+[[nodiscard]] ElaboratedDesign elaborate(const RRGraph& rr, const Bitstream& bits,
+                                         const std::unordered_map<std::uint32_t, std::string>&
+                                             pad_names = {});
+
+}  // namespace afpga::core

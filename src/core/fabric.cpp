@@ -1,0 +1,76 @@
+#include "core/fabric.hpp"
+
+#include "base/check.hpp"
+
+namespace afpga::core {
+
+using base::check;
+
+std::string to_string(Side s) {
+    switch (s) {
+        case Side::Bottom: return "bottom";
+        case Side::Right: return "right";
+        case Side::Top: return "top";
+        case Side::Left: return "left";
+    }
+    return "?";
+}
+
+std::uint32_t FabricGeometry::iob_index(IobCoord c) const {
+    switch (c.side) {
+        case Side::Bottom:
+            check(c.offset < arch_.width, "iob_index: bottom offset out of range");
+            return c.offset;
+        case Side::Top:
+            check(c.offset < arch_.width, "iob_index: top offset out of range");
+            return arch_.width + c.offset;
+        case Side::Left:
+            check(c.offset < arch_.height, "iob_index: left offset out of range");
+            return 2 * arch_.width + c.offset;
+        case Side::Right:
+            check(c.offset < arch_.height, "iob_index: right offset out of range");
+            return 2 * arch_.width + arch_.height + c.offset;
+    }
+    base::fail("iob_index: bad side");
+}
+
+IobCoord FabricGeometry::iob_coord(std::uint32_t index) const {
+    check(index < num_iobs(), "iob_coord: out of range");
+    if (index < arch_.width) return {Side::Bottom, index};
+    index -= arch_.width;
+    if (index < arch_.width) return {Side::Top, index};
+    index -= arch_.width;
+    if (index < arch_.height) return {Side::Left, index};
+    index -= arch_.height;
+    return {Side::Right, index};
+}
+
+std::string FabricGeometry::pad_name(std::uint32_t pad_index) const {
+    const IobCoord io = pad_iob(pad_index);
+    return "pad_" + to_string(io.side) + std::to_string(io.offset) + "_" +
+           std::to_string(pad_index % arch_.pads_per_iob);
+}
+
+std::uint32_t FabricGeometry::distance(PlbCoord p, IobCoord io) const noexcept {
+    switch (io.side) {
+        case Side::Bottom: {
+            const auto dx = p.x > io.offset ? p.x - io.offset : io.offset - p.x;
+            return dx + p.y + 1;
+        }
+        case Side::Top: {
+            const auto dx = p.x > io.offset ? p.x - io.offset : io.offset - p.x;
+            return dx + (arch_.height - p.y);
+        }
+        case Side::Left: {
+            const auto dy = p.y > io.offset ? p.y - io.offset : io.offset - p.y;
+            return dy + p.x + 1;
+        }
+        case Side::Right: {
+            const auto dy = p.y > io.offset ? p.y - io.offset : io.offset - p.y;
+            return dy + (arch_.width - p.x);
+        }
+    }
+    return 0;
+}
+
+}  // namespace afpga::core

@@ -1,0 +1,96 @@
+// Island-style fabric geometry: PLB grid coordinates, perimeter I/O pads and
+// channel addressing shared by the RR-graph builder, the placer and the
+// bitstream.
+//
+// Coordinate system:
+//  - PLB (x, y): x in [0, W), y in [0, H).
+//  - Horizontal channels CHANX run between PLB rows: chanx(ych, x) with
+//    ych in [0, H] (ych = 0 is below row 0), x in [0, W).
+//  - Vertical channels CHANY run between PLB columns: chany(xch, y) with
+//    xch in [0, W], y in [0, H).
+//  - Channel junctions (switch boxes) sit at (jx, jy), jx in [0, W],
+//    jy in [0, H].
+//  - I/O blocks occupy the perimeter: one position per bottom/top column and
+//    per left/right row, each with arch.pads_per_iob pads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/archspec.hpp"
+
+namespace afpga::core {
+
+struct PlbCoord {
+    std::uint32_t x = 0;
+    std::uint32_t y = 0;
+    friend bool operator==(const PlbCoord&, const PlbCoord&) noexcept = default;
+};
+
+enum class Side : std::uint8_t { Bottom = 0, Right = 1, Top = 2, Left = 3 };
+
+[[nodiscard]] std::string to_string(Side s);
+
+/// One perimeter I/O position (an "IOB"); holds arch.pads_per_iob pads.
+struct IobCoord {
+    Side side = Side::Bottom;
+    std::uint32_t offset = 0;  ///< column (bottom/top) or row (left/right)
+    friend bool operator==(const IobCoord&, const IobCoord&) noexcept = default;
+};
+
+/// How a pad is configured.
+enum class PadMode : std::uint8_t { Unused = 0, Input = 1, Output = 2 };
+
+/// Geometry helper bound to an ArchSpec.
+class FabricGeometry {
+public:
+    explicit FabricGeometry(const ArchSpec& arch) : arch_(arch) {}
+
+    [[nodiscard]] const ArchSpec& arch() const noexcept { return arch_; }
+
+    [[nodiscard]] std::uint32_t num_plbs() const noexcept { return arch_.width * arch_.height; }
+    [[nodiscard]] std::uint32_t plb_index(PlbCoord c) const noexcept {
+        return c.y * arch_.width + c.x;
+    }
+    [[nodiscard]] PlbCoord plb_coord(std::uint32_t index) const noexcept {
+        return {index % arch_.width, index / arch_.width};
+    }
+
+    /// IOB positions: bottom row, top row, left column, right column.
+    [[nodiscard]] std::uint32_t num_iobs() const noexcept {
+        return 2 * arch_.width + 2 * arch_.height;
+    }
+    [[nodiscard]] std::uint32_t iob_index(IobCoord c) const;
+    [[nodiscard]] IobCoord iob_coord(std::uint32_t index) const;
+
+    [[nodiscard]] std::uint32_t num_pads() const noexcept {
+        return num_iobs() * arch_.pads_per_iob;
+    }
+    [[nodiscard]] std::uint32_t pad_index(IobCoord iob, std::uint32_t pad) const {
+        return iob_index(iob) * arch_.pads_per_iob + pad;
+    }
+    [[nodiscard]] IobCoord pad_iob(std::uint32_t pad_index) const {
+        return iob_coord(pad_index / arch_.pads_per_iob);
+    }
+    [[nodiscard]] std::string pad_name(std::uint32_t pad_index) const;
+
+    /// Which side of a PLB a logical pin sits on (round-robin distribution).
+    [[nodiscard]] Side plb_pin_side(std::uint32_t pin) const noexcept {
+        return static_cast<Side>(pin % 4);
+    }
+
+    /// Manhattan distance between two PLBs (placement cost).
+    [[nodiscard]] std::uint32_t distance(PlbCoord a, PlbCoord b) const noexcept {
+        const auto dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+        const auto dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+        return dx + dy;
+    }
+    /// Manhattan distance from a PLB to an IOB position.
+    [[nodiscard]] std::uint32_t distance(PlbCoord p, IobCoord io) const noexcept;
+
+private:
+    ArchSpec arch_;
+};
+
+}  // namespace afpga::core

@@ -1,0 +1,72 @@
+// The Logic Element (Fig. 2): a multi-output LUT7-3 plus a LUT2-1.
+//
+// Realisation of "make externally available some internal signals of a LUT":
+// the 7-input LUT is built from two 6-input halves A and B sharing inputs
+// i0..i5, recombined by a 2:1 mux steered by i6; the three exported outputs
+// are O0 = A, O1 = B and O2 = mux(i6, A, B). The LUT2-1 is "directly plugged
+// to the multi-output LUT": its two inputs select among O0/O1/O2 and its
+// output O3 typically computes the data-validity function (e.g. OR of the
+// two rails of a dual-rail signal).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "netlist/cells.hpp"
+#include "netlist/truthtable.hpp"
+
+namespace afpga::core {
+
+/// Indices of the four LE outputs.
+enum LeOutput : std::uint32_t {
+    kLeOutA = 0,     ///< O0: LUT6 half A over i0..i5
+    kLeOutB = 1,     ///< O1: LUT6 half B over i0..i5
+    kLeOutMux7 = 2,  ///< O2: i6 ? B : A (the full LUT7 function)
+    kLeOutLut2 = 3,  ///< O3: LUT2 over two of {O0, O1, O2}
+};
+
+/// Bit-exact configuration of one LE.
+struct LeConfig {
+    std::uint64_t tt_a = 0;   ///< LUT6 half A truth table (row m = bit m)
+    std::uint64_t tt_b = 0;   ///< LUT6 half B truth table
+    std::uint8_t lut2_tt = 0; ///< 4-bit LUT2 table
+    std::uint8_t lut2_sel0 = 0;  ///< first LUT2 input: 0,1,2 -> O0,O1,O2
+    std::uint8_t lut2_sel1 = 1;  ///< second LUT2 input
+
+    friend bool operator==(const LeConfig&, const LeConfig&) noexcept = default;
+};
+
+/// Pure-function evaluation of a configured LE (three-valued, exact).
+struct LeEval {
+    /// Evaluate all four outputs for the given 7 input values.
+    [[nodiscard]] static std::array<netlist::Logic, 4> evaluate(
+        const LeConfig& cfg, const std::array<netlist::Logic, 7>& in);
+
+    /// The function computed by output `out` as a truth table over i0..i6.
+    [[nodiscard]] static netlist::TruthTable output_function(const LeConfig& cfg,
+                                                             std::uint32_t out);
+};
+
+/// Helpers used by the technology mapper to fill an LE.
+struct LeProgram {
+    /// Program half A (or B) with a function of up to 6 variables; `table`'s
+    /// variable i maps to LE input `pin_map[i]` (each < 6).
+    static void set_half(LeConfig& cfg, bool half_b, const netlist::TruthTable& table,
+                         const std::vector<std::size_t>& pin_map);
+
+    /// Program the whole LE with a 7-variable function: half A gets the i6=0
+    /// cofactor, half B the i6=1 cofactor; O2 is the function. `table`'s
+    /// variable i maps to LE input `pin_map[i]` (exactly one maps to pin 6).
+    static void set_full7(LeConfig& cfg, const netlist::TruthTable& table,
+                          const std::vector<std::size_t>& pin_map);
+
+    /// Program the LUT2 slot with a 2-input function of outputs
+    /// (sel0, sel1) in {O0,O1,O2}.
+    static void set_lut2(LeConfig& cfg, const netlist::TruthTable& table2, std::uint32_t sel0,
+                         std::uint32_t sel1);
+};
+
+[[nodiscard]] std::string describe(const LeConfig& cfg);
+
+}  // namespace afpga::core

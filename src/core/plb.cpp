@@ -1,0 +1,76 @@
+#include "core/plb.hpp"
+
+#include "base/check.hpp"
+
+namespace afpga::core {
+
+using base::check;
+
+void ImConfig::connect(const ArchSpec& arch, std::uint32_t sink, std::uint32_t source) {
+    check(sink < arch.im_num_sinks(), "ImConfig::connect: bad sink");
+    check(source < arch.im_num_sources(), "ImConfig::connect: bad source");
+    check(arch.im_connects(source, sink),
+          "ImConfig::connect: topology " + to_string(arch.im_topology) +
+              " does not populate source " + std::to_string(source) + " -> sink " +
+              std::to_string(sink));
+    if (select.size() != arch.im_num_sinks()) select.assign(arch.im_num_sinks(), kImUnused);
+    check(select[sink] == kImUnused || select[sink] == source,
+          "ImConfig::connect: sink already driven by a different source");
+    select[sink] = static_cast<std::uint8_t>(source);
+}
+
+bool PlbConfig::is_blank(const ArchSpec& arch) const {
+    if (pde.tap != 0) return false;
+    for (const LeConfig& l : le)
+        if (!(l == LeConfig{})) return false;
+    for (std::uint32_t s = 0; s < arch.im_num_sinks(); ++s)
+        if (s < im.select.size() && im.select[s] != kImUnused) return false;
+    return true;
+}
+
+void PlbConfig::serialize(const ArchSpec& arch, base::BitVector& out) const {
+    check(le.size() == arch.les_per_plb, "PlbConfig::serialize: LE count mismatch");
+    for (const LeConfig& l : le) {
+        out.append_bits(l.tt_a, 64);
+        out.append_bits(l.tt_b, 64);
+        out.append_bits(l.lut2_tt, 4);
+        out.append_bits(l.lut2_sel0, 2);
+        out.append_bits(l.lut2_sel1, 2);
+    }
+    const std::size_t sel_bits = arch.im_select_bits();
+    const std::uint64_t unused_code = (1ULL << sel_bits) - 1;
+    for (std::uint32_t s = 0; s < arch.im_num_sinks(); ++s) {
+        const std::uint8_t sel = s < im.select.size() ? im.select[s] : kImUnused;
+        out.append_bits(sel == kImUnused ? unused_code : sel, sel_bits);
+    }
+    out.append_bits(pde.tap, arch.pde_tap_bits());
+}
+
+PlbConfig PlbConfig::deserialize(const ArchSpec& arch, const base::BitVector& in,
+                                 std::size_t& cursor) {
+    PlbConfig cfg(arch);
+    for (LeConfig& l : cfg.le) {
+        l.tt_a = in.get_bits(cursor, 64);
+        cursor += 64;
+        l.tt_b = in.get_bits(cursor, 64);
+        cursor += 64;
+        l.lut2_tt = static_cast<std::uint8_t>(in.get_bits(cursor, 4));
+        cursor += 4;
+        l.lut2_sel0 = static_cast<std::uint8_t>(in.get_bits(cursor, 2));
+        cursor += 2;
+        l.lut2_sel1 = static_cast<std::uint8_t>(in.get_bits(cursor, 2));
+        cursor += 2;
+    }
+    const std::size_t sel_bits = arch.im_select_bits();
+    const std::uint64_t unused_code = (1ULL << sel_bits) - 1;
+    for (std::uint32_t s = 0; s < arch.im_num_sinks(); ++s) {
+        const std::uint64_t v = in.get_bits(cursor, sel_bits);
+        cursor += sel_bits;
+        cfg.im.select[s] = v == unused_code ? kImUnused : static_cast<std::uint8_t>(v);
+    }
+    cfg.pde.tap = static_cast<std::uint8_t>(in.get_bits(cursor, arch.pde_tap_bits()));
+    cursor += arch.pde_tap_bits();
+    return cfg;
+}
+
+}  // namespace afpga::core

@@ -1,0 +1,69 @@
+// The Programmable Logic Block (Fig. 1): IM + two LEs + PDE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/bitvector.hpp"
+#include "core/archspec.hpp"
+#include "core/le.hpp"
+
+namespace afpga::core {
+
+/// Sentinel select for an unconfigured IM sink.
+inline constexpr std::uint8_t kImUnused = 0xFF;
+
+/// The Interconnection Matrix: one source select per sink.
+///
+/// Sources: PLB input pins, all LE outputs, the PDE output, const0/const1.
+/// Sinks: LE input pins, the PDE input, PLB output pins. Index blocks are
+/// defined by ArchSpec::im_src_* / im_sink_*. The IM is what lets looped
+/// combinational logic (Muller gates) close inside the PLB.
+struct ImConfig {
+    std::vector<std::uint8_t> select;  ///< per sink; kImUnused if unconfigured
+
+    explicit ImConfig(const ArchSpec& arch) : select(arch.im_num_sinks(), kImUnused) {}
+    ImConfig() = default;
+
+    /// Configure `sink` to listen to `source`; enforces the IM topology.
+    void connect(const ArchSpec& arch, std::uint32_t sink, std::uint32_t source);
+    [[nodiscard]] bool sink_used(std::uint32_t sink) const {
+        return sink < select.size() && select[sink] != kImUnused;
+    }
+
+    friend bool operator==(const ImConfig&, const ImConfig&) noexcept = default;
+};
+
+/// The Programmable Delay Element: a tap-selectable transport delay.
+struct PdeConfig {
+    std::uint8_t tap = 0;  ///< delay = tap * arch.pde_quantum_ps
+
+    [[nodiscard]] std::int64_t delay_ps(const ArchSpec& arch) const noexcept {
+        return static_cast<std::int64_t>(tap) * arch.pde_quantum_ps;
+    }
+    friend bool operator==(const PdeConfig&, const PdeConfig&) noexcept = default;
+};
+
+/// Full configuration of one PLB.
+struct PlbConfig {
+    std::vector<LeConfig> le;  ///< arch.les_per_plb entries
+    ImConfig im;
+    PdeConfig pde;
+
+    explicit PlbConfig(const ArchSpec& arch) : le(arch.les_per_plb), im(arch) {}
+    PlbConfig() = default;
+
+    /// True if nothing in this PLB is configured (all-default).
+    [[nodiscard]] bool is_blank(const ArchSpec& arch) const;
+
+    /// Append this PLB's configuration bits (fixed layout: LEs, IM, PDE).
+    void serialize(const ArchSpec& arch, base::BitVector& out) const;
+    /// Read back a configuration written by serialize().
+    static PlbConfig deserialize(const ArchSpec& arch, const base::BitVector& in,
+                                 std::size_t& cursor);
+
+    friend bool operator==(const PlbConfig&, const PlbConfig&) noexcept = default;
+};
+
+}  // namespace afpga::core

@@ -1,0 +1,234 @@
+#include "core/rrgraph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace afpga::core {
+
+using base::check;
+
+std::string to_string(RRKind k) {
+    switch (k) {
+        case RRKind::Opin: return "OPIN";
+        case RRKind::Ipin: return "IPIN";
+        case RRKind::ChanX: return "CHANX";
+        case RRKind::ChanY: return "CHANY";
+    }
+    return "?";
+}
+
+RRGraph::RRGraph(const ArchSpec& arch) : geom_(arch) {
+    arch.validate();
+    build();
+}
+
+std::uint32_t RRGraph::add_node(const RRNode& n) {
+    nodes_.push_back(n);
+    out_edges_.emplace_back();
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void RRGraph::add_edge(std::uint32_t from, std::uint32_t to) {
+    const auto id = static_cast<std::uint32_t>(edge_to_.size());
+    edge_from_.push_back(from);
+    edge_to_.push_back(to);
+    out_edges_[from].push_back(id);
+}
+
+void RRGraph::add_biedge(std::uint32_t a, std::uint32_t b) {
+    add_edge(a, b);
+    add_edge(b, a);
+}
+
+void RRGraph::build() {
+    const ArchSpec& a = geom_.arch();
+    const std::uint32_t W = a.width;
+    const std::uint32_t H = a.height;
+    const std::uint32_t T = a.channel_width;
+
+    // --- nodes, in fixed blocks so lookups are O(1) -------------------------
+    base_plb_opin_ = 0;
+    for (std::uint32_t y = 0; y < H; ++y)
+        for (std::uint32_t x = 0; x < W; ++x)
+            for (std::uint32_t p = 0; p < a.plb_outputs; ++p)
+                add_node({RRKind::Opin, static_cast<std::uint16_t>(x),
+                          static_cast<std::uint16_t>(y), static_cast<std::uint16_t>(p), false,
+                          a.pin_delay_ps});
+    base_plb_ipin_ = static_cast<std::uint32_t>(nodes_.size());
+    for (std::uint32_t y = 0; y < H; ++y)
+        for (std::uint32_t x = 0; x < W; ++x)
+            for (std::uint32_t p = 0; p < a.plb_inputs; ++p)
+                add_node({RRKind::Ipin, static_cast<std::uint16_t>(x),
+                          static_cast<std::uint16_t>(y), static_cast<std::uint16_t>(p), false,
+                          a.pin_delay_ps});
+    base_pad_opin_ = static_cast<std::uint32_t>(nodes_.size());
+    for (std::uint32_t p = 0; p < geom_.num_pads(); ++p)
+        add_node({RRKind::Opin, static_cast<std::uint16_t>(p & 0xFFFF),
+                  static_cast<std::uint16_t>(p >> 16), 0, true, a.pin_delay_ps});
+    base_pad_ipin_ = static_cast<std::uint32_t>(nodes_.size());
+    for (std::uint32_t p = 0; p < geom_.num_pads(); ++p)
+        add_node({RRKind::Ipin, static_cast<std::uint16_t>(p & 0xFFFF),
+                  static_cast<std::uint16_t>(p >> 16), 0, true, a.pin_delay_ps});
+    base_chanx_ = static_cast<std::uint32_t>(nodes_.size());
+    for (std::uint32_t ych = 0; ych <= H; ++ych)
+        for (std::uint32_t x = 0; x < W; ++x)
+            for (std::uint32_t t = 0; t < T; ++t)
+                add_node({RRKind::ChanX, static_cast<std::uint16_t>(x),
+                          static_cast<std::uint16_t>(ych), static_cast<std::uint16_t>(t), false,
+                          a.wire_delay_ps});
+    base_chany_ = static_cast<std::uint32_t>(nodes_.size());
+    for (std::uint32_t xch = 0; xch <= W; ++xch)
+        for (std::uint32_t y = 0; y < H; ++y)
+            for (std::uint32_t t = 0; t < T; ++t)
+                add_node({RRKind::ChanY, static_cast<std::uint16_t>(xch),
+                          static_cast<std::uint16_t>(y), static_cast<std::uint16_t>(t), false,
+                          a.wire_delay_ps});
+    n_wires_ = (std::size_t{H + 1} * W + std::size_t{W + 1} * H) * T;
+
+    // --- connection boxes: PLB pins <-> adjacent channels --------------------
+    for (std::uint32_t y = 0; y < H; ++y) {
+        for (std::uint32_t x = 0; x < W; ++x) {
+            const PlbCoord c{x, y};
+            for (std::uint32_t p = 0; p < a.plb_outputs; ++p)
+                connect_pin_to_channel(plb_opin(c, p), true, geom_.plb_pin_side(p), x, y, p);
+            for (std::uint32_t p = 0; p < a.plb_inputs; ++p)
+                connect_pin_to_channel(plb_ipin(c, p), false, geom_.plb_pin_side(p), x, y,
+                                       p + 3);
+        }
+    }
+
+    // --- pads <-> perimeter channels -----------------------------------------
+    for (std::uint32_t pad = 0; pad < geom_.num_pads(); ++pad) {
+        const IobCoord io = geom_.pad_iob(pad);
+        // The pad's adjacent channel expressed as the channel of a border PLB.
+        std::uint32_t cx = 0;
+        std::uint32_t cy = 0;
+        switch (io.side) {
+            case Side::Bottom: cx = io.offset; cy = 0; break;
+            case Side::Top: cx = io.offset; cy = H - 1; break;
+            case Side::Left: cx = 0; cy = io.offset; break;
+            case Side::Right: cx = W - 1; cy = io.offset; break;
+        }
+        connect_pin_to_channel(pad_opin(pad), true, io.side == Side::Top      ? Side::Top
+                                                    : io.side == Side::Bottom ? Side::Bottom
+                                                    : io.side,
+                               cx, cy, pad);
+        connect_pin_to_channel(pad_ipin(pad), false, io.side, cx, cy, pad + 1);
+    }
+
+    // --- switch boxes: wire <-> wire at junctions ----------------------------
+    for (std::uint32_t jy = 0; jy <= H; ++jy) {
+        for (std::uint32_t jx = 0; jx <= W; ++jx) {
+            for (std::uint32_t t = 0; t < T; ++t) {
+                const bool has_left = jx > 0;
+                const bool has_right = jx < W;
+                const bool has_below = jy > 0;
+                const bool has_above = jy < H;
+                // Two turn permutations with opposite parity behaviour:
+                // twist_up flips track parity, twist_dn preserves it (for
+                // even T). Using one of each keeps the graph connected across
+                // parity classes — a parity-flipping pair would split it.
+                const std::uint32_t twist_up = (t + 1) % T;
+                const std::uint32_t twist_dn = (T - t) % T;
+                if (has_left && has_right)
+                    add_biedge(chanx(jy, jx - 1, t), chanx(jy, jx, t));
+                if (has_below && has_above)
+                    add_biedge(chany(jx, jy - 1, t), chany(jx, jy, t));
+                if (has_left && has_below)
+                    add_biedge(chanx(jy, jx - 1, t), chany(jx, jy - 1, twist_up));
+                if (has_left && has_above)
+                    add_biedge(chanx(jy, jx - 1, t), chany(jx, jy, twist_dn));
+                if (has_right && has_below)
+                    add_biedge(chanx(jy, jx, t), chany(jx, jy - 1, twist_dn));
+                if (has_right && has_above)
+                    add_biedge(chanx(jy, jx, t), chany(jx, jy, twist_up));
+            }
+        }
+    }
+}
+
+void RRGraph::connect_pin_to_channel(std::uint32_t pin_node, bool pin_drives, Side side,
+                                     std::uint32_t cx, std::uint32_t cy, std::uint32_t seed) {
+    const ArchSpec& a = geom_.arch();
+    const std::uint32_t T = a.channel_width;
+    const double fc = pin_drives ? a.fc_out : a.fc_in;
+    const auto n_tracks =
+        std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(fc * T)));
+    const std::uint32_t stride = std::max<std::uint32_t>(1, T / n_tracks);
+    for (std::uint32_t j = 0; j < n_tracks; ++j) {
+        const std::uint32_t t = (seed + j * stride) % T;
+        std::uint32_t wire = 0;
+        switch (side) {
+            case Side::Bottom: wire = chanx(cy, cx, t); break;
+            case Side::Top: wire = chanx(cy + 1, cx, t); break;
+            case Side::Left: wire = chany(cx, cy, t); break;
+            case Side::Right: wire = chany(cx + 1, cy, t); break;
+        }
+        if (pin_drives)
+            add_edge(pin_node, wire);
+        else
+            add_edge(wire, pin_node);
+    }
+}
+
+std::uint32_t RRGraph::plb_opin(PlbCoord c, std::uint32_t pin) const {
+    const ArchSpec& a = geom_.arch();
+    check(c.x < a.width && c.y < a.height && pin < a.plb_outputs, "plb_opin: out of range");
+    return base_plb_opin_ + (c.y * a.width + c.x) * a.plb_outputs + pin;
+}
+
+std::uint32_t RRGraph::plb_ipin(PlbCoord c, std::uint32_t pin) const {
+    const ArchSpec& a = geom_.arch();
+    check(c.x < a.width && c.y < a.height && pin < a.plb_inputs, "plb_ipin: out of range");
+    return base_plb_ipin_ + (c.y * a.width + c.x) * a.plb_inputs + pin;
+}
+
+std::uint32_t RRGraph::pad_opin(std::uint32_t pad) const {
+    check(pad < geom_.num_pads(), "pad_opin: out of range");
+    return base_pad_opin_ + pad;
+}
+
+std::uint32_t RRGraph::pad_ipin(std::uint32_t pad) const {
+    check(pad < geom_.num_pads(), "pad_ipin: out of range");
+    return base_pad_ipin_ + pad;
+}
+
+std::uint32_t RRGraph::chanx(std::uint32_t ych, std::uint32_t x, std::uint32_t track) const {
+    const ArchSpec& a = geom_.arch();
+    check(ych <= a.height && x < a.width && track < a.channel_width, "chanx: out of range");
+    return base_chanx_ + (ych * a.width + x) * a.channel_width + track;
+}
+
+std::uint32_t RRGraph::chany(std::uint32_t xch, std::uint32_t y, std::uint32_t track) const {
+    const ArchSpec& a = geom_.arch();
+    check(xch <= a.width && y < a.height && track < a.channel_width, "chany: out of range");
+    return base_chany_ + (xch * a.height + y) * a.channel_width + track;
+}
+
+PlbCoord RRGraph::ipin_plb(std::uint32_t node) const {
+    const RRNode& n = nodes_.at(node);
+    check(n.kind == RRKind::Ipin && !n.is_pad, "ipin_plb: not a PLB input pin");
+    return {n.x, n.y};
+}
+
+std::uint32_t RRGraph::pad_of(std::uint32_t node) const {
+    const RRNode& n = nodes_.at(node);
+    check(n.is_pad, "pad_of: not a pad pin");
+    return static_cast<std::uint32_t>(n.x) | (static_cast<std::uint32_t>(n.y) << 16);
+}
+
+double RRGraph::avg_wire_fanout() const {
+    std::size_t total = 0;
+    std::size_t wires = 0;
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].kind == RRKind::ChanX || nodes_[i].kind == RRKind::ChanY) {
+            ++wires;
+            total += out_edges_[i].size();
+        }
+    }
+    return wires == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(wires);
+}
+
+}  // namespace afpga::core

@@ -1,0 +1,102 @@
+// The routing-resource graph of the island fabric.
+//
+// Nodes are programmable sites a signal can occupy: PLB output pins (OPIN),
+// PLB input pins (IPIN), pad pins, and unit-length channel wires (CHANX /
+// CHANY). Directed edges are programmable switches: opin->wire (connection
+// box, Fc_out), wire->ipin (connection box, Fc_in) and wire<->wire at the
+// switch boxes (a Wilton-style turn pattern plus straight-through).
+//
+// Because the PLB's Interconnection Matrix is a crossbar, all input pins of a
+// PLB are logically equivalent: the router may deliver a net to ANY free
+// IPIN of the target PLB and the IM distributes it internally — this is the
+// architectural payoff of the IM and is exploited by cad::Router.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fabric.hpp"
+
+namespace afpga::core {
+
+enum class RRKind : std::uint8_t { Opin, Ipin, ChanX, ChanY };
+
+[[nodiscard]] std::string to_string(RRKind k);
+
+struct RRNode {
+    RRKind kind = RRKind::ChanX;
+    std::uint16_t x = 0;      ///< PLB x / pad index low half / channel coordinate
+    std::uint16_t y = 0;
+    std::uint16_t track = 0;  ///< wire track, or pin index for Opin/Ipin
+    bool is_pad = false;      ///< pin nodes: belongs to an I/O pad, not a PLB
+    std::int64_t delay_ps = 0;
+};
+
+class RRGraph {
+public:
+    explicit RRGraph(const ArchSpec& arch);
+
+    [[nodiscard]] const ArchSpec& arch() const noexcept { return geom_.arch(); }
+    [[nodiscard]] const FabricGeometry& geometry() const noexcept { return geom_; }
+
+    [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+    [[nodiscard]] std::size_t num_edges() const noexcept { return edge_to_.size(); }
+    [[nodiscard]] const RRNode& node(std::uint32_t id) const { return nodes_.at(id); }
+
+    /// Outgoing edges of `node` as indices into the global edge array.
+    [[nodiscard]] const std::vector<std::uint32_t>& out_edges(std::uint32_t node) const {
+        return out_edges_.at(node);
+    }
+    [[nodiscard]] std::uint32_t edge_target(std::uint32_t edge) const { return edge_to_.at(edge); }
+    [[nodiscard]] std::uint32_t edge_source(std::uint32_t edge) const {
+        return edge_from_.at(edge);
+    }
+
+    // --- node lookup --------------------------------------------------------
+    [[nodiscard]] std::uint32_t plb_opin(PlbCoord c, std::uint32_t pin) const;
+    [[nodiscard]] std::uint32_t plb_ipin(PlbCoord c, std::uint32_t pin) const;
+    [[nodiscard]] std::uint32_t pad_opin(std::uint32_t pad) const;  ///< input pad driver
+    [[nodiscard]] std::uint32_t pad_ipin(std::uint32_t pad) const;  ///< output pad listener
+    [[nodiscard]] std::uint32_t chanx(std::uint32_t ych, std::uint32_t x,
+                                      std::uint32_t track) const;
+    [[nodiscard]] std::uint32_t chany(std::uint32_t xch, std::uint32_t y,
+                                      std::uint32_t track) const;
+
+    /// For an IPIN node: the (PLB, pin) it belongs to.
+    [[nodiscard]] PlbCoord ipin_plb(std::uint32_t node) const;
+    [[nodiscard]] std::uint32_t pin_index(std::uint32_t node) const {
+        return nodes_.at(node).track;
+    }
+    /// For a pad pin node: the pad index.
+    [[nodiscard]] std::uint32_t pad_of(std::uint32_t node) const;
+
+    // --- statistics (fig1 bench) ---------------------------------------------
+    [[nodiscard]] std::size_t num_wires() const noexcept { return n_wires_; }
+    [[nodiscard]] double avg_wire_fanout() const;
+
+private:
+    void build();
+    std::uint32_t add_node(const RRNode& n);
+    void add_edge(std::uint32_t from, std::uint32_t to);
+    void add_biedge(std::uint32_t a, std::uint32_t b);
+    void connect_pin_to_channel(std::uint32_t pin_node, bool pin_drives, Side side,
+                                std::uint32_t cx, std::uint32_t cy, std::uint32_t seed);
+
+    FabricGeometry geom_;
+    std::vector<RRNode> nodes_;
+    std::vector<std::vector<std::uint32_t>> out_edges_;  // node -> edge ids
+    std::vector<std::uint32_t> edge_from_;
+    std::vector<std::uint32_t> edge_to_;
+
+    // dense lookup bases
+    std::uint32_t base_plb_opin_ = 0;
+    std::uint32_t base_plb_ipin_ = 0;
+    std::uint32_t base_pad_opin_ = 0;
+    std::uint32_t base_pad_ipin_ = 0;
+    std::uint32_t base_chanx_ = 0;
+    std::uint32_t base_chany_ = 0;
+    std::size_t n_wires_ = 0;
+};
+
+}  // namespace afpga::core

@@ -1,0 +1,49 @@
+// The comparison point the paper motivates itself against (ref. [3],
+// "Implementing asynchronous circuits on LUT based FPGAs"): a plain
+// synchronous island FPGA whose logic cell is a single-output LUT4 with no
+// Interconnection Matrix, no multi-output LUT and no PDE.
+//
+// Mapping asynchronous logic onto it wastes resources in exactly the ways
+// the paper lists: every C-element burns a whole LUT4 with its feedback
+// routed through the general network, dual-rail pairs cannot share a cell,
+// validity functions need their own LUT, and matched delays must be built
+// from LUT buffer chains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "asynclib/styles.hpp"
+#include "netlist/netlist.hpp"
+
+namespace afpga::eval {
+
+struct Lut4MapResult {
+    std::size_t luts = 0;             ///< LUT4 cells needed
+    std::size_t luts_for_memory = 0;  ///< of which implement C-elements/latches
+    std::size_t luts_for_delay = 0;   ///< buffer-chain cells emulating matched delays
+    std::size_t feedback_nets = 0;    ///< memory loops through general routing
+    std::size_t lut_bits_used = 0;    ///< truth-table bits that matter
+    std::size_t lut_bits_total = 0;   ///< 16 per LUT
+    double bit_utilization = 0.0;
+    std::size_t clbs = 0;             ///< 2-LUT CLBs (for area comparison)
+};
+
+/// Map `nl` onto LUT4 cells by recursive Shannon decomposition of every
+/// gate function (memory elements mapped as looped LUTs; DELAY cells as
+/// chains of `delay / lut4_delay_ps` buffer LUTs).
+[[nodiscard]] Lut4MapResult map_to_lut4(const netlist::Netlist& nl,
+                                        std::int64_t lut4_delay_ps = 150);
+
+/// Side-by-side comparison row data: our fabric vs the LUT4 baseline for the
+/// same netlist (LE count comes from the caller's techmap run).
+struct BaselineComparison {
+    std::string design;
+    std::size_t our_les = 0;
+    std::size_t our_plbs = 0;
+    Lut4MapResult lut4;
+    /// LUT4 cells per LE-equivalent (an LE is two LUT6 halves + LUT2).
+    double overhead_factor = 0.0;
+};
+
+}  // namespace afpga::eval

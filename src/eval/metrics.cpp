@@ -1,0 +1,107 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+#include "base/strings.hpp"
+
+namespace afpga::eval {
+
+FillingRatio filling_ratio(const cad::FlowResult& fr) {
+    FillingRatio r;
+    const auto& arch = fr.arch;
+    std::size_t usable_outputs = 0;
+    std::size_t usable_halves = 0;
+    std::size_t used_halves = 0;
+
+    for (const cad::Cluster& cl : fr.packed.clusters) {
+        if (cl.le_indices.empty() && !cl.pde_index) continue;
+        ++r.occupied_plbs;
+        // Provisioned hardware in this occupied PLB.
+        usable_outputs += arch.les_per_plb * 4 + 1;  // 4 outputs per LE + the PDE
+        usable_halves += arch.les_per_plb * 2;
+        for (std::size_t li : cl.le_indices) {
+            const cad::LeInst& le = fr.mapped.les[li];
+            ++r.used_les;
+            r.used_le_outputs += le.used_outputs();
+            used_halves += (le.a ? 1 : 0) + (le.b ? 1 : 0) + (le.full7 ? 2 : 0);
+        }
+        if (cl.pde_index) ++r.used_pdes;
+    }
+    const std::size_t used_total = r.used_le_outputs + r.used_pdes;
+    r.outputs = r.used_les ? static_cast<double>(r.used_le_outputs) /
+                                 static_cast<double>(4 * r.used_les)
+                           : 0.0;
+    r.plb_resources = usable_outputs ? static_cast<double>(used_total) /
+                                           static_cast<double>(usable_outputs)
+                                     : 0.0;
+    r.halves = usable_halves
+                   ? static_cast<double>(used_halves) / static_cast<double>(usable_halves)
+                   : 0.0;
+    // Density: PLBs a perfect packing of the LEs would need vs PLBs used.
+    const std::size_t ideal_plbs =
+        (fr.mapped.les.size() + arch.les_per_plb - 1) / arch.les_per_plb;
+    r.plb_density = r.occupied_plbs
+                        ? static_cast<double>(std::max<std::size_t>(ideal_plbs, 1)) /
+                              static_cast<double>(r.occupied_plbs)
+                        : 0.0;
+    return r;
+}
+
+Utilization utilization(const cad::FlowResult& fr) {
+    Utilization u;
+    const auto& arch = fr.arch;
+    u.plbs_total = arch.width * arch.height;
+    u.plbs_used = fr.bits ? fr.bits->occupied_plbs() : 0;
+    u.les_total = u.plbs_total * arch.les_per_plb;
+    for (const cad::Cluster& cl : fr.packed.clusters) u.les_used += cl.le_indices.size();
+    const core::FabricGeometry geom(arch);
+    u.pads_total = geom.num_pads();
+    u.pads_used = fr.placement.pi_pad.size() + fr.placement.po_pad.size();
+    u.routed_nets = fr.routing.trees.size();
+
+    // Channel occupancy: distinct wire nodes used by route trees.
+    if (fr.rr) {
+        std::vector<bool> used(fr.rr->num_nodes(), false);
+        for (const cad::RouteTree& t : fr.routing.trees) {
+            for (std::uint32_t e : t.edges) {
+                used[fr.rr->edge_source(e)] = true;
+                used[fr.rr->edge_target(e)] = true;
+            }
+        }
+        for (std::uint32_t n = 0; n < fr.rr->num_nodes(); ++n) {
+            const auto k = fr.rr->node(n).kind;
+            if ((k == core::RRKind::ChanX || k == core::RRKind::ChanY) && used[n])
+                ++u.wires_used;
+        }
+        u.wires_total = fr.rr->num_wires();
+        u.channel_occupancy =
+            u.wires_total ? static_cast<double>(u.wires_used) /
+                                static_cast<double>(u.wires_total)
+                          : 0.0;
+    }
+    if (fr.bits) {
+        u.config_bits_total = fr.bits->size_bits();
+        u.routing_switches_on = fr.bits->num_enabled_edges();
+    }
+    u.placement_wirelength =
+        cad::placement_wirelength(fr.packed, fr.mapped, arch, fr.placement);
+    for (const cad::RouteTree& t : fr.routing.trees)
+        for (const auto& s : t.sinks) u.max_net_delay_ps = std::max(u.max_net_delay_ps, s.delay_ps);
+    return u;
+}
+
+std::string summarize(const cad::FlowResult& fr) {
+    const FillingRatio f = filling_ratio(fr);
+    const Utilization u = utilization(fr);
+    std::string s;
+    s += "PLBs " + std::to_string(u.plbs_used) + "/" + std::to_string(u.plbs_total);
+    s += ", LEs " + std::to_string(u.les_used);
+    s += ", filling " + base::format_percent(f.outputs);
+    s += " (halves " + base::format_percent(f.halves) + ")";
+    s += ", nets " + std::to_string(u.routed_nets);
+    s += ", channel occ " + base::format_percent(u.channel_occupancy);
+    s += ", max net delay " + std::to_string(u.max_net_delay_ps) + " ps";
+    return s;
+}
+
+}  // namespace afpga::eval

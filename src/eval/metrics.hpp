@@ -1,0 +1,60 @@
+// Evaluation metrics: the paper's filling ratio plus the usual FPGA
+// implementation quality numbers (utilisation, wirelength, configuration
+// size).
+//
+// The paper reports a single "overall filling ratio" (51% micropipeline,
+// 76% QDI) without a formula. The numbers themselves identify the metric:
+// an LE exposes 4 outputs (O0, O1, O2, O3); a QDI dual-rail function fills
+// 3 of them (two rails + the LUT2 validity, 75%), while bundled-data logic
+// fills 1-2 (no validity, no second rail), about 50%. We therefore use
+//   - outputs (headline): used LE outputs over 4 x occupied LEs;
+// and also report
+//   - plb_resources: used LE outputs + used PDEs over everything an
+//     occupied PLB provisions (2 LEs x 4 outputs + 1 PDE);
+//   - halves: used LUT6 function slots over slots in occupied LEs;
+//   - plb_density: ideal PLB count over occupied PLB count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cad/flow.hpp"
+
+namespace afpga::eval {
+
+struct FillingRatio {
+    double outputs = 0.0;        ///< headline: used outputs / (4 x occupied LEs)
+    double plb_resources = 0.0;  ///< incl. idle LEs and PDE slot of occupied PLBs
+    double halves = 0.0;
+    double plb_density = 0.0;
+    std::size_t occupied_plbs = 0;
+    std::size_t used_le_outputs = 0;
+    std::size_t used_les = 0;
+    std::size_t used_pdes = 0;
+};
+
+[[nodiscard]] FillingRatio filling_ratio(const cad::FlowResult& fr);
+
+struct Utilization {
+    std::size_t plbs_used = 0;
+    std::size_t plbs_total = 0;
+    std::size_t les_used = 0;
+    std::size_t les_total = 0;
+    std::size_t pads_used = 0;
+    std::size_t pads_total = 0;
+    std::size_t wires_used = 0;
+    std::size_t wires_total = 0;
+    double channel_occupancy = 0.0;  ///< wires_used / wires_total
+    std::size_t routed_nets = 0;
+    std::size_t config_bits_total = 0;
+    std::size_t routing_switches_on = 0;
+    double placement_wirelength = 0.0;
+    std::int64_t max_net_delay_ps = 0;  ///< worst routed sink delay
+};
+
+[[nodiscard]] Utilization utilization(const cad::FlowResult& fr);
+
+/// One-paragraph textual summary for benches.
+[[nodiscard]] std::string summarize(const cad::FlowResult& fr);
+
+}  // namespace afpga::eval

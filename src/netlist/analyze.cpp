@@ -1,0 +1,88 @@
+#include "netlist/analyze.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace afpga::netlist {
+
+using base::check;
+
+std::vector<bool> eval_combinational(const Netlist& nl, const std::vector<bool>& pi_values) {
+    check(pi_values.size() == nl.primary_inputs().size(), "eval_combinational: PI count mismatch");
+    for (CellId c : nl.cell_ids())
+        check(!is_sequential(nl.cell(c).func), "eval_combinational: sequential cell present");
+    check(!nl.has_combinational_cycle(), "eval_combinational: combinational cycle");
+
+    std::vector<std::uint8_t> known(nl.num_nets(), 0);
+    std::vector<bool> value(nl.num_nets(), false);
+    for (std::size_t i = 0; i < nl.primary_inputs().size(); ++i) {
+        const NetId pi = nl.primary_inputs()[i];
+        known[pi.index()] = 1;
+        value[pi.index()] = pi_values[i];
+    }
+    const std::vector<CellId> order = nl.topo_order_cut_sequential();
+    AFPGA_ASSERT(order.size() == nl.num_cells(), "topo order incomplete");
+    std::vector<bool> ins;
+    for (CellId cid : order) {
+        const Cell& c = nl.cell(cid);
+        ins.clear();
+        for (NetId in : c.inputs) {
+            AFPGA_ASSERT(known[in.index()], "input not yet evaluated (dangling net?)");
+            ins.push_back(value[in.index()]);
+        }
+        const bool out = eval_cell_bool(c.func, ins, c.table ? &*c.table : nullptr);
+        known[c.output.index()] = 1;
+        value[c.output.index()] = out;
+    }
+    std::vector<bool> pos;
+    pos.reserve(nl.primary_outputs().size());
+    for (const auto& [name, net] : nl.primary_outputs()) {
+        check(known[net.index()], "eval_combinational: primary output undriven: " + name);
+        pos.push_back(value[net.index()]);
+    }
+    return pos;
+}
+
+std::vector<TruthTable> extract_functions(const Netlist& nl) {
+    const std::size_t n = nl.primary_inputs().size();
+    check(n <= TruthTable::kMaxArity, "extract_functions: too many primary inputs");
+    std::vector<TruthTable> tables(nl.primary_outputs().size(), TruthTable(n));
+    std::vector<bool> pi(n);
+    for (std::uint32_t m = 0; m < (1u << n); ++m) {
+        for (std::size_t i = 0; i < n; ++i) pi[i] = (m >> i) & 1u;
+        const std::vector<bool> po = eval_combinational(nl, pi);
+        for (std::size_t o = 0; o < po.size(); ++o) tables[o].set_row(m, po[o]);
+    }
+    return tables;
+}
+
+std::vector<std::int64_t> net_arrival_times(const Netlist& nl, std::int64_t extra_net_delay_ps) {
+    std::vector<std::int64_t> arrival(nl.num_nets(), 0);
+    const std::vector<CellId> order = nl.topo_order_cut_sequential();
+    for (CellId cid : order) {
+        const Cell& c = nl.cell(cid);
+        std::int64_t latest = 0;
+        for (NetId in : c.inputs) {
+            const Net& net = nl.net(in);
+            // Inputs driven by sequential cells launch at t=0 (they are the
+            // stage boundaries of a bundled datapath).
+            const bool launched =
+                net.is_primary_input ||
+                (net.driver.valid() && is_sequential(nl.cell(net.driver).func));
+            const std::int64_t t = launched ? 0 : arrival[in.index()];
+            latest = std::max(latest, t + extra_net_delay_ps);
+        }
+        const std::int64_t d = c.delay_ps.value_or(default_delay_ps(c.func));
+        arrival[c.output.index()] = latest + d;
+    }
+    return arrival;
+}
+
+std::int64_t longest_path_to(const Netlist& nl, NetId target, std::int64_t extra_net_delay_ps) {
+    const auto arrival = net_arrival_times(nl, extra_net_delay_ps);
+    check(target.valid() && target.index() < arrival.size(), "longest_path_to: bad net");
+    return arrival[target.index()];
+}
+
+}  // namespace afpga::netlist

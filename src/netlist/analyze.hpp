@@ -1,0 +1,40 @@
+// Static netlist analyses: exhaustive functional extraction (for equivalence
+// checking in tests and the mapper) and static longest-path delay (the input
+// to the micropipeline bundling constraint).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/truthtable.hpp"
+
+namespace afpga::netlist {
+
+/// Evaluate a purely combinational netlist on one input assignment.
+///
+/// `pi_values[i]` corresponds to `primary_inputs()[i]`. Throws if the netlist
+/// contains sequential cells or combinational cycles.
+[[nodiscard]] std::vector<bool> eval_combinational(const Netlist& nl,
+                                                   const std::vector<bool>& pi_values);
+
+/// Exhaustively extract the function of every primary output as a truth
+/// table over the primary inputs (<= 16 PIs).
+[[nodiscard]] std::vector<TruthTable> extract_functions(const Netlist& nl);
+
+/// Static arrival-time analysis over the combinational subgraph.
+///
+/// Sequential cell outputs and primary inputs start at time 0; each
+/// combinational cell adds its intrinsic delay plus `extra_net_delay_ps`
+/// applied per traversed net sink (a crude stand-in for wire delay before
+/// routing). Returns the arrival time of every net (ps).
+[[nodiscard]] std::vector<std::int64_t> net_arrival_times(const Netlist& nl,
+                                                          std::int64_t extra_net_delay_ps = 0);
+
+/// Longest combinational delay (ps) from any start point to `target` net.
+[[nodiscard]] std::int64_t longest_path_to(const Netlist& nl, NetId target,
+                                           std::int64_t extra_net_delay_ps = 0);
+
+}  // namespace afpga::netlist

@@ -1,0 +1,92 @@
+// The asynchronous gate library: cell kinds and their evaluation semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "netlist/truthtable.hpp"
+
+namespace afpga::netlist {
+
+/// Three-valued logic used by the event-driven simulator.
+enum class Logic : std::uint8_t { F = 0, T = 1, X = 2 };
+
+[[nodiscard]] constexpr char to_char(Logic v) noexcept {
+    switch (v) {
+        case Logic::F: return '0';
+        case Logic::T: return '1';
+        default: return 'X';
+    }
+}
+[[nodiscard]] constexpr Logic from_bool(bool b) noexcept { return b ? Logic::T : Logic::F; }
+[[nodiscard]] constexpr bool is_known(Logic v) noexcept { return v != Logic::X; }
+
+/// Gate kinds understood by generators, mapper and simulator.
+///
+/// AND/OR/NAND/NOR/XOR/XNOR accept 2..7 inputs. MUX is (sel, a, b) -> sel?b:a.
+/// MAJ is 3-input majority. C is an n-input Muller C-element (output joins
+/// when all inputs agree, otherwise holds). C_ASYM2P is a 2-input asymmetric
+/// C-element (input 1 participates in the rising join only: out rises on
+/// a&b, falls on !a). LATCH is a transparent D-latch (D, EN; transparent when
+/// EN=1). DELAY is a pure transport-delay buffer (the PDE's behavioural
+/// model). LUT evaluates an attached TruthTable.
+enum class CellFunc : std::uint8_t {
+    Const0,
+    Const1,
+    Buf,
+    Inv,
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+    Mux,
+    Maj,
+    C,
+    CAsym2P,
+    Latch,
+    Delay,
+    Lut,
+};
+
+[[nodiscard]] std::string to_string(CellFunc f);
+
+/// True for cells whose next output depends on their current output
+/// (C-elements and latches — the "memory elements" of Section 3).
+[[nodiscard]] bool is_sequential(CellFunc f) noexcept;
+
+/// Legal input count range for a cell kind (LUT range comes from its table).
+struct ArityRange {
+    std::size_t min;
+    std::size_t max;
+};
+[[nodiscard]] ArityRange arity_range(CellFunc f) noexcept;
+
+/// Evaluate a cell over three-valued inputs.
+///
+/// `current` is the present output value (used by C/Latch; ignored
+/// otherwise). `table` must be provided iff `f == CellFunc::Lut`.
+/// X-propagation is pessimistic but exact for the controlling-value cases
+/// (e.g. AND with any 0 input is 0 even if others are X).
+[[nodiscard]] Logic eval_cell(CellFunc f, std::span<const Logic> inputs, Logic current,
+                              const TruthTable* table = nullptr);
+
+/// Boolean-only convenience for combinational evaluation in tests/mapper
+/// (no X, no state). `f` must not be sequential.
+[[nodiscard]] bool eval_cell_bool(CellFunc f, const std::vector<bool>& inputs,
+                                  const TruthTable* table = nullptr);
+
+/// The combinational function a (possibly sequential) cell computes when its
+/// own output is appended as the LAST input variable — this is exactly the
+/// looped-LUT form used to implement memory elements through the IM.
+/// For combinational cells the extra variable is simply ignored.
+[[nodiscard]] TruthTable cell_function_with_feedback(CellFunc f, std::size_t n_inputs,
+                                                     const TruthTable* table = nullptr);
+
+/// Default intrinsic delay (picoseconds) used when a cell has no override.
+[[nodiscard]] std::int64_t default_delay_ps(CellFunc f) noexcept;
+
+}  // namespace afpga::netlist

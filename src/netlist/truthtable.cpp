@@ -1,0 +1,147 @@
+#include "netlist/truthtable.hpp"
+
+#include "base/check.hpp"
+
+namespace afpga::netlist {
+
+using base::check;
+
+TruthTable::TruthTable(std::size_t arity) : arity_(arity), bits_(std::size_t{1} << arity) {
+    check(arity <= kMaxArity, "TruthTable arity too large");
+}
+
+TruthTable TruthTable::from_function(std::size_t arity,
+                                     const std::function<bool(std::uint32_t)>& f) {
+    TruthTable t(arity);
+    for (std::uint32_t m = 0; m < (1u << arity); ++m) t.set_row(m, f(m));
+    return t;
+}
+
+TruthTable TruthTable::from_bits(std::size_t arity, std::uint64_t bits) {
+    check(arity <= 6, "from_bits: arity must be <= 6");
+    TruthTable t(arity);
+    for (std::uint32_t m = 0; m < (1u << arity); ++m) t.set_row(m, (bits >> m) & 1ULL);
+    return t;
+}
+
+TruthTable TruthTable::constant(std::size_t arity, bool value) {
+    TruthTable t(arity);
+    for (std::uint32_t m = 0; m < (1u << arity); ++m) t.set_row(m, value);
+    return t;
+}
+
+TruthTable TruthTable::identity(std::size_t arity, std::size_t var) {
+    check(var < arity, "identity: var out of range");
+    return from_function(arity, [var](std::uint32_t m) { return (m >> var) & 1u; });
+}
+
+bool TruthTable::eval(std::uint32_t assignment) const {
+    check(assignment < rows(), "TruthTable::eval: assignment out of range");
+    return bits_.get(assignment);
+}
+
+void TruthTable::set_row(std::uint32_t assignment, bool value) {
+    check(assignment < rows(), "TruthTable::set_row: assignment out of range");
+    bits_.set(assignment, value);
+}
+
+std::uint64_t TruthTable::bits64() const {
+    check(arity_ <= 6, "bits64: arity must be <= 6");
+    return bits_.get_bits(0, rows());
+}
+
+bool TruthTable::is_constant() const {
+    const bool v0 = bits_.get(0);
+    for (std::size_t m = 1; m < rows(); ++m)
+        if (bits_.get(m) != v0) return false;
+    return true;
+}
+
+bool TruthTable::depends_on(std::size_t var) const {
+    check(var < arity_, "depends_on: var out of range");
+    const std::uint32_t bit = 1u << var;
+    for (std::uint32_t m = 0; m < rows(); ++m)
+        if (!(m & bit) && bits_.get(m) != bits_.get(m | bit)) return true;
+    return false;
+}
+
+std::vector<std::size_t> TruthTable::support() const {
+    std::vector<std::size_t> s;
+    for (std::size_t v = 0; v < arity_; ++v)
+        if (depends_on(v)) s.push_back(v);
+    return s;
+}
+
+TruthTable TruthTable::cofactor(std::size_t var, bool value) const {
+    check(var < arity_, "cofactor: var out of range");
+    TruthTable t(arity_ - 1);
+    for (std::uint32_t m = 0; m < (1u << (arity_ - 1)); ++m) {
+        const std::uint32_t lo = m & ((1u << var) - 1u);
+        const std::uint32_t hi = (m >> var) << (var + 1);
+        const std::uint32_t full = hi | (value ? (1u << var) : 0u) | lo;
+        t.set_row(m, eval(full));
+    }
+    return t;
+}
+
+TruthTable TruthTable::prune_support(std::vector<std::size_t>* kept) const {
+    std::vector<std::size_t> keep = support();
+    TruthTable t(keep.size());
+    for (std::uint32_t m = 0; m < (1u << keep.size()); ++m) {
+        std::uint32_t full = 0;
+        for (std::size_t i = 0; i < keep.size(); ++i)
+            if ((m >> i) & 1u) full |= 1u << keep[i];
+        t.set_row(m, eval(full));
+    }
+    if (kept) *kept = std::move(keep);
+    return t;
+}
+
+TruthTable TruthTable::remap(const std::vector<std::size_t>& perm, std::size_t new_arity) const {
+    check(perm.size() == arity_, "remap: perm arity mismatch");
+    for (std::size_t p : perm) check(p < new_arity, "remap: target var out of range");
+    TruthTable t(new_arity);
+    for (std::uint32_t m = 0; m < (1u << new_arity); ++m) {
+        std::uint32_t old = 0;
+        for (std::size_t i = 0; i < arity_; ++i)
+            if ((m >> perm[i]) & 1u) old |= 1u << i;
+        t.set_row(m, eval(old));
+    }
+    return t;
+}
+
+TruthTable TruthTable::operator~() const {
+    TruthTable t(arity_);
+    for (std::uint32_t m = 0; m < rows(); ++m) t.set_row(m, !eval(m));
+    return t;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+    check(arity_ == o.arity_, "operator&: arity mismatch");
+    TruthTable t(arity_);
+    for (std::uint32_t m = 0; m < rows(); ++m) t.set_row(m, eval(m) && o.eval(m));
+    return t;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+    check(arity_ == o.arity_, "operator|: arity mismatch");
+    TruthTable t(arity_);
+    for (std::uint32_t m = 0; m < rows(); ++m) t.set_row(m, eval(m) || o.eval(m));
+    return t;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+    check(arity_ == o.arity_, "operator^: arity mismatch");
+    TruthTable t(arity_);
+    for (std::uint32_t m = 0; m < rows(); ++m) t.set_row(m, eval(m) != o.eval(m));
+    return t;
+}
+
+std::string TruthTable::to_string() const {
+    std::string s;
+    s.reserve(rows());
+    for (std::uint32_t m = 0; m < rows(); ++m) s.push_back(eval(m) ? '1' : '0');
+    return s;
+}
+
+}  // namespace afpga::netlist

@@ -1,0 +1,81 @@
+// Truth tables over up to 16 variables.
+//
+// Truth tables are the common currency between the asynchronous circuit
+// generators, the technology mapper and the LE configuration model: a LUT6
+// half of an LE is exactly a 6-variable TruthTable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/bitvector.hpp"
+
+namespace afpga::netlist {
+
+/// A complete Boolean function of `arity()` ordered variables.
+///
+/// Row `m` (0 <= m < 2^arity) holds f(x) for the input assignment where
+/// variable `i` equals bit `i` of `m` (variable 0 is the LSB).
+class TruthTable {
+public:
+    static constexpr std::size_t kMaxArity = 16;
+
+    /// Constant-0 function of `arity` variables.
+    explicit TruthTable(std::size_t arity = 0);
+
+    /// Build from an evaluator called on every input assignment.
+    static TruthTable from_function(std::size_t arity,
+                                    const std::function<bool(std::uint32_t)>& f);
+
+    /// Build from the raw table word (row m = bit m). arity <= 6.
+    static TruthTable from_bits(std::size_t arity, std::uint64_t bits);
+
+    static TruthTable constant(std::size_t arity, bool value);
+    /// Projection onto variable `var`.
+    static TruthTable identity(std::size_t arity, std::size_t var);
+
+    [[nodiscard]] std::size_t arity() const noexcept { return arity_; }
+    [[nodiscard]] std::size_t rows() const noexcept { return bits_.size(); }
+
+    [[nodiscard]] bool eval(std::uint32_t assignment) const;
+    void set_row(std::uint32_t assignment, bool value);
+
+    /// Low 2^arity bits as a word; arity must be <= 6.
+    [[nodiscard]] std::uint64_t bits64() const;
+
+    [[nodiscard]] bool is_constant() const;
+    [[nodiscard]] bool depends_on(std::size_t var) const;
+    /// Indices of variables the function actually depends on.
+    [[nodiscard]] std::vector<std::size_t> support() const;
+
+    /// f with variable `var` fixed to `value`; result has arity-1 variables
+    /// (remaining variables keep their relative order).
+    [[nodiscard]] TruthTable cofactor(std::size_t var, bool value) const;
+
+    /// Remove variables the function does not depend on; `kept` (if non-null)
+    /// receives the original indices of the surviving variables in order.
+    [[nodiscard]] TruthTable prune_support(std::vector<std::size_t>* kept = nullptr) const;
+
+    /// Reorder/extend variables: new variable `i` is old variable `perm[i]`
+    /// (perm may repeat or omit old variables; result arity = perm.size()).
+    [[nodiscard]] TruthTable remap(const std::vector<std::size_t>& perm,
+                                   std::size_t new_arity) const;
+
+    [[nodiscard]] TruthTable operator~() const;
+    [[nodiscard]] TruthTable operator&(const TruthTable& o) const;
+    [[nodiscard]] TruthTable operator|(const TruthTable& o) const;
+    [[nodiscard]] TruthTable operator^(const TruthTable& o) const;
+
+    friend bool operator==(const TruthTable& a, const TruthTable& b) noexcept = default;
+
+    /// Rows as a 0/1 string, row 0 first.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::size_t arity_;
+    base::BitVector bits_;
+};
+
+}  // namespace afpga::netlist

@@ -1,0 +1,192 @@
+#include "sim/channels.hpp"
+
+#include "base/check.hpp"
+
+namespace afpga::sim {
+
+using base::check;
+
+double TokenTimes::steady_period_ps() const {
+    if (at_ps.size() < 3) return 0.0;
+    const std::size_t start = at_ps.size() / 2;
+    const std::size_t n = at_ps.size() - 1 - start;
+    if (n == 0) return 0.0;
+    return static_cast<double>(at_ps.back() - at_ps[start]) / static_cast<double>(n);
+}
+
+// --- DrStreamSource ---------------------------------------------------------
+
+DrStreamSource::DrStreamSource(Simulator& sim, std::vector<asynclib::DualRail> rails,
+                               NetId ack_in, std::vector<std::uint64_t> tokens,
+                               std::int64_t env_delay_ps)
+    : sim_(sim), rails_(std::move(rails)), tokens_(std::move(tokens)), env_delay_(env_delay_ps) {
+    check(!rails_.empty(), "DrStreamSource: no rails");
+    sim_.on_commit(ack_in, [this](Logic v, std::int64_t) {
+        if (v == Logic::T && in_flight_) {
+            drive_spacer();
+        } else if (v == Logic::F && in_flight_) {
+            // RTZ complete; token fully handed over.
+            in_flight_ = false;
+            ++sent_;
+            if (next_ < tokens_.size()) drive_token();
+        }
+    });
+}
+
+void DrStreamSource::start() {
+    if (next_ < tokens_.size()) drive_token();
+}
+
+void DrStreamSource::drive_token() {
+    const std::uint64_t v = tokens_[next_++];
+    in_flight_ = true;
+    for (std::size_t i = 0; i < rails_.size(); ++i) {
+        const bool bit = (v >> i) & 1ULL;
+        sim_.schedule_pi(rails_[i].t, netlist::from_bool(bit), env_delay_);
+        sim_.schedule_pi(rails_[i].f, netlist::from_bool(!bit), env_delay_);
+    }
+}
+
+void DrStreamSource::drive_spacer() {
+    for (const auto& r : rails_) {
+        sim_.schedule_pi(r.t, Logic::F, env_delay_);
+        sim_.schedule_pi(r.f, Logic::F, env_delay_);
+    }
+}
+
+// --- DrStreamSink -----------------------------------------------------------
+
+DrStreamSink::DrStreamSink(Simulator& sim, std::vector<asynclib::DualRail> rails, NetId ack_pi,
+                           std::int64_t env_delay_ps)
+    : sim_(sim), rails_(std::move(rails)), ack_pi_(ack_pi), env_delay_(env_delay_ps) {
+    check(!rails_.empty(), "DrStreamSink: no rails");
+    for (const auto& r : rails_) {
+        sim_.on_commit(r.t, [this](Logic, std::int64_t) { rails_changed(); });
+        sim_.on_commit(r.f, [this](Logic, std::int64_t) { rails_changed(); });
+    }
+}
+
+void DrStreamSink::rails_changed() {
+    bool complete = true;
+    bool empty = true;
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < rails_.size(); ++i) {
+        const bool t = sim_.value(rails_[i].t) == Logic::T;
+        const bool f = sim_.value(rails_[i].f) == Logic::T;
+        if (t) word |= 1ULL << i;
+        complete = complete && (t || f);
+        empty = empty && !(t || f);
+    }
+    if (complete && !holding_token_) {
+        holding_token_ = true;
+        values_.push_back(word);
+        times_.at_ps.push_back(sim_.now());
+        sim_.schedule_pi(ack_pi_, Logic::T, env_delay_);
+    } else if (empty && holding_token_) {
+        holding_token_ = false;
+        sim_.schedule_pi(ack_pi_, Logic::F, env_delay_);
+    }
+}
+
+// --- BdStreamSource ---------------------------------------------------------
+
+BdStreamSource::BdStreamSource(Simulator& sim, std::vector<NetId> data_pis, NetId req_pi,
+                               NetId ack_in, std::vector<std::uint64_t> tokens,
+                               std::int64_t env_delay_ps, std::int64_t data_settle_ps)
+    : sim_(sim),
+      data_(std::move(data_pis)),
+      req_(req_pi),
+      tokens_(std::move(tokens)),
+      env_delay_(env_delay_ps),
+      settle_(data_settle_ps) {
+    sim_.on_commit(ack_in, [this](Logic v, std::int64_t) {
+        if (v == Logic::T && in_flight_) {
+            // Token accepted: return request to zero.
+            sim_.schedule_pi(req_, Logic::F, env_delay_);
+        } else if (v == Logic::F && in_flight_) {
+            in_flight_ = false;
+            ++sent_;
+            if (next_ < tokens_.size()) drive_token();
+        }
+    });
+}
+
+void BdStreamSource::start() {
+    if (next_ < tokens_.size()) drive_token();
+}
+
+void BdStreamSource::drive_token() {
+    const std::uint64_t v = tokens_[next_++];
+    in_flight_ = true;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        sim_.schedule_pi(data_[i], netlist::from_bool((v >> i) & 1ULL), env_delay_);
+    // Bundling at the source: the request follows the data by the settle time.
+    sim_.schedule_pi(req_, Logic::T, env_delay_ + settle_);
+}
+
+// --- Bd2StreamSource (2-phase) ----------------------------------------------
+
+Bd2StreamSource::Bd2StreamSource(Simulator& sim, std::vector<NetId> data_pis, NetId req_pi,
+                                 NetId ack_in, std::vector<std::uint64_t> tokens,
+                                 std::int64_t env_delay_ps, std::int64_t data_settle_ps)
+    : sim_(sim),
+      data_(std::move(data_pis)),
+      req_(req_pi),
+      tokens_(std::move(tokens)),
+      env_delay_(env_delay_ps),
+      settle_(data_settle_ps) {
+    // Every toggle of the DUT's ack means "token consumed, send the next".
+    sim_.on_commit(ack_in, [this](Logic, std::int64_t) {
+        ++sent_;
+        if (next_ < tokens_.size()) drive_token();
+    });
+}
+
+void Bd2StreamSource::start() {
+    if (next_ < tokens_.size()) drive_token();
+}
+
+void Bd2StreamSource::drive_token() {
+    const std::uint64_t v = tokens_[next_++];
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        sim_.schedule_pi(data_[i], netlist::from_bool((v >> i) & 1ULL), env_delay_);
+    req_phase_ = !req_phase_;
+    sim_.schedule_pi(req_, netlist::from_bool(req_phase_), env_delay_ + settle_);
+}
+
+// --- Bd2StreamSink (2-phase) --------------------------------------------------
+
+Bd2StreamSink::Bd2StreamSink(Simulator& sim, std::vector<NetId> data, NetId req_in,
+                             NetId ack_pi, std::int64_t env_delay_ps)
+    : sim_(sim), data_(std::move(data)), ack_pi_(ack_pi), env_delay_(env_delay_ps) {
+    sim_.on_commit(req_in, [this](Logic, std::int64_t) {
+        std::uint64_t word = 0;
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            if (sim_.value(data_[i]) == Logic::T) word |= 1ULL << i;
+        values_.push_back(word);
+        times_.at_ps.push_back(sim_.now());
+        ack_phase_ = !ack_phase_;
+        sim_.schedule_pi(ack_pi_, netlist::from_bool(ack_phase_), env_delay_);
+    });
+}
+
+// --- BdStreamSink -----------------------------------------------------------
+
+BdStreamSink::BdStreamSink(Simulator& sim, std::vector<NetId> data, NetId req_in, NetId ack_pi,
+                           std::int64_t env_delay_ps)
+    : sim_(sim), data_(std::move(data)), ack_pi_(ack_pi), env_delay_(env_delay_ps) {
+    sim_.on_commit(req_in, [this](Logic v, std::int64_t) {
+        if (v == Logic::T) {
+            std::uint64_t word = 0;
+            for (std::size_t i = 0; i < data_.size(); ++i)
+                if (sim_.value(data_[i]) == Logic::T) word |= 1ULL << i;
+            values_.push_back(word);
+            times_.at_ps.push_back(sim_.now());
+            sim_.schedule_pi(ack_pi_, Logic::T, env_delay_);
+        } else {
+            sim_.schedule_pi(ack_pi_, Logic::F, env_delay_);
+        }
+    });
+}
+
+}  // namespace afpga::sim

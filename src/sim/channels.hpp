@@ -1,0 +1,166 @@
+// Environment processes that source and sink 4-phase channel traffic.
+//
+// Each process is a small state machine driven by Simulator commit
+// callbacks; it reacts to the device under test with a configurable
+// environment response delay, so pipelines can be streamed at speed and
+// their cycle time measured.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asynclib/styles.hpp"
+#include "sim/simulator.hpp"
+
+namespace afpga::sim {
+
+/// Statistics common to sources and sinks.
+struct TokenTimes {
+    std::vector<std::int64_t> at_ps;  ///< completion time of each token
+
+    /// Steady-state token period: mean inter-token gap over the second half
+    /// of the stream (warm-up excluded). 0 if fewer than 3 tokens.
+    [[nodiscard]] double steady_period_ps() const;
+};
+
+/// Streams dual-rail tokens into PI rails; listens to the DUT acknowledge.
+class DrStreamSource {
+public:
+    /// `rails` must be primary inputs; `ack_in` is the DUT's acknowledge
+    /// output net (rises when the token is consumed, falls after RTZ).
+    DrStreamSource(Simulator& sim, std::vector<asynclib::DualRail> rails, NetId ack_in,
+                   std::vector<std::uint64_t> tokens, std::int64_t env_delay_ps = 100);
+
+    /// Drive the first token (call once before running the simulator).
+    void start();
+
+    [[nodiscard]] std::size_t tokens_sent() const noexcept { return sent_; }
+    [[nodiscard]] bool done() const noexcept { return next_ >= tokens_.size() && !in_flight_; }
+
+private:
+    void drive_token();
+    void drive_spacer();
+
+    Simulator& sim_;
+    std::vector<asynclib::DualRail> rails_;
+    std::vector<std::uint64_t> tokens_;
+    std::int64_t env_delay_;
+    std::size_t next_ = 0;
+    std::size_t sent_ = 0;
+    bool in_flight_ = false;
+};
+
+/// Consumes dual-rail tokens from DUT output rails; drives the PI ack.
+class DrStreamSink {
+public:
+    DrStreamSink(Simulator& sim, std::vector<asynclib::DualRail> rails, NetId ack_pi,
+                 std::int64_t env_delay_ps = 100);
+
+    [[nodiscard]] const std::vector<std::uint64_t>& received() const noexcept { return values_; }
+    [[nodiscard]] const TokenTimes& times() const noexcept { return times_; }
+
+private:
+    void rails_changed();
+
+    Simulator& sim_;
+    std::vector<asynclib::DualRail> rails_;
+    NetId ack_pi_;
+    std::int64_t env_delay_;
+    bool holding_token_ = false;
+    std::vector<std::uint64_t> values_;
+    TokenTimes times_;
+};
+
+/// Streams bundled-data tokens: drives data PIs and the req PI, listens to
+/// the DUT's ack output.
+class BdStreamSource {
+public:
+    BdStreamSource(Simulator& sim, std::vector<NetId> data_pis, NetId req_pi, NetId ack_in,
+                   std::vector<std::uint64_t> tokens, std::int64_t env_delay_ps = 100,
+                   std::int64_t data_settle_ps = 50);
+
+    void start();
+
+    [[nodiscard]] std::size_t tokens_sent() const noexcept { return sent_; }
+    [[nodiscard]] bool done() const noexcept { return next_ >= tokens_.size() && !in_flight_; }
+
+private:
+    void drive_token();
+
+    Simulator& sim_;
+    std::vector<NetId> data_;
+    NetId req_;
+    std::vector<std::uint64_t> tokens_;
+    std::int64_t env_delay_;
+    std::int64_t settle_;
+    std::size_t next_ = 0;
+    std::size_t sent_ = 0;
+    bool in_flight_ = false;
+};
+
+/// Streams 2-phase (transition-signalling) bundled tokens: every req TOGGLE
+/// carries a token; the DUT acknowledges by toggling its ack output.
+class Bd2StreamSource {
+public:
+    Bd2StreamSource(Simulator& sim, std::vector<NetId> data_pis, NetId req_pi, NetId ack_in,
+                    std::vector<std::uint64_t> tokens, std::int64_t env_delay_ps = 100,
+                    std::int64_t data_settle_ps = 50);
+
+    void start();
+
+    [[nodiscard]] std::size_t tokens_sent() const noexcept { return sent_; }
+
+private:
+    void drive_token();
+
+    Simulator& sim_;
+    std::vector<NetId> data_;
+    NetId req_;
+    std::vector<std::uint64_t> tokens_;
+    std::int64_t env_delay_;
+    std::int64_t settle_;
+    std::size_t next_ = 0;
+    std::size_t sent_ = 0;
+    bool req_phase_ = false;  ///< next edge direction
+};
+
+/// Consumes 2-phase bundled tokens: samples data at every req toggle and
+/// toggles the ack PI back.
+class Bd2StreamSink {
+public:
+    Bd2StreamSink(Simulator& sim, std::vector<NetId> data, NetId req_in, NetId ack_pi,
+                  std::int64_t env_delay_ps = 100);
+
+    [[nodiscard]] const std::vector<std::uint64_t>& received() const noexcept { return values_; }
+    [[nodiscard]] const TokenTimes& times() const noexcept { return times_; }
+
+private:
+    Simulator& sim_;
+    std::vector<NetId> data_;
+    NetId ack_pi_;
+    std::int64_t env_delay_;
+    bool ack_phase_ = false;
+    std::vector<std::uint64_t> values_;
+    TokenTimes times_;
+};
+
+/// Consumes bundled-data tokens: samples data at req rise, drives the ack PI.
+class BdStreamSink {
+public:
+    BdStreamSink(Simulator& sim, std::vector<NetId> data, NetId req_in, NetId ack_pi,
+                 std::int64_t env_delay_ps = 100);
+
+    [[nodiscard]] const std::vector<std::uint64_t>& received() const noexcept { return values_; }
+    [[nodiscard]] const TokenTimes& times() const noexcept { return times_; }
+
+private:
+    Simulator& sim_;
+    std::vector<NetId> data_;
+    NetId ack_pi_;
+    std::int64_t env_delay_;
+    std::vector<std::uint64_t> values_;
+    TokenTimes times_;
+};
+
+}  // namespace afpga::sim

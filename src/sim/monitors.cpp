@@ -1,0 +1,131 @@
+#include "sim/monitors.hpp"
+
+#include "base/check.hpp"
+
+namespace afpga::sim {
+
+GlitchMonitor::GlitchMonitor(Simulator& sim, std::vector<NetId> nets,
+                             std::int64_t min_pulse_ps) {
+    last_change_.assign(nets.size(), -1);
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        const NetId net = nets[i];
+        sim.on_commit(net, [this, i, net, min_pulse_ps](Logic, std::int64_t t) {
+            if (last_change_[i] >= 0 && t - last_change_[i] < min_pulse_ps)
+                glitches_.push_back({net, t, t - last_change_[i]});
+            last_change_[i] = t;
+        });
+    }
+}
+
+DualRailChannelMonitor::DualRailChannelMonitor(Simulator& sim,
+                                               std::vector<asynclib::DualRail> bits, NetId ack,
+                                               std::string name)
+    : sim_(sim), bits_(std::move(bits)), ack_(ack), name_(std::move(name)) {
+    for (std::size_t b = 0; b < bits_.size(); ++b) {
+        sim_.on_commit(bits_[b].t, [this, b](Logic v, std::int64_t t) {
+            rail_changed(b, true, v, t);
+        });
+        sim_.on_commit(bits_[b].f, [this, b](Logic v, std::int64_t t) {
+            rail_changed(b, false, v, t);
+        });
+    }
+}
+
+void DualRailChannelMonitor::rail_changed(std::size_t bit, bool is_true_rail, Logic v,
+                                          std::int64_t t) {
+    const auto& dr = bits_[bit];
+    const Logic other = sim_.value(is_true_rail ? dr.f : dr.t);
+    if (v == Logic::T && other == Logic::T)
+        violations_.push_back(
+            {name_ + ": both rails of bit " + std::to_string(bit) + " high", t});
+    // Phase-discipline checks need the acknowledge; without one only the
+    // exclusivity invariant and token counting are meaningful.
+    if (ack_.valid()) {
+        const Logic ack = sim_.value(ack_);
+        if (ack == Logic::F && v == Logic::F && word_was_complete_)
+            violations_.push_back({name_ + ": rail of bit " + std::to_string(bit) +
+                                       " retracted before acknowledge",
+                                   t});
+        if (ack == Logic::T && v == Logic::T)
+            violations_.push_back({name_ + ": rail of bit " + std::to_string(bit) +
+                                       " rose during return-to-zero",
+                                   t});
+    }
+    check_word_complete(t);
+}
+
+void DualRailChannelMonitor::check_word_complete(std::int64_t) {
+    bool complete = true;
+    bool empty = true;
+    for (const auto& dr : bits_) {
+        const bool valid = sim_.value(dr.t) == Logic::T || sim_.value(dr.f) == Logic::T;
+        complete = complete && valid;
+        empty = empty && !valid;
+    }
+    if (complete && !word_was_complete_) {
+        ++tokens_;
+        word_was_complete_ = true;
+    }
+    if (empty) word_was_complete_ = false;
+}
+
+TwoPhaseBundledMonitor::TwoPhaseBundledMonitor(Simulator& sim, std::vector<NetId> data,
+                                               NetId req, NetId ack, std::string name)
+    : sim_(sim), data_(std::move(data)), name_(std::move(name)) {
+    sim_.on_commit(req, [this](Logic, std::int64_t) {
+        outstanding_ = true;
+        std::uint64_t word = 0;
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            if (sim_.value(data_[i]) == Logic::T) word |= 1ULL << i;
+        tokens_.push_back(word);
+    });
+    if (ack.valid())
+        sim_.on_commit(ack, [this](Logic, std::int64_t) { outstanding_ = false; });
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        sim_.on_commit(data_[i], [this, i](Logic, std::int64_t t) {
+            if (outstanding_)
+                violations_.push_back({name_ + ": data[" + std::to_string(i) +
+                                           "] changed inside a 2-phase token window",
+                                       t});
+        });
+    }
+}
+
+BundledChannelMonitor::BundledChannelMonitor(Simulator& sim, std::vector<NetId> data, NetId req,
+                                             NetId ack, std::string name)
+    : sim_(sim), data_(std::move(data)), req_(req), ack_(ack), name_(std::move(name)) {
+    sim_.on_commit(req_, [this](Logic v, std::int64_t t) {
+        if (v == Logic::T) {
+            outstanding_ = true;
+            sampled_ = sample_word();
+            tokens_.push_back(sampled_);
+        } else {
+            outstanding_ = false;
+        }
+        (void)t;
+    });
+    if (ack_.valid())
+        sim_.on_commit(ack_, [this](Logic v, std::int64_t) {
+            // Once the receiver acknowledges, it has captured the data; the
+            // bundling window closes.
+            if (v == Logic::T) outstanding_ = false;
+        });
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        sim_.on_commit(data_[i], [this, i](Logic, std::int64_t t) {
+            if (outstanding_)
+                violations_.push_back({name_ + ": data[" + std::to_string(i) +
+                                           "] changed while request outstanding "
+                                           "(bundling constraint broken)",
+                                       t});
+        });
+    }
+}
+
+std::uint64_t BundledChannelMonitor::sample_word() const {
+    std::uint64_t w = 0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (sim_.value(data_[i]) == Logic::T) w |= 1ULL << i;
+    return w;
+}
+
+}  // namespace afpga::sim

@@ -1,0 +1,114 @@
+// Runtime checkers attached to a Simulator:
+//  - GlitchMonitor: detects pulses narrower than a threshold (hazards);
+//  - DualRailChannelMonitor: 1-of-2 exclusivity + 4-phase monotonicity;
+//  - BundledChannelMonitor: the bundling constraint (data stable while the
+//    request is pending) — the property the PDE exists to guarantee.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asynclib/styles.hpp"
+#include "sim/simulator.hpp"
+
+namespace afpga::sim {
+
+/// One detected protocol/hazard violation.
+struct Violation {
+    std::string what;
+    std::int64_t at_ps = 0;
+};
+
+/// Flags any net pulse (value held for less than `min_pulse_ps`) on the
+/// watched nets. Asynchronous logic must be hazard-free: a glitch on a
+/// request or rail wire is a functional bug, not a timing nuisance.
+class GlitchMonitor {
+public:
+    GlitchMonitor(Simulator& sim, std::vector<NetId> nets, std::int64_t min_pulse_ps);
+
+    struct Glitch {
+        NetId net;
+        std::int64_t at_ps;
+        std::int64_t width_ps;
+    };
+    [[nodiscard]] const std::vector<Glitch>& glitches() const noexcept { return glitches_; }
+
+private:
+    std::vector<std::int64_t> last_change_;
+    std::vector<Glitch> glitches_;
+};
+
+/// Watches a dual-rail word + acknowledge for 4-phase RTZ discipline:
+///  - both rails of a bit high -> "exclusivity" violation;
+///  - a rail falling while ack is low (retraction before acknowledge) or
+///    rising while ack is high (new data before return-to-zero) ->
+///    "monotonicity" violation.
+class DualRailChannelMonitor {
+public:
+    DualRailChannelMonitor(Simulator& sim, std::vector<asynclib::DualRail> bits, NetId ack,
+                           std::string name);
+
+    [[nodiscard]] const std::vector<Violation>& violations() const noexcept { return violations_; }
+    /// Number of complete valid codewords observed.
+    [[nodiscard]] std::uint64_t tokens_seen() const noexcept { return tokens_; }
+
+private:
+    void rail_changed(std::size_t bit, bool is_true_rail, Logic v, std::int64_t t);
+    void check_word_complete(std::int64_t t);
+
+    Simulator& sim_;
+    std::vector<asynclib::DualRail> bits_;
+    NetId ack_;
+    std::string name_;
+    std::vector<Violation> violations_;
+    std::uint64_t tokens_ = 0;
+    bool word_was_complete_ = false;
+};
+
+/// 2-phase (transition-signalling) bundling checker: a token is outstanding
+/// between any req toggle and the following ack toggle; data must hold
+/// still in that window.
+class TwoPhaseBundledMonitor {
+public:
+    TwoPhaseBundledMonitor(Simulator& sim, std::vector<NetId> data, NetId req, NetId ack,
+                           std::string name);
+
+    [[nodiscard]] const std::vector<Violation>& violations() const noexcept { return violations_; }
+    [[nodiscard]] const std::vector<std::uint64_t>& tokens() const noexcept { return tokens_; }
+
+private:
+    Simulator& sim_;
+    std::vector<NetId> data_;
+    std::string name_;
+    std::vector<Violation> violations_;
+    std::vector<std::uint64_t> tokens_;
+    bool outstanding_ = false;
+};
+
+/// Watches a bundled-data channel: samples data at req rise and reports any
+/// data wire change while the token is outstanding (req high, ack low).
+class BundledChannelMonitor {
+public:
+    BundledChannelMonitor(Simulator& sim, std::vector<NetId> data, NetId req, NetId ack,
+                          std::string name);
+
+    [[nodiscard]] const std::vector<Violation>& violations() const noexcept { return violations_; }
+    /// Data words sampled at each req rise (LSB = data[0]).
+    [[nodiscard]] const std::vector<std::uint64_t>& tokens() const noexcept { return tokens_; }
+
+private:
+    [[nodiscard]] std::uint64_t sample_word() const;
+
+    Simulator& sim_;
+    std::vector<NetId> data_;
+    NetId req_;
+    NetId ack_;
+    std::string name_;
+    std::vector<Violation> violations_;
+    std::vector<std::uint64_t> tokens_;
+    bool outstanding_ = false;
+    std::uint64_t sampled_ = 0;
+};
+
+}  // namespace afpga::sim

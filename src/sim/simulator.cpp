@@ -1,0 +1,174 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "base/check.hpp"
+
+namespace afpga::sim {
+
+using base::check;
+using netlist::Cell;
+using netlist::CellFunc;
+using netlist::Net;
+
+Simulator::Simulator(const Netlist& nl, InitState init) : nl_(nl) {
+    const Logic v0 = init == InitState::AllZero ? Logic::F : Logic::X;
+    net_value_.assign(nl.num_nets(), v0);
+    transitions_.assign(nl.num_nets(), 0);
+    pending_stamp_.assign(nl.num_nets(), 0);
+    pending_value_.assign(nl.num_nets(), Logic::X);
+    callbacks_.resize(nl.num_nets());
+    sink_delay_.resize(nl.num_nets());
+    for (std::size_t n = 0; n < nl.num_nets(); ++n)
+        sink_delay_[n].assign(nl.net(NetId{n}).sinks.size(), 0);
+
+    pin_base_.resize(nl.num_cells() + 1, 0);
+    for (std::size_t c = 0; c < nl.num_cells(); ++c)
+        pin_base_[c + 1] = pin_base_[c] + nl.cell(CellId{c}).inputs.size();
+    pin_value_.assign(pin_base_.back(), v0);
+
+    // Settle the initial state: every cell whose output disagrees with the
+    // init value fires at t=0 (e.g. inverters rise out of the all-zero state).
+    for (std::size_t c = 0; c < nl.num_cells(); ++c) evaluate_cell(CellId{c});
+}
+
+Logic Simulator::value(NetId net) const {
+    check(net.valid() && net.index() < net_value_.size(), "Simulator::value: bad net");
+    return net_value_[net.index()];
+}
+
+Logic Simulator::value(const std::string& net_name) const {
+    const NetId id = nl_.find_net(net_name);
+    check(id.valid(), "Simulator::value: unknown net " + net_name);
+    return value(id);
+}
+
+void Simulator::schedule_pi(NetId pi, Logic v, std::int64_t delay_ps) {
+    check(pi.valid() && nl_.net(pi).is_primary_input, "schedule_pi: not a primary input");
+    check(delay_ps >= 0, "schedule_pi: negative delay");
+    // Transport semantics (stamp 0): successive environment edges all apply.
+    queue_.push(Event{now_ + delay_ps, seq_++, pi.value(), v, Event::Kind::NetCommit, 0});
+}
+
+void Simulator::set_sink_delay(NetId net, std::size_t sink_idx, std::int64_t delay_ps) {
+    check(net.valid() && net.index() < sink_delay_.size(), "set_sink_delay: bad net");
+    check(sink_idx < sink_delay_[net.index()].size(), "set_sink_delay: bad sink");
+    check(delay_ps >= 0, "set_sink_delay: negative delay");
+    sink_delay_[net.index()][sink_idx] = delay_ps;
+}
+
+void Simulator::set_net_delay(NetId net, std::int64_t delay_ps) {
+    check(net.valid() && net.index() < sink_delay_.size(), "set_net_delay: bad net");
+    for (auto& d : sink_delay_[net.index()]) d = delay_ps;
+}
+
+void Simulator::schedule_commit(NetId net, Logic v, std::int64_t at) {
+    const std::size_t n = net.index();
+    if (pending_stamp_[n] != 0) {
+        if (pending_value_[n] == v) return;       // already on its way
+        pending_stamp_[n] = 0;                    // inertial cancellation
+    }
+    if (v == net_value_[n]) return;               // nothing to do
+    static_assert(sizeof(seq_) == 8);
+    const std::uint64_t stamp = ++stamp_counter_;
+    pending_stamp_[n] = stamp;
+    pending_value_[n] = v;
+    queue_.push(Event{at, seq_++, net.value(), v, Event::Kind::NetCommit, stamp});
+}
+
+void Simulator::evaluate_cell(CellId cell) {
+    const Cell& c = nl_.cell(cell);
+    const std::size_t base = pin_base_[cell.index()];
+    const std::span<const Logic> pins(pin_value_.data() + base, c.inputs.size());
+    const Logic current = net_value_[c.output.index()];
+    const Logic out =
+        netlist::eval_cell(c.func, pins, current, c.table ? &*c.table : nullptr);
+    const std::int64_t d = c.delay_ps.value_or(netlist::default_delay_ps(c.func));
+    if (c.func == CellFunc::Delay) {
+        // Pure transport: every input edge is forwarded unconditionally (a
+        // same-value commit is a no-op at delivery time).
+        queue_.push(Event{now_ + d, seq_++, c.output.value(), out, Event::Kind::NetCommit, 0});
+        return;
+    }
+    schedule_commit(c.output, out, now_ + d);
+}
+
+void Simulator::commit_net(NetId net, Logic v) {
+    const std::size_t n = net.index();
+    if (net_value_[n] == v) return;
+    net_value_[n] = v;
+    ++transitions_[n];
+    const Net& info = nl_.net(net);
+    for (std::size_t s = 0; s < info.sinks.size(); ++s) {
+        const std::int64_t extra = sink_delay_[n][s];
+        const netlist::PinRef sink = info.sinks[s];
+        const std::uint32_t pin_global =
+            static_cast<std::uint32_t>(pin_base_[sink.cell.index()] + sink.pin);
+        queue_.push(Event{now_ + extra, seq_++, pin_global, v, Event::Kind::PinUpdate, 0});
+    }
+    for (const auto& cb : callbacks_[n]) cb(v, now_);
+}
+
+RunResult Simulator::run(std::int64_t max_time_ps) {
+    return run_until(NetId::invalid(), Logic::X, max_time_ps);
+}
+
+RunResult Simulator::run_until(NetId net, Logic v, std::int64_t max_time_ps) {
+    RunResult res;
+    const bool has_condition = net.valid();
+    if (has_condition && net_value_[net.index()] == v) {
+        res.end_time_ps = now_;
+        return res;
+    }
+    std::uint64_t processed = 0;
+    while (!queue_.empty()) {
+        const Event ev = queue_.top();
+        if (ev.time > max_time_ps) break;
+        queue_.pop();
+        if (processed >= event_budget_) {
+            res.budget_exceeded = true;
+            break;
+        }
+        now_ = ev.time;
+        ++processed;
+        ++total_events_;
+        if (ev.kind == Event::Kind::NetCommit) {
+            const NetId target{ev.target};
+            if (ev.stamp != 0) {
+                if (pending_stamp_[target.index()] != ev.stamp) continue;  // cancelled
+                pending_stamp_[target.index()] = 0;
+            }
+            commit_net(target, ev.value);
+            if (has_condition && net_value_[net.index()] == v) {
+                res.end_time_ps = now_;
+                res.events = processed;
+                return res;
+            }
+        } else {
+            // Locate the owning cell by binary search on pin_base_.
+            const std::uint32_t pin_global = ev.target;
+            auto it = std::upper_bound(pin_base_.begin(), pin_base_.end(), pin_global);
+            const std::size_t cell_idx = static_cast<std::size_t>(it - pin_base_.begin()) - 1;
+            if (pin_value_[pin_global] == ev.value) continue;
+            pin_value_[pin_global] = ev.value;
+            evaluate_cell(CellId{cell_idx});
+        }
+    }
+    res.end_time_ps = now_;
+    res.events = processed;
+    res.quiescent = queue_.empty();
+    return res;
+}
+
+void Simulator::on_commit(NetId net, std::function<void(Logic, std::int64_t)> cb) {
+    check(net.valid() && net.index() < callbacks_.size(), "on_commit: bad net");
+    callbacks_[net.index()].push_back(std::move(cb));
+}
+
+std::uint64_t Simulator::transitions(NetId net) const {
+    check(net.valid() && net.index() < transitions_.size(), "transitions: bad net");
+    return transitions_[net.index()];
+}
+
+}  // namespace afpga::sim

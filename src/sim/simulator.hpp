@@ -1,0 +1,130 @@
+// Event-driven three-valued gate-level simulator.
+//
+// Semantics:
+//  - every net carries a Logic value (0/1/X); initial state is configurable
+//    (all-zero models the post-reset RTZ idle state asynchronous 4-phase
+//    circuits start from);
+//  - each cell has an intrinsic inertial delay (override or library default);
+//    a re-evaluation that contradicts a pending output transition cancels it
+//    (classic inertial-delay glitch suppression), except for DELAY cells
+//    which are pure transport delays (every edge propagates — exactly what a
+//    programmable delay line does);
+//  - per-sink extra wire delays model routing: a net commit is seen by each
+//    sink pin after its own annotated delay (this is how post-route timing
+//    and deliberately broken isochronic forks are injected);
+//  - primary inputs change only via schedule_pi();
+//  - observers can register commit callbacks per net (channel sources/sinks,
+//    protocol monitors, VCD tracing are all built on this hook).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace afpga::sim {
+
+using netlist::CellId;
+using netlist::Logic;
+using netlist::NetId;
+using netlist::Netlist;
+
+/// Initial net values at time 0.
+enum class InitState : std::uint8_t {
+    AllZero,  ///< post-reset idle (the usual choice for 4-phase RTZ circuits)
+    AllX,     ///< fully unknown (used to study initialisation behaviour)
+};
+
+/// Simulation outcome of a run_* call.
+struct RunResult {
+    std::int64_t end_time_ps = 0;   ///< time of the last processed event
+    std::uint64_t events = 0;       ///< events processed during this call
+    bool quiescent = false;         ///< event queue drained
+    bool budget_exceeded = false;   ///< stopped by the event budget (oscillation guard)
+};
+
+class Simulator {
+public:
+    explicit Simulator(const Netlist& nl, InitState init = InitState::AllZero);
+
+    [[nodiscard]] const Netlist& netlist() const noexcept { return nl_; }
+    [[nodiscard]] std::int64_t now() const noexcept { return now_; }
+    [[nodiscard]] Logic value(NetId net) const;
+    /// Value of a named net (throws if the name is unknown).
+    [[nodiscard]] Logic value(const std::string& net_name) const;
+
+    /// Schedule a primary-input change `delay_ps` after now().
+    void schedule_pi(NetId pi, Logic v, std::int64_t delay_ps = 0);
+
+    /// Extra wire delay from `net`'s driver to sink pin index `sink_idx`
+    /// (index into Netlist net sinks). Cumulative with the cell delay of the
+    /// sink's evaluation.
+    void set_sink_delay(NetId net, std::size_t sink_idx, std::int64_t delay_ps);
+    /// Same extra delay for every sink of `net`.
+    void set_net_delay(NetId net, std::int64_t delay_ps);
+
+    /// Process events until the queue drains or `max_time_ps` / the event
+    /// budget is hit.
+    RunResult run(std::int64_t max_time_ps = std::numeric_limits<std::int64_t>::max());
+
+    /// Run until `net` commits value `v` (returns immediately if it already
+    /// holds). RunResult.quiescent is false if the condition was met first.
+    RunResult run_until(NetId net, Logic v,
+                        std::int64_t max_time_ps = std::numeric_limits<std::int64_t>::max());
+
+    /// Commit observer; fired after `net` takes a new value. Keep callbacks
+    /// re-entrant-safe: they may call schedule_pi but not run().
+    void on_commit(NetId net, std::function<void(Logic, std::int64_t)> cb);
+
+    /// Total committed transitions per net since construction.
+    [[nodiscard]] std::uint64_t transitions(NetId net) const;
+    [[nodiscard]] std::uint64_t total_events() const noexcept { return total_events_; }
+
+    /// Oscillation guard: maximum events per run() call (default 20M).
+    void set_event_budget(std::uint64_t budget) noexcept { event_budget_ = budget; }
+
+private:
+    struct Event {
+        std::int64_t time;
+        std::uint64_t seq;    // FIFO tie-break for determinism
+        std::uint32_t target; // pin-update: encoded (cell,pin); net-commit: net
+        Logic value;
+        enum class Kind : std::uint8_t { NetCommit, PinUpdate } kind;
+        std::uint64_t stamp;  // cancellation stamp for inertial delays
+    };
+    struct EventOrder {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    void commit_net(NetId net, Logic v);
+    void evaluate_cell(CellId cell);
+    void schedule_commit(NetId net, Logic v, std::int64_t at);
+
+    const Netlist& nl_;
+    std::int64_t now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t stamp_counter_ = 0;
+    std::uint64_t total_events_ = 0;
+    std::uint64_t event_budget_ = 20'000'000;
+
+    std::vector<Logic> net_value_;
+    std::vector<Logic> pin_value_;                // flattened cell input pins
+    std::vector<std::size_t> pin_base_;           // cell -> first pin index
+    std::vector<std::vector<std::int64_t>> sink_delay_;  // per net, per sink
+    // Pending inertial commit per net: stamp of the live scheduled event.
+    std::vector<std::uint64_t> pending_stamp_;
+    std::vector<Logic> pending_value_;
+    std::vector<std::uint64_t> transitions_;
+    std::vector<std::vector<std::function<void(Logic, std::int64_t)>>> callbacks_;
+
+    std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+};
+
+}  // namespace afpga::sim

@@ -1,0 +1,78 @@
+#include "sim/testbench.hpp"
+
+#include "base/check.hpp"
+
+namespace afpga::sim {
+
+using base::check;
+
+std::uint64_t decode_dual_rail(const Simulator& sim,
+                               const std::vector<asynclib::DualRail>& word) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < word.size(); ++i) {
+        const Logic t = sim.value(word[i].t);
+        const Logic f = sim.value(word[i].f);
+        check(t != Logic::X && f != Logic::X, "decode_dual_rail: X on rails");
+        check(t != f, "decode_dual_rail: bit " + std::to_string(i) +
+                          " is not a valid codeword (t==f)");
+        if (t == Logic::T) v |= 1ULL << i;
+    }
+    return v;
+}
+
+std::uint64_t qdi_apply_token(Simulator& sim, const QdiCombIface& iface, std::uint64_t value,
+                              std::int64_t timeout_ps) {
+    const std::int64_t deadline = sim.now() + timeout_ps;
+    // Drive the codeword.
+    for (std::size_t i = 0; i < iface.inputs.size(); ++i) {
+        const bool bit = (value >> i) & 1ULL;
+        sim.schedule_pi(iface.inputs[i].t, netlist::from_bool(bit));
+        sim.schedule_pi(iface.inputs[i].f, netlist::from_bool(!bit));
+    }
+    RunResult r = sim.run_until(iface.done, Logic::T, deadline);
+    check(sim.value(iface.done) == Logic::T, "qdi_apply_token: completion did not rise");
+    check(!r.budget_exceeded, "qdi_apply_token: event budget exceeded (oscillation?)");
+    const std::uint64_t out = decode_dual_rail(sim, iface.outputs);
+    // Return to zero.
+    for (const auto& in : iface.inputs) {
+        sim.schedule_pi(in.t, Logic::F);
+        sim.schedule_pi(in.f, Logic::F);
+    }
+    r = sim.run_until(iface.done, Logic::F, deadline);
+    check(sim.value(iface.done) == Logic::F, "qdi_apply_token: completion did not fall");
+    check(!r.budget_exceeded, "qdi_apply_token: event budget exceeded during RTZ");
+    return out;
+}
+
+std::uint64_t bundled_apply_token(Simulator& sim, const BundledStageIface& iface,
+                                  std::uint64_t value, std::int64_t data_settle_ps,
+                                  std::int64_t timeout_ps) {
+    const std::int64_t deadline = sim.now() + timeout_ps;
+    for (std::size_t i = 0; i < iface.data_in.size(); ++i)
+        sim.schedule_pi(iface.data_in[i], netlist::from_bool((value >> i) & 1ULL));
+    sim.schedule_pi(iface.req_in, Logic::T, data_settle_ps);
+
+    RunResult r = sim.run_until(iface.ack_in, Logic::T, deadline);
+    check(sim.value(iface.ack_in) == Logic::T, "bundled_apply_token: input not accepted");
+    sim.schedule_pi(iface.req_in, Logic::F);
+
+    r = sim.run_until(iface.req_out, Logic::T, deadline);
+    check(sim.value(iface.req_out) == Logic::T, "bundled_apply_token: no output request");
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < iface.data_out.size(); ++i) {
+        const Logic v = sim.value(iface.data_out[i]);
+        check(v != Logic::X, "bundled_apply_token: X on output data");
+        if (v == Logic::T) out |= 1ULL << i;
+    }
+    sim.schedule_pi(iface.ack_out, Logic::T);
+
+    r = sim.run_until(iface.req_out, Logic::F, deadline);
+    check(sim.value(iface.req_out) == Logic::F, "bundled_apply_token: request did not RTZ");
+    sim.schedule_pi(iface.ack_out, Logic::F);
+    r = sim.run_until(iface.ack_in, Logic::F, deadline);
+    check(sim.value(iface.ack_in) == Logic::F, "bundled_apply_token: ack did not RTZ");
+    check(!r.budget_exceeded, "bundled_apply_token: event budget exceeded");
+    return out;
+}
+
+}  // namespace afpga::sim

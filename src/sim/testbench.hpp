@@ -1,0 +1,54 @@
+// Token-level blocking testbench helpers.
+//
+// These run one 4-phase transaction at a time against a device under test
+// and return decoded results — the workhorse of the functional tests and of
+// the pre-/post-route equivalence checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asynclib/styles.hpp"
+#include "sim/simulator.hpp"
+
+namespace afpga::sim {
+
+/// Interface of a QDI combinational block with completion detection
+/// (e.g. asynclib::QdiAdder): input rails are PIs, `done` is the completion
+/// output, output rails are read after done rises.
+struct QdiCombIface {
+    std::vector<asynclib::DualRail> inputs;   ///< PIs, LSB first
+    std::vector<asynclib::DualRail> outputs;  ///< LSB first
+    NetId done;
+};
+
+/// Apply one dual-rail token through a full 4-phase cycle:
+/// drive codeword -> wait done rise -> decode outputs -> drive spacer ->
+/// wait done fall. Throws on timeout or on X/incomplete output codewords.
+[[nodiscard]] std::uint64_t qdi_apply_token(Simulator& sim, const QdiCombIface& iface,
+                                            std::uint64_t value,
+                                            std::int64_t timeout_ps = 1'000'000);
+
+/// Interface of a single-stage bundled-data block (e.g. asynclib::MpAdder).
+struct BundledStageIface {
+    std::vector<NetId> data_in;   ///< PIs
+    NetId req_in;                 ///< PI
+    NetId ack_out;                ///< PI (we play the sink)
+    std::vector<NetId> data_out;  ///< read at req_out rise
+    NetId req_out;
+    NetId ack_in;                 ///< DUT ack to us (the source)
+};
+
+/// Apply one bundled token through a full 4-phase cycle and return the
+/// sampled output word. `data_settle_ps` is the source-side bundling slack.
+[[nodiscard]] std::uint64_t bundled_apply_token(Simulator& sim, const BundledStageIface& iface,
+                                                std::uint64_t value,
+                                                std::int64_t data_settle_ps = 50,
+                                                std::int64_t timeout_ps = 1'000'000);
+
+/// Decode a dual-rail word from current simulator values; throws if any bit
+/// is not a valid 1-of-2 codeword.
+[[nodiscard]] std::uint64_t decode_dual_rail(const Simulator& sim,
+                                             const std::vector<asynclib::DualRail>& word);
+
+}  // namespace afpga::sim

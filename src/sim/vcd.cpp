@@ -1,0 +1,63 @@
+#include "sim/vcd.hpp"
+
+#include "base/check.hpp"
+
+namespace afpga::sim {
+
+namespace {
+
+/// Printable VCD identifier codes: base-94 over '!'..'~'.
+std::string vcd_code(std::size_t i) {
+    std::string s;
+    do {
+        s.push_back(static_cast<char>('!' + i % 94));
+        i /= 94;
+    } while (i != 0);
+    return s;
+}
+
+std::string sanitize(const std::string& name) {
+    std::string s = name.empty() ? "unnamed" : name;
+    for (char& c : s)
+        if (c == ' ' || c == '\t') c = '_';
+    return s;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(Simulator& sim, const std::string& path, std::vector<NetId> nets)
+    : sim_(sim), out_(path) {
+    base::check(out_.good(), "VcdWriter: cannot open " + path);
+    if (nets.empty()) {
+        for (NetId n : sim.netlist().net_ids())
+            if (!sim.netlist().net(n).name.empty()) nets.push_back(n);
+    }
+    out_ << "$timescale 1ps $end\n$scope module " << sanitize(sim.netlist().name())
+         << " $end\n";
+    codes_.reserve(nets.size());
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        codes_.push_back(vcd_code(i));
+        out_ << "$var wire 1 " << codes_[i] << ' '
+             << sanitize(sim.netlist().net(nets[i]).name) << " $end\n";
+    }
+    out_ << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+    for (std::size_t i = 0; i < nets.size(); ++i)
+        out_ << netlist::to_char(sim.value(nets[i])) << codes_[i] << '\n';
+    out_ << "$end\n";
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        sim_.on_commit(nets[i],
+                       [this, i](Logic v, std::int64_t t) { emit(i, v, t); });
+    }
+}
+
+void VcdWriter::emit(std::size_t idx, Logic v, std::int64_t t) {
+    if (t != last_time_) {
+        out_ << '#' << t << '\n';
+        last_time_ = t;
+    }
+    out_ << netlist::to_char(v) << codes_[idx] << '\n';
+}
+
+VcdWriter::~VcdWriter() { out_.flush(); }
+
+}  // namespace afpga::sim

@@ -1,0 +1,33 @@
+// Value-change-dump tracing for waveform inspection of simulations.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace afpga::sim {
+
+/// Streams net transitions of a running Simulator into a VCD file
+/// (timescale 1 ps). Attach before running; the file is finalised when the
+/// writer is destroyed.
+class VcdWriter {
+public:
+    /// Trace the given nets (or every named net when `nets` is empty).
+    VcdWriter(Simulator& sim, const std::string& path, std::vector<NetId> nets = {});
+    ~VcdWriter();
+
+    VcdWriter(const VcdWriter&) = delete;
+    VcdWriter& operator=(const VcdWriter&) = delete;
+
+private:
+    void emit(std::size_t idx, Logic v, std::int64_t t);
+
+    Simulator& sim_;
+    std::ofstream out_;
+    std::vector<std::string> codes_;
+    std::int64_t last_time_ = -1;
+};
+
+}  // namespace afpga::sim

@@ -1,0 +1,217 @@
+// Unit tests for the base utilities: strong ids, bit vectors, RNG, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "base/bitvector.hpp"
+#include "base/check.hpp"
+#include "base/ids.hpp"
+#include "base/rng.hpp"
+#include "base/strings.hpp"
+#include "base/table.hpp"
+
+namespace {
+
+using afpga::base::BitVector;
+using afpga::base::Rng;
+using afpga::base::StrongId;
+
+struct FooTag {};
+struct BarTag {};
+using FooId = StrongId<FooTag>;
+using BarId = StrongId<BarTag>;
+
+TEST(StrongId, DefaultIsInvalid) {
+    FooId id;
+    EXPECT_FALSE(id.valid());
+    EXPECT_EQ(id, FooId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+    FooId id{42u};
+    EXPECT_TRUE(id.valid());
+    EXPECT_EQ(id.value(), 42u);
+    EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+    static_assert(!std::is_same_v<FooId, BarId>);
+}
+
+TEST(StrongId, Ordering) {
+    EXPECT_LT(FooId{1u}, FooId{2u});
+    EXPECT_EQ(FooId{7u}, FooId{7u});
+}
+
+TEST(StrongId, Hashable) {
+    std::unordered_set<FooId> s;
+    s.insert(FooId{1u});
+    s.insert(FooId{1u});
+    s.insert(FooId{2u});
+    EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(BitVector, ConstructAndGet) {
+    BitVector bv(130);
+    EXPECT_EQ(bv.size(), 130u);
+    EXPECT_TRUE(bv.none());
+    bv.set(0, true);
+    bv.set(64, true);
+    bv.set(129, true);
+    EXPECT_TRUE(bv.get(0));
+    EXPECT_TRUE(bv.get(64));
+    EXPECT_TRUE(bv.get(129));
+    EXPECT_FALSE(bv.get(1));
+    EXPECT_EQ(bv.count_ones(), 3u);
+}
+
+TEST(BitVector, FillConstructorMasksTail) {
+    BitVector bv(70, true);
+    EXPECT_EQ(bv.count_ones(), 70u);
+}
+
+TEST(BitVector, Flip) {
+    BitVector bv(8);
+    bv.flip(3);
+    EXPECT_TRUE(bv.get(3));
+    bv.flip(3);
+    EXPECT_FALSE(bv.get(3));
+}
+
+TEST(BitVector, PushBackGrows) {
+    BitVector bv;
+    for (int i = 0; i < 100; ++i) bv.push_back(i % 3 == 0);
+    EXPECT_EQ(bv.size(), 100u);
+    EXPECT_TRUE(bv.get(0));
+    EXPECT_FALSE(bv.get(1));
+    EXPECT_TRUE(bv.get(99));
+}
+
+TEST(BitVector, AppendAndGetBits) {
+    BitVector bv;
+    bv.append_bits(0b1011, 4);
+    bv.append_bits(0xFF, 8);
+    EXPECT_EQ(bv.get_bits(0, 4), 0b1011u);
+    EXPECT_EQ(bv.get_bits(4, 8), 0xFFu);
+}
+
+TEST(BitVector, SetBits) {
+    BitVector bv(16);
+    bv.set_bits(4, 0b1101, 4);
+    EXPECT_EQ(bv.get_bits(4, 4), 0b1101u);
+    EXPECT_EQ(bv.get_bits(0, 4), 0u);
+}
+
+TEST(BitVector, EqualityAndCrc) {
+    BitVector a(40);
+    BitVector b(40);
+    a.set(17, true);
+    b.set(17, true);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.crc32(), b.crc32());
+    b.set(18, true);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a.crc32(), b.crc32());
+}
+
+TEST(BitVector, CrcDependsOnLength) {
+    BitVector a(8);
+    BitVector b(16);
+    EXPECT_NE(a.crc32(), b.crc32());
+}
+
+TEST(BitVector, OutOfRangeThrows) {
+    BitVector bv(8);
+    EXPECT_THROW(bv.get(8), afpga::base::Error);
+    EXPECT_THROW(bv.set(9, true), afpga::base::Error);
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng r(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng r(13);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto w = v;
+    r.shuffle(w);
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(v, w);
+}
+
+TEST(Strings, FormatPercent) {
+    EXPECT_EQ(afpga::base::format_percent(0.51), "51.0%");
+    EXPECT_EQ(afpga::base::format_percent(0.7649, 1), "76.5%");
+}
+
+TEST(Strings, JoinSplit) {
+    EXPECT_EQ(afpga::base::join({"a", "b", "c"}, ", "), "a, b, c");
+    const auto parts = afpga::base::split("x,y,,z", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, BusBit) { EXPECT_EQ(afpga::base::bus_bit("sum", 3), "sum[3]"); }
+
+TEST(TextTable, RendersAligned) {
+    afpga::base::TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22222"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+    afpga::base::TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), afpga::base::Error);
+}
+
+TEST(Check, ThrowsWithMessage) {
+    try {
+        afpga::base::check(false, "boom");
+        FAIL() << "expected throw";
+    } catch (const afpga::base::Error& e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+}  // namespace

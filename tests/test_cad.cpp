@@ -1,0 +1,447 @@
+// CAD flow tests: techmap correctness, packing legality, placement, routing
+// legality, and the end-to-end bitstream -> elaborate -> simulate
+// equivalence that anchors the whole reproduction.
+#include <gtest/gtest.h>
+
+#include "asynclib/adders.hpp"
+#include "asynclib/fifos.hpp"
+#include "base/check.hpp"
+#include "base/strings.hpp"
+#include "cad/flow.hpp"
+#include "sim/channels.hpp"
+#include "sim/monitors.hpp"
+#include "sim/simulator.hpp"
+#include "sim/testbench.hpp"
+
+namespace {
+
+using namespace afpga;
+using cad::FlowOptions;
+using cad::run_flow;
+using core::ArchSpec;
+using netlist::CellFunc;
+using netlist::Logic;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::TruthTable;
+using sim::Simulator;
+
+asynclib::DualRail dr(const Netlist& nl, const std::string& base) {
+    asynclib::DualRail d;
+    d.t = nl.find_net(base + ".t");
+    d.f = nl.find_net(base + ".f");
+    base::check(d.t.valid() && d.f.valid(), "test: missing rails for " + base);
+    return d;
+}
+
+// --- techmap ------------------------------------------------------------------
+
+TEST(Techmap, FullAdderGatesBecomeOneLePair) {
+    Netlist nl("fa");
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const NetId c = nl.add_input("c");
+    const NetId sum = nl.add_cell(CellFunc::Xor, "sum", {a, b, c});
+    const NetId cout = nl.add_cell(CellFunc::Maj, "cout", {a, b, c});
+    nl.add_output("sum", sum);
+    nl.add_output("cout", cout);
+    asynclib::MappingHints hints;
+    hints.rail_pairs.emplace_back(sum, cout);  // same support: pair them
+    const auto md = cad::techmap(nl, hints);
+    EXPECT_EQ(md.les.size(), 1u);
+    EXPECT_TRUE(md.les[0].a && md.les[0].b);
+    cad::verify_mapping(nl, md);
+}
+
+TEST(Techmap, BufferChainsFold) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    NetId n = a;
+    for (int i = 0; i < 3; ++i) n = nl.add_cell(CellFunc::Buf, "b" + std::to_string(i), {n});
+    const NetId y = nl.add_cell(CellFunc::Inv, "y", {n});
+    nl.add_output("y", y);
+    const auto md = cad::techmap(nl);
+    ASSERT_EQ(md.les.size(), 1u);
+    EXPECT_EQ(md.les[0].a->inputs[0], a);  // folded through to the PI
+}
+
+TEST(Techmap, ConstantInputsCofactored) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId one = nl.add_cell(CellFunc::Const1, "one", {});
+    const NetId y = nl.add_cell(CellFunc::And, "y", {a, one});
+    nl.add_output("y", y);
+    const auto md = cad::techmap(nl);
+    // AND(a,1) == a: collapses to an alias, leaving no LE at all.
+    EXPECT_TRUE(md.les.empty());
+    EXPECT_EQ(md.canon(y), a);
+}
+
+TEST(Techmap, SequentialCellGetsFeedbackVariable) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const NetId c = nl.add_cell(CellFunc::C, "c", {a, b});
+    nl.add_output("c", c);
+    const auto md = cad::techmap(nl);
+    ASSERT_EQ(md.les.size(), 1u);
+    const auto& f = *md.les[0].a;
+    EXPECT_TRUE(f.has_feedback);
+    EXPECT_EQ(f.inputs.size(), 3u);  // a, b, own output
+    EXPECT_NE(std::find(f.inputs.begin(), f.inputs.end(), c), f.inputs.end());
+    cad::verify_mapping(nl, md);
+}
+
+TEST(Techmap, SevenInputFunctionTakesWholeLe) {
+    Netlist nl;
+    std::vector<NetId> ins;
+    for (int i = 0; i < 7; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+    const NetId y = nl.add_cell(CellFunc::Xor, "y", ins);
+    nl.add_output("y", y);
+    const auto md = cad::techmap(nl);
+    ASSERT_EQ(md.les.size(), 1u);
+    EXPECT_TRUE(md.les[0].full7.has_value());
+    cad::verify_mapping(nl, md);
+}
+
+TEST(Techmap, ValidityAbsorbedIntoLut2) {
+    // WCHB stages are where the LUT2 slot shines: the two rail latches of a
+    // bit pair into one LE (shared enable + inputs), and the per-bit validity
+    // OR moves into that LE's LUT2.
+    auto fifo = asynclib::make_wchb_fifo(2, 1);
+    const auto md = cad::techmap(fifo.nl, fifo.hints);
+    std::size_t lut2 = 0;
+    for (const auto& le : md.les) lut2 += le.lut2.has_value();
+    EXPECT_GE(lut2, 2u);  // one validity per bit
+    cad::verify_mapping(fifo.nl, md);
+}
+
+TEST(Techmap, HintsImprovePairing) {
+    auto adder = asynclib::make_qdi_adder(2);
+    cad::TechmapOptions with;
+    cad::TechmapOptions without;
+    without.use_rail_pair_hints = false;
+    without.absorb_validity = false;
+    without.greedy_pairing = false;
+    const auto md_with = cad::techmap(adder.nl, adder.hints, with);
+    const auto md_without = cad::techmap(adder.nl, adder.hints, without);
+    EXPECT_LT(md_with.les.size(), md_without.les.size());
+}
+
+TEST(Techmap, RejectsTooWideGate) {
+    Netlist nl;
+    std::vector<NetId> ins;
+    for (int i = 0; i < 7; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+    const NetId c = nl.add_cell(CellFunc::C, "c", ins);  // 7 + feedback = 8 vars
+    nl.add_output("c", c);
+    EXPECT_THROW(cad::techmap(nl), base::Error);
+}
+
+// --- pack ------------------------------------------------------------------------
+
+TEST(Pack, RespectsLesPerPlb) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const auto md = cad::techmap(adder.nl, adder.hints);
+    const ArchSpec arch;
+    const auto pd = cad::pack(md, arch);
+    for (const auto& c : pd.clusters) {
+        EXPECT_LE(c.le_indices.size(), arch.les_per_plb);
+        EXPECT_LE(c.external_inputs(md).size(), arch.plb_inputs);
+    }
+    // Every LE assigned exactly once.
+    std::vector<bool> seen(md.les.size(), false);
+    for (const auto& c : pd.clusters)
+        for (std::size_t li : c.le_indices) {
+            EXPECT_FALSE(seen[li]);
+            seen[li] = true;
+        }
+    for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Pack, PdeAttachedToProducerCluster) {
+    auto adder = asynclib::make_micropipeline_adder(1);
+    const auto md = cad::techmap(adder.nl, {});
+    ASSERT_EQ(md.pdes.size(), 1u);
+    const ArchSpec arch;
+    const auto pd = cad::pack(md, arch);
+    const std::size_t pc = pd.cluster_of_pde[0];
+    const auto made = pd.clusters[pc].produced(md);
+    // The PDE's input (the controller C output) should be produced in the
+    // same cluster when capacity allows.
+    EXPECT_NE(std::find(made.begin(), made.end(), md.pdes[0].input), made.end());
+}
+
+// --- place ------------------------------------------------------------------------
+
+TEST(Place, ProducesLegalPlacement) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const auto md = cad::techmap(adder.nl, adder.hints);
+    const ArchSpec arch;
+    const auto pd = cad::pack(md, arch);
+    cad::PlaceOptions opts;
+    opts.seed = 42;
+    const auto pl = cad::place(pd, md, arch, opts);
+    ASSERT_EQ(pl.cluster_loc.size(), pd.clusters.size());
+    std::set<std::pair<std::uint32_t, std::uint32_t>> used;
+    for (const auto& c : pl.cluster_loc) {
+        EXPECT_LT(c.x, arch.width);
+        EXPECT_LT(c.y, arch.height);
+        EXPECT_TRUE(used.emplace(c.x, c.y).second) << "two clusters on one PLB";
+    }
+    std::set<std::uint32_t> pads;
+    for (const auto& [n, p] : pl.pi_pad) EXPECT_TRUE(pads.insert(p).second);
+    for (const auto& [n, p] : pl.po_pad) EXPECT_TRUE(pads.insert(p).second);
+}
+
+TEST(Place, AnnealingBeatsRandom) {
+    auto adder = asynclib::make_qdi_adder(4);
+    const auto md = cad::techmap(adder.nl, adder.hints);
+    const ArchSpec arch;
+    const auto pd = cad::pack(md, arch);
+    cad::PlaceOptions random_only;
+    random_only.anneal = false;
+    random_only.seed = 7;
+    cad::PlaceOptions annealed;
+    annealed.seed = 7;
+    const auto pl0 = cad::place(pd, md, arch, random_only);
+    const auto pl1 = cad::place(pd, md, arch, annealed);
+    const double w0 = cad::placement_wirelength(pd, md, arch, pl0);
+    const double w1 = cad::placement_wirelength(pd, md, arch, pl1);
+    EXPECT_LT(w1, w0);
+}
+
+TEST(Place, DeterministicForSeed) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const auto md = cad::techmap(adder.nl, adder.hints);
+    const ArchSpec arch;
+    const auto pd = cad::pack(md, arch);
+    cad::PlaceOptions opts;
+    opts.seed = 99;
+    const auto a = cad::place(pd, md, arch, opts);
+    const auto b = cad::place(pd, md, arch, opts);
+    EXPECT_EQ(a.cluster_loc.size(), b.cluster_loc.size());
+    for (std::size_t i = 0; i < a.cluster_loc.size(); ++i)
+        EXPECT_TRUE(a.cluster_loc[i] == b.cluster_loc[i]);
+    EXPECT_EQ(a.pi_pad, b.pi_pad);
+}
+
+TEST(Place, ThrowsWhenDesignTooBig) {
+    auto adder = asynclib::make_qdi_adder(4);
+    const auto md = cad::techmap(adder.nl, adder.hints);
+    ArchSpec tiny;
+    tiny.width = 2;
+    tiny.height = 2;
+    const auto pd = cad::pack(md, tiny);
+    EXPECT_THROW(cad::place(pd, md, tiny, {}), base::Error);
+}
+
+// --- full flow ----------------------------------------------------------------------
+
+sim::QdiCombIface qdi_iface_from_elaborated(const Netlist& nl, std::size_t n_bits) {
+    sim::QdiCombIface iface;
+    for (std::size_t i = 0; i < n_bits; ++i)
+        iface.inputs.push_back(dr(nl, base::bus_bit("a", i)));
+    for (std::size_t i = 0; i < n_bits; ++i)
+        iface.inputs.push_back(dr(nl, base::bus_bit("b", i)));
+    iface.inputs.push_back(dr(nl, "cin"));
+    // outputs via PO names
+    auto po_net = [&nl](const std::string& name) {
+        for (const auto& [n, net] : nl.primary_outputs())
+            if (n == name) return net;
+        base::fail("missing PO " + name);
+    };
+    for (std::size_t i = 0; i < n_bits; ++i) {
+        asynclib::DualRail d;
+        d.t = po_net(base::bus_bit("sum", i) + ".t");
+        d.f = po_net(base::bus_bit("sum", i) + ".f");
+        iface.outputs.push_back(d);
+    }
+    asynclib::DualRail co;
+    co.t = po_net("cout.t");
+    co.f = po_net("cout.f");
+    iface.outputs.push_back(co);
+    iface.done = po_net("done");
+    return iface;
+}
+
+TEST(Flow, QdiFullAdderPostRouteEquivalence) {
+    auto adder = asynclib::make_qdi_adder(1);
+    const ArchSpec arch;
+    FlowOptions opts;
+    opts.seed = 3;
+    const auto fr = run_flow(adder.nl, adder.hints, arch, opts);
+    EXPECT_TRUE(fr.routing.success);
+
+    const auto design = fr.elaborate();
+    Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+
+    const auto iface = qdi_iface_from_elaborated(design.nl, 1);
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        const std::uint64_t a = v & 1;
+        const std::uint64_t b = (v >> 1) & 1;
+        const std::uint64_t cin = (v >> 2) & 1;
+        EXPECT_EQ(sim::qdi_apply_token(sim, iface, v), a + b + cin) << "v=" << v;
+    }
+}
+
+TEST(Flow, QdiRippleAdderPostRouteEquivalence) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const ArchSpec arch;
+    FlowOptions opts;
+    opts.seed = 11;
+    const auto fr = run_flow(adder.nl, adder.hints, arch, opts);
+
+    const auto design = fr.elaborate();
+    Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+    const auto iface = qdi_iface_from_elaborated(design.nl, 2);
+    for (std::uint64_t v = 0; v < 32; ++v) {
+        const std::uint64_t a = v & 3;
+        const std::uint64_t b = (v >> 2) & 3;
+        const std::uint64_t cin = (v >> 4) & 1;
+        EXPECT_EQ(sim::qdi_apply_token(sim, iface, v), a + b + cin) << "v=" << v;
+    }
+}
+
+TEST(Flow, MicropipelineAdderPostRouteEquivalence) {
+    auto adder = asynclib::make_micropipeline_adder(1);
+    const ArchSpec arch;
+    FlowOptions opts;
+    opts.seed = 5;
+    const auto fr = run_flow(adder.nl, {}, arch, opts);
+
+    const auto design = fr.elaborate();
+    Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+
+    auto po_net = [&](const std::string& name) {
+        for (const auto& [n, net] : design.nl.primary_outputs())
+            if (n == name) return net;
+        base::fail("missing PO " + name);
+    };
+    sim::BundledStageIface iface;
+    iface.data_in = {design.nl.find_net("a[0]"), design.nl.find_net("b[0]"),
+                     design.nl.find_net("cin")};
+    iface.req_in = design.nl.find_net("req_in");
+    iface.ack_out = design.nl.find_net("ack_out");
+    iface.data_out = {po_net("sum[0]"), po_net("cout")};
+    iface.req_out = po_net("req_out");
+    iface.ack_in = po_net("ack_in");
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        const std::uint64_t expect = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
+        EXPECT_EQ(sim::bundled_apply_token(sim, iface, v, 200), expect) << "v=" << v;
+    }
+}
+
+TEST(Flow, MicropipelineBundlingHoldsPostRoute) {
+    auto adder = asynclib::make_micropipeline_adder(1);
+    const ArchSpec arch;
+    FlowOptions opts;
+    opts.seed = 5;
+    opts.pde_extra_margin = 2.0;
+    const auto fr = run_flow(adder.nl, {}, arch, opts);
+    const auto design = fr.elaborate();
+    Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+    auto po_net = [&](const std::string& name) {
+        for (const auto& [n, net] : design.nl.primary_outputs())
+            if (n == name) return net;
+        base::fail("missing PO " + name);
+    };
+    sim::BundledStageIface iface;
+    iface.data_in = {design.nl.find_net("a[0]"), design.nl.find_net("b[0]"),
+                     design.nl.find_net("cin")};
+    iface.req_in = design.nl.find_net("req_in");
+    iface.ack_out = design.nl.find_net("ack_out");
+    iface.data_out = {po_net("sum[0]"), po_net("cout")};
+    iface.req_out = po_net("req_out");
+    iface.ack_in = po_net("ack_in");
+    sim::BundledChannelMonitor mon(sim, iface.data_out, iface.req_out, iface.ack_out, "out");
+    for (std::uint64_t v = 0; v < 8; ++v) (void)sim::bundled_apply_token(sim, iface, v, 200);
+    EXPECT_TRUE(mon.violations().empty())
+        << (mon.violations().empty() ? "" : mon.violations()[0].what);
+}
+
+TEST(Flow, BitstreamRoundTripPreservesBehaviour) {
+    auto adder = asynclib::make_qdi_adder(1);
+    const ArchSpec arch;
+    const auto fr = run_flow(adder.nl, adder.hints, arch, {});
+    // serialize -> deserialize -> elaborate must equal direct elaboration
+    const auto serial = fr.bits->serialize();
+    const auto back = core::Bitstream::deserialize(arch, serial);
+    EXPECT_TRUE(*fr.bits == back);
+    const auto d1 = core::elaborate(*fr.rr, back, fr.pad_names);
+    const auto d2 = fr.elaborate();
+    EXPECT_EQ(d1.nl.num_cells(), d2.nl.num_cells());
+    EXPECT_EQ(d1.nl.num_nets(), d2.nl.num_nets());
+}
+
+TEST(Flow, DeterministicBitstreamForSeed) {
+    auto adder = asynclib::make_qdi_adder(1);
+    const ArchSpec arch;
+    FlowOptions opts;
+    opts.seed = 77;
+    const auto a = run_flow(adder.nl, adder.hints, arch, opts);
+    const auto b = run_flow(adder.nl, adder.hints, arch, opts);
+    EXPECT_TRUE(a.bits->serialize() == b.bits->serialize());
+}
+
+TEST(Flow, RoutingFailsGracefullyOnStarvedChannels) {
+    auto adder = asynclib::make_qdi_adder(4);
+    ArchSpec starved;
+    starved.channel_width = 2;
+    starved.fc_in = 1.0;
+    starved.fc_out = 1.0;
+    cad::FlowOptions opts;
+    opts.route.max_iterations = 5;
+    EXPECT_THROW(run_flow(adder.nl, adder.hints, starved, opts), base::Error);
+}
+
+TEST(Flow, WchbFifoPostRouteStreams) {
+    auto fifo = asynclib::make_wchb_fifo(2, 2);
+    const ArchSpec arch;
+    FlowOptions opts;
+    opts.seed = 9;
+    const auto fr = run_flow(fifo.nl, fifo.hints, arch, opts);
+    const auto design = fr.elaborate();
+    Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+
+    std::vector<asynclib::DualRail> in_rails;
+    for (std::size_t i = 0; i < 2; ++i) in_rails.push_back(dr(design.nl, base::bus_bit("in", i)));
+    auto po_net = [&](const std::string& name) {
+        for (const auto& [n, net] : design.nl.primary_outputs())
+            if (n == name) return net;
+        base::fail("missing PO " + name);
+    };
+    std::vector<asynclib::DualRail> out_rails;
+    for (std::size_t i = 0; i < 2; ++i) {
+        asynclib::DualRail d;
+        d.t = po_net(base::bus_bit("out", i) + ".t");
+        d.f = po_net(base::bus_bit("out", i) + ".f");
+        out_rails.push_back(d);
+    }
+    const NetId ack_in = po_net("ack_in");
+    const NetId ack_out = design.nl.find_net("ack_out");
+
+    std::vector<std::uint64_t> tokens{3, 0, 1, 2, 3, 1};
+    sim::DrStreamSource src(sim, in_rails, ack_in, tokens, 100);
+    sim::DrStreamSink sink(sim, out_rails, ack_out, 100);
+    src.start();
+    const auto r = sim.run(500'000'000);
+    EXPECT_TRUE(r.quiescent);
+    EXPECT_EQ(sink.received(), tokens);
+}
+
+}  // namespace

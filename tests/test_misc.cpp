@@ -1,0 +1,159 @@
+// Remaining coverage: ArchSpec validation, fabric geometry distances, VCD
+// output, the umbrella header, and simulator edge cases.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "afpga.hpp"
+
+namespace {
+
+using namespace afpga;
+using netlist::CellFunc;
+using netlist::Logic;
+using netlist::NetId;
+using netlist::Netlist;
+
+TEST(ArchSpecValidate, RejectsBadParameters) {
+    core::ArchSpec a;
+    a.width = 0;
+    EXPECT_THROW(a.validate(), base::Error);
+    a = {};
+    a.channel_width = 1;
+    EXPECT_THROW(a.validate(), base::Error);
+    a = {};
+    a.fc_in = 0.0;
+    EXPECT_THROW(a.validate(), base::Error);
+    a = {};
+    a.le_inputs = 6;
+    EXPECT_THROW(a.validate(), base::Error);
+    a = {};
+    a.pde_quantum_ps = 0;
+    EXPECT_THROW(a.validate(), base::Error);
+    a = {};
+    EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Geometry, DistancesAreSymmetricAndPositive) {
+    const core::ArchSpec a;
+    const core::FabricGeometry g(a);
+    EXPECT_EQ(g.distance({0, 0}, {3, 4}), 7u);
+    EXPECT_EQ(g.distance({3, 4}, {0, 0}), 7u);
+    EXPECT_EQ(g.distance({2, 2}, {2, 2}), 0u);
+    // PLB to IOB includes stepping off the array.
+    EXPECT_EQ(g.distance({0, 0}, core::IobCoord{core::Side::Bottom, 0}), 1u);
+    EXPECT_EQ(g.distance({0, 0}, core::IobCoord{core::Side::Top, 0}), a.height);
+}
+
+TEST(Vcd, WritesHeaderAndTransitions) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId y = nl.add_cell(CellFunc::Inv, "y", {a});
+    nl.add_output("y", y);
+    sim::Simulator sim(nl);
+    const std::string path = "/tmp/afpga_vcd_test.vcd";
+    {
+        sim::VcdWriter vcd(sim, path);
+        sim.run();
+        sim.schedule_pi(a, Logic::T, 100);
+        sim.run();
+    }
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string s = ss.str();
+    EXPECT_NE(s.find("$timescale 1ps"), std::string::npos);
+    EXPECT_NE(s.find("$var wire"), std::string::npos);
+    EXPECT_NE(s.find("#150"), std::string::npos);  // 100 ps after the 50 ps settle
+    std::remove(path.c_str());
+}
+
+TEST(Simulator, TransitionsCountBothEdges) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    nl.add_output("a", a);
+    sim::Simulator sim(nl);
+    sim.run();
+    for (int i = 0; i < 5; ++i) {
+        sim.schedule_pi(a, Logic::T);
+        sim.run();
+        sim.schedule_pi(a, Logic::F);
+        sim.run();
+    }
+    EXPECT_EQ(sim.transitions(a), 10u);
+}
+
+TEST(Simulator, ValueByNameThrowsOnUnknown) {
+    Netlist nl;
+    (void)nl.add_input("a");
+    sim::Simulator sim(nl);
+    EXPECT_THROW((void)sim.value("nope"), base::Error);
+    EXPECT_EQ(sim.value("a"), Logic::F);
+}
+
+TEST(Simulator, SchedulePiRejectsNonPi) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId y = nl.add_cell(CellFunc::Inv, "y", {a});
+    nl.add_output("y", y);
+    sim::Simulator sim(nl);
+    EXPECT_THROW(sim.schedule_pi(y, Logic::T), base::Error);
+    EXPECT_THROW(sim.schedule_pi(a, Logic::T, -5), base::Error);
+}
+
+TEST(Styles, TaxonomyCoversFourStyles) {
+    const auto& styles = asynclib::standard_styles();
+    EXPECT_EQ(styles.size(), 4u);
+    bool has_two_phase = false;
+    for (const auto& s : styles)
+        has_two_phase |= (s.protocol == asynclib::Protocol::TwoPhase);
+    EXPECT_TRUE(has_two_phase);
+    EXPECT_EQ(to_string(asynclib::Protocol::FourPhase), "4-phase");
+    EXPECT_EQ(to_string(asynclib::Encoding::OneOfFour), "1-of-4");
+    EXPECT_EQ(to_string(asynclib::TimingModel::QuasiDelayInsensitive), "QDI");
+}
+
+TEST(ImTopology, NamesRoundTrip) {
+    EXPECT_EQ(to_string(core::ImTopology::FullCrossbar), "full-crossbar");
+    EXPECT_EQ(to_string(core::ImTopology::NoFeedback), "no-feedback");
+}
+
+TEST(LeDescribe, MentionsTables) {
+    core::LeConfig cfg;
+    cfg.tt_a = 0xDEADBEEF;
+    const std::string s = core::describe(cfg);
+    EXPECT_NE(s.find("deadbeef"), std::string::npos);
+}
+
+TEST(Pack, FirstFitWorksWithoutAffinity) {
+    auto adder = asynclib::make_qdi_adder(1);
+    const auto md = cad::techmap(adder.nl, adder.hints);
+    cad::PackOptions opts;
+    opts.affinity_clustering = false;
+    const auto pd = cad::pack(md, core::ArchSpec{}, opts);
+    std::size_t les = 0;
+    for (const auto& c : pd.clusters) les += c.le_indices.size();
+    EXPECT_EQ(les, md.les.size());
+}
+
+TEST(Flow, MappingVerificationCanBeDisabled) {
+    auto adder = asynclib::make_qdi_adder(1);
+    cad::FlowOptions opts;
+    opts.verify_mapping = false;
+    EXPECT_NO_THROW((void)cad::run_flow(adder.nl, adder.hints, core::ArchSpec{}, opts));
+}
+
+TEST(Techmap, NoGreedyPairingLeavesSingles) {
+    auto adder = asynclib::make_qdi_adder(1);
+    cad::TechmapOptions opts;
+    opts.greedy_pairing = false;
+    opts.use_rail_pair_hints = false;
+    opts.absorb_validity = false;
+    const auto md = cad::techmap(adder.nl, adder.hints, opts);
+    for (const auto& le : md.les)
+        EXPECT_TRUE((le.a && !le.b) || le.full7) << "pairing happened despite options";
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Negative tests for the protocol monitors: they must detect deliberately
+// broken traffic, not merely stay silent on clean traffic (which
+// test_asynclib already covers).
+#include <gtest/gtest.h>
+
+#include "asynclib/styles.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/channels.hpp"
+#include "sim/monitors.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace afpga;
+using asynclib::DualRail;
+using netlist::CellFunc;
+using netlist::Logic;
+using netlist::NetId;
+using netlist::Netlist;
+using sim::Simulator;
+
+struct DrFixture {
+    Netlist nl;
+    DualRail bit;
+    NetId ack;
+    DrFixture() {
+        bit.t = nl.add_input("t");
+        bit.f = nl.add_input("f");
+        ack = nl.add_input("ack");
+        nl.add_output("t", bit.t);
+    }
+};
+
+TEST(DualRailMonitor, FlagsBothRailsHigh) {
+    DrFixture fx;
+    Simulator sim(fx.nl);
+    sim.run();
+    sim::DualRailChannelMonitor mon(sim, {fx.bit}, fx.ack, "ch");
+    sim.schedule_pi(fx.bit.t, Logic::T, 0);
+    sim.schedule_pi(fx.bit.f, Logic::T, 10);  // illegal: 1-of-2 violated
+    sim.run();
+    ASSERT_FALSE(mon.violations().empty());
+    EXPECT_NE(mon.violations()[0].what.find("both rails"), std::string::npos);
+}
+
+TEST(DualRailMonitor, FlagsRetractionBeforeAck) {
+    DrFixture fx;
+    Simulator sim(fx.nl);
+    sim.run();
+    sim::DualRailChannelMonitor mon(sim, {fx.bit}, fx.ack, "ch");
+    sim.schedule_pi(fx.bit.t, Logic::T, 0);
+    sim.schedule_pi(fx.bit.t, Logic::F, 100);  // retract with ack still low
+    sim.run();
+    ASSERT_FALSE(mon.violations().empty());
+    EXPECT_NE(mon.violations()[0].what.find("retracted"), std::string::npos);
+}
+
+TEST(DualRailMonitor, FlagsRiseDuringRtz) {
+    DrFixture fx;
+    Simulator sim(fx.nl);
+    sim.run();
+    sim::DualRailChannelMonitor mon(sim, {fx.bit}, fx.ack, "ch");
+    sim.schedule_pi(fx.bit.t, Logic::T, 0);
+    sim.schedule_pi(fx.ack, Logic::T, 100);
+    sim.schedule_pi(fx.bit.t, Logic::F, 200);
+    sim.schedule_pi(fx.bit.f, Logic::T, 250);  // new data before ack fell
+    sim.run();
+    bool found = false;
+    for (const auto& v : mon.violations())
+        found |= v.what.find("return-to-zero") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(DualRailMonitor, CleanCycleCountsToken) {
+    DrFixture fx;
+    Simulator sim(fx.nl);
+    sim.run();
+    sim::DualRailChannelMonitor mon(sim, {fx.bit}, fx.ack, "ch");
+    sim.schedule_pi(fx.bit.t, Logic::T, 0);
+    sim.schedule_pi(fx.ack, Logic::T, 100);
+    sim.schedule_pi(fx.bit.t, Logic::F, 200);
+    sim.schedule_pi(fx.ack, Logic::F, 300);
+    sim.run();
+    EXPECT_TRUE(mon.violations().empty());
+    EXPECT_EQ(mon.tokens_seen(), 1u);
+}
+
+struct BdFixture {
+    Netlist nl;
+    std::vector<NetId> data;
+    NetId req;
+    NetId ack;
+    BdFixture() {
+        data = {nl.add_input("d0"), nl.add_input("d1")};
+        req = nl.add_input("req");
+        ack = nl.add_input("ack");
+        nl.add_output("d0", data[0]);
+    }
+};
+
+TEST(BundledMonitor, FlagsDataChangeWhileOutstanding) {
+    BdFixture fx;
+    Simulator sim(fx.nl);
+    sim.run();
+    sim::BundledChannelMonitor mon(sim, fx.data, fx.req, fx.ack, "ch");
+    sim.schedule_pi(fx.data[0], Logic::T, 0);
+    sim.schedule_pi(fx.req, Logic::T, 50);
+    sim.schedule_pi(fx.data[1], Logic::T, 80);  // bundling broken
+    sim.run();
+    ASSERT_FALSE(mon.violations().empty());
+    EXPECT_NE(mon.violations()[0].what.find("bundling"), std::string::npos);
+}
+
+TEST(BundledMonitor, DataChangeAfterAckIsFine) {
+    BdFixture fx;
+    Simulator sim(fx.nl);
+    sim.run();
+    sim::BundledChannelMonitor mon(sim, fx.data, fx.req, fx.ack, "ch");
+    sim.schedule_pi(fx.data[0], Logic::T, 0);
+    sim.schedule_pi(fx.req, Logic::T, 50);
+    sim.schedule_pi(fx.ack, Logic::T, 100);    // receiver captured
+    sim.schedule_pi(fx.data[1], Logic::T, 150);  // now data may churn
+    sim.run();
+    EXPECT_TRUE(mon.violations().empty());
+}
+
+TEST(BundledMonitor, SamplesTokenAtReqRise) {
+    BdFixture fx;
+    Simulator sim(fx.nl);
+    sim.run();
+    sim::BundledChannelMonitor mon(sim, fx.data, fx.req, fx.ack, "ch");
+    sim.schedule_pi(fx.data[0], Logic::T, 0);
+    sim.schedule_pi(fx.data[1], Logic::T, 0);
+    sim.schedule_pi(fx.req, Logic::T, 50);
+    sim.run();
+    ASSERT_EQ(mon.tokens().size(), 1u);
+    EXPECT_EQ(mon.tokens()[0], 0b11u);
+}
+
+TEST(TokenTimes, SteadyPeriodIgnoresWarmup) {
+    sim::TokenTimes tt;
+    // Warm-up gaps of 500, steady gaps of 100.
+    tt.at_ps = {0, 500, 1000, 1100, 1200, 1300, 1400};
+    EXPECT_NEAR(tt.steady_period_ps(), 100.0, 1e-9);
+}
+
+TEST(TokenTimes, TooFewTokensIsZero) {
+    sim::TokenTimes tt;
+    tt.at_ps = {0, 100};
+    EXPECT_EQ(tt.steady_period_ps(), 0.0);
+}
+
+}  // namespace

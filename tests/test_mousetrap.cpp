@@ -1,0 +1,160 @@
+// Tests for the third style: 2-phase bundled data (MOUSETRAP pipelines) —
+// netlist-level behaviour, protocol discipline, and full-flow post-route
+// equivalence on the fabric.
+#include <gtest/gtest.h>
+
+#include "asynclib/fifos.hpp"
+#include "base/strings.hpp"
+#include "cad/flow.hpp"
+#include "eval/metrics.hpp"
+#include "sim/channels.hpp"
+#include "sim/monitors.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace afpga;
+using netlist::Logic;
+using netlist::NetId;
+using sim::Simulator;
+
+TEST(Mousetrap, SingleStageCapturesOnBothPhases) {
+    auto fifo = asynclib::make_mousetrap_fifo(2, 1);
+    Simulator sim(fifo.nl);
+    sim.run();
+    // Token 1 on the rising phase of req.
+    sim.schedule_pi(fifo.in[0], Logic::T);
+    sim.schedule_pi(fifo.req_in, Logic::T, 100);
+    sim.run();
+    EXPECT_EQ(sim.value(fifo.out[0]), Logic::T);
+    EXPECT_EQ(sim.value(fifo.ack_in), Logic::T);  // phase captured
+    // Environment acknowledges by toggling ack_out to match.
+    sim.schedule_pi(fifo.ack_out, Logic::T);
+    sim.run();
+    // Token 2 on the falling phase.
+    sim.schedule_pi(fifo.in[0], Logic::F);
+    sim.schedule_pi(fifo.in[1], Logic::T);
+    sim.schedule_pi(fifo.req_in, Logic::F, 100);
+    sim.run();
+    EXPECT_EQ(sim.value(fifo.out[0]), Logic::F);
+    EXPECT_EQ(sim.value(fifo.out[1]), Logic::T);
+    EXPECT_EQ(sim.value(fifo.ack_in), Logic::F);  // phase toggled back
+}
+
+TEST(Mousetrap, LatchSnapsShutAfterCapture) {
+    auto fifo = asynclib::make_mousetrap_fifo(1, 1);
+    Simulator sim(fifo.nl);
+    sim.run();
+    sim.schedule_pi(fifo.in[0], Logic::T);
+    sim.schedule_pi(fifo.req_in, Logic::T, 100);
+    sim.run();
+    EXPECT_EQ(sim.value(fifo.out[0]), Logic::T);
+    // No ack from the environment yet: the stage is closed; input churn
+    // must not leak through.
+    sim.schedule_pi(fifo.in[0], Logic::F);
+    sim.run();
+    EXPECT_EQ(sim.value(fifo.out[0]), Logic::T);
+}
+
+TEST(Mousetrap, StreamsTokensInOrder) {
+    auto fifo = asynclib::make_mousetrap_fifo(4, 3);
+    Simulator sim(fifo.nl);
+    sim.run();
+    std::vector<std::uint64_t> tokens{5, 10, 3, 15, 0, 9, 6};
+    sim::Bd2StreamSource src(sim, fifo.in, fifo.req_in, fifo.ack_in, tokens, 60, 60);
+    sim::Bd2StreamSink sink(sim, fifo.out, fifo.req_out, fifo.ack_out, 60);
+    src.start();
+    const auto r = sim.run(100'000'000);
+    EXPECT_TRUE(r.quiescent);
+    EXPECT_EQ(sink.received(), tokens);
+}
+
+TEST(Mousetrap, TwoPhaseBundlingClean) {
+    auto fifo = asynclib::make_mousetrap_fifo(4, 2);
+    Simulator sim(fifo.nl);
+    sim.run();
+    sim::TwoPhaseBundledMonitor mon(sim, fifo.out, fifo.req_out, fifo.ack_out, "mt.out");
+    std::vector<std::uint64_t> tokens{1, 2, 4, 8, 15};
+    sim::Bd2StreamSource src(sim, fifo.in, fifo.req_in, fifo.ack_in, tokens, 60, 60);
+    sim::Bd2StreamSink sink(sim, fifo.out, fifo.req_out, fifo.ack_out, 60);
+    src.start();
+    sim.run(100'000'000);
+    EXPECT_EQ(sink.received().size(), tokens.size());
+    EXPECT_TRUE(mon.violations().empty())
+        << (mon.violations().empty() ? "" : mon.violations()[0].what);
+}
+
+TEST(Mousetrap, TwoPhaseHasFewerHandshakeEdgesThanFourPhase) {
+    // The 2-phase selling point: no return-to-zero, so the req wire toggles
+    // once per token instead of twice.
+    auto count_req_edges = [](auto&& fifo, auto&& make_src, auto&& make_sink) {
+        Simulator sim(fifo.nl);
+        sim.run();
+        auto src = make_src(sim, fifo);
+        auto sink = make_sink(sim, fifo);
+        src.start();
+        sim.run(500'000'000);
+        return sim.transitions(fifo.req_in);
+    };
+    std::vector<std::uint64_t> tokens(16, 5);
+
+    auto mt = asynclib::make_mousetrap_fifo(4, 2);
+    const auto mt_edges = count_req_edges(
+        mt,
+        [&](Simulator& s, auto& f) {
+            return sim::Bd2StreamSource(s, f.in, f.req_in, f.ack_in, tokens, 60, 60);
+        },
+        [&](Simulator& s, auto& f) {
+            return sim::Bd2StreamSink(s, f.out, f.req_out, f.ack_out, 60);
+        });
+
+    auto mp = asynclib::make_micropipeline_fifo(4, 2);
+    const auto mp_edges = count_req_edges(
+        mp,
+        [&](Simulator& s, auto& f) {
+            return sim::BdStreamSource(s, f.in, f.req_in, f.ack_in, tokens, 60, 60);
+        },
+        [&](Simulator& s, auto& f) {
+            return sim::BdStreamSink(s, f.out, f.req_out, f.ack_out, 60);
+        });
+
+    EXPECT_EQ(mt_edges, 16u);       // one edge per token
+    EXPECT_EQ(mp_edges, 2u * 16u);  // rise + RTZ per token
+}
+
+TEST(Mousetrap, PostRouteEquivalenceOnFabric) {
+    auto fifo = asynclib::make_mousetrap_fifo(2, 2);
+    const auto fr = cad::run_flow(fifo.nl, {}, core::paper_arch(), {});
+    const auto design = fr.elaborate();
+    Simulator sim(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim.run();
+
+    auto po_net = [&](const std::string& name) {
+        for (const auto& [n, net] : design.nl.primary_outputs())
+            if (n == name) return net;
+        return NetId::invalid();
+    };
+    std::vector<NetId> in = {design.nl.find_net("in[0]"), design.nl.find_net("in[1]")};
+    std::vector<NetId> out = {po_net("out[0]"), po_net("out[1]")};
+    std::vector<std::uint64_t> tokens{2, 1, 3, 0, 2, 3};
+    sim::Bd2StreamSource src(sim, in, design.nl.find_net("req_in"), po_net("ack_in"), tokens,
+                             120, 400);
+    sim::Bd2StreamSink sink(sim, out, po_net("req_out"), design.nl.find_net("ack_out"), 120);
+    src.start();
+    sim.run(1'000'000'000);
+    EXPECT_EQ(sink.received(), tokens);
+}
+
+TEST(Mousetrap, FillingRatioMatchesBundledStyle) {
+    // 2-phase bundled data uses the LE the same way 4-phase does (no rails,
+    // no validity): filling should land near 50%, not near the QDI 60-75%.
+    auto fifo = asynclib::make_mousetrap_fifo(4, 3);
+    const auto fr = cad::run_flow(fifo.nl, {}, core::paper_arch(), {});
+    const auto f = eval::filling_ratio(fr);
+    EXPECT_GT(f.outputs, 0.35);
+    EXPECT_LT(f.outputs, 0.60);
+}
+
+}  // namespace

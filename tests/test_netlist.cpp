@@ -1,0 +1,176 @@
+// Unit tests for the Netlist graph, validation and static analyses.
+#include <gtest/gtest.h>
+
+#include "base/check.hpp"
+#include "netlist/analyze.hpp"
+#include "netlist/netlist.hpp"
+
+namespace {
+
+using afpga::base::Error;
+using afpga::netlist::CellFunc;
+using afpga::netlist::eval_combinational;
+using afpga::netlist::extract_functions;
+using afpga::netlist::NetId;
+using afpga::netlist::Netlist;
+using afpga::netlist::TruthTable;
+
+Netlist make_full_adder() {
+    Netlist nl("fa");
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const NetId c = nl.add_input("c");
+    const NetId sum = nl.add_cell(CellFunc::Xor, "sum", {a, b, c});
+    const NetId cout = nl.add_cell(CellFunc::Maj, "cout", {a, b, c});
+    nl.add_output("sum", sum);
+    nl.add_output("cout", cout);
+    return nl;
+}
+
+TEST(Netlist, BuildAndCounts) {
+    const Netlist nl = make_full_adder();
+    EXPECT_EQ(nl.num_cells(), 2u);
+    EXPECT_EQ(nl.num_nets(), 5u);
+    EXPECT_EQ(nl.primary_inputs().size(), 3u);
+    EXPECT_EQ(nl.primary_outputs().size(), 2u);
+    nl.validate();
+}
+
+TEST(Netlist, FindNetByName) {
+    const Netlist nl = make_full_adder();
+    EXPECT_TRUE(nl.find_net("sum").valid());
+    EXPECT_FALSE(nl.find_net("nope").valid());
+}
+
+TEST(Netlist, SinksBackReference) {
+    const Netlist nl = make_full_adder();
+    const NetId a = nl.primary_inputs()[0];
+    EXPECT_EQ(nl.net(a).sinks.size(), 2u);  // feeds XOR and MAJ
+}
+
+TEST(Netlist, ArityViolationThrows) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    EXPECT_THROW(nl.add_cell(CellFunc::Mux, "m", {a}), Error);
+    EXPECT_THROW(nl.add_cell(CellFunc::Inv, "i", {a, a}), Error);
+}
+
+TEST(Netlist, DuplicateOutputNameThrows) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    nl.add_output("o", a);
+    EXPECT_THROW(nl.add_output("o", a), Error);
+}
+
+TEST(Netlist, LutCellRoundTrip) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const NetId o = nl.add_lut("xor2", TruthTable::from_bits(2, 0b0110), {a, b});
+    nl.add_output("o", o);
+    nl.validate();
+    const auto funcs = extract_functions(nl);
+    ASSERT_EQ(funcs.size(), 1u);
+    EXPECT_EQ(funcs[0], TruthTable::from_bits(2, 0b0110));
+}
+
+TEST(Netlist, RewireInputMovesSink) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const NetId o = nl.add_cell(CellFunc::Buf, "buf", {a});
+    nl.rewire_input(nl.driver_of(o), 0, b);
+    nl.validate();
+    EXPECT_TRUE(nl.net(a).sinks.empty());
+    EXPECT_EQ(nl.net(b).sinks.size(), 1u);
+}
+
+TEST(Netlist, HistogramCounts) {
+    const Netlist nl = make_full_adder();
+    const auto h = nl.histogram();
+    EXPECT_EQ(h.at(CellFunc::Xor), 1u);
+    EXPECT_EQ(h.at(CellFunc::Maj), 1u);
+}
+
+TEST(Netlist, CycleDetection) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId x = nl.add_cell(CellFunc::Or, "x", {a, a});
+    const NetId y = nl.add_cell(CellFunc::And, "y", {x, a});
+    // close a combinational loop: x's second input becomes y
+    nl.rewire_input(nl.driver_of(x), 1, y);
+    EXPECT_TRUE(nl.has_combinational_cycle());
+}
+
+TEST(Netlist, SequentialLoopIsNotCombinationalCycle) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId c = nl.add_cell(CellFunc::C, "c", {a, a});
+    nl.rewire_input(nl.driver_of(c), 1, c);  // C-element holding itself
+    EXPECT_FALSE(nl.has_combinational_cycle());
+}
+
+TEST(Netlist, TopoOrderComplete) {
+    const Netlist nl = make_full_adder();
+    EXPECT_EQ(nl.topo_order_cut_sequential().size(), nl.num_cells());
+}
+
+TEST(Analyze, FullAdderTruthTables) {
+    const Netlist nl = make_full_adder();
+    const auto funcs = extract_functions(nl);
+    ASSERT_EQ(funcs.size(), 2u);
+    for (std::uint32_t m = 0; m < 8; ++m) {
+        const int s = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+        EXPECT_EQ(funcs[0].eval(m), (s & 1) != 0);
+        EXPECT_EQ(funcs[1].eval(m), s >= 2);
+    }
+}
+
+TEST(Analyze, EvalRejectsSequential) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    nl.add_output("o", nl.add_cell(CellFunc::C, "c", {a, b}));
+    EXPECT_THROW(eval_combinational(nl, {true, true}), Error);
+}
+
+TEST(Analyze, ArrivalTimesAccumulate) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId x = nl.add_cell(CellFunc::Inv, "x", {a});   // 50ps
+    const NetId y = nl.add_cell(CellFunc::Inv, "y", {x});   // +50ps
+    nl.add_output("o", y);
+    const auto arr = afpga::netlist::net_arrival_times(nl);
+    EXPECT_EQ(arr[x.index()], 50);
+    EXPECT_EQ(arr[y.index()], 100);
+    EXPECT_EQ(afpga::netlist::longest_path_to(nl, y), 100);
+}
+
+TEST(Analyze, ExtraNetDelayCounts) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId x = nl.add_cell(CellFunc::Inv, "x", {a});
+    const NetId y = nl.add_cell(CellFunc::Inv, "y", {x});
+    nl.add_output("o", y);
+    const auto arr = afpga::netlist::net_arrival_times(nl, 10);
+    EXPECT_EQ(arr[y.index()], 120);  // two hops of +10
+}
+
+TEST(Analyze, DelayOverrideRespected) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId d = nl.add_cell(CellFunc::Delay, "d", {a});
+    nl.set_cell_delay(nl.driver_of(d), 777);
+    nl.add_output("o", d);
+    EXPECT_EQ(afpga::netlist::longest_path_to(nl, d), 777);
+}
+
+TEST(Netlist, DotExportMentionsCells) {
+    const Netlist nl = make_full_adder();
+    const std::string dot = nl.to_dot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("XOR"), std::string::npos);
+    EXPECT_NE(dot.find("MAJ"), std::string::npos);
+}
+
+}  // namespace

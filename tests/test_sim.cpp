@@ -1,0 +1,243 @@
+// Tests for the event-driven simulator: gate semantics under time, inertial
+// vs transport delays, sequential cells, sink delays, monitors.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "sim/monitors.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using afpga::netlist::CellFunc;
+using afpga::netlist::Logic;
+using afpga::netlist::NetId;
+using afpga::netlist::Netlist;
+using afpga::sim::InitState;
+using afpga::sim::Simulator;
+
+TEST(Simulator, InverterSettlesAtTimeZero) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId y = nl.add_cell(CellFunc::Inv, "inv", {a});
+    nl.add_output("y", y);
+    Simulator sim(nl);
+    const auto r = sim.run();
+    EXPECT_TRUE(r.quiescent);
+    EXPECT_EQ(sim.value(y), Logic::T);  // INV of the all-zero init state
+}
+
+TEST(Simulator, PiChangePropagatesWithDelay) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId y = nl.add_cell(CellFunc::Buf, "buf", {a});  // 50ps
+    nl.add_output("y", y);
+    Simulator sim(nl);
+    sim.run();
+    sim.schedule_pi(a, Logic::T, 10);
+    const auto r = sim.run();
+    EXPECT_EQ(sim.value(y), Logic::T);
+    EXPECT_EQ(r.end_time_ps, 60);  // 10 + 50
+}
+
+TEST(Simulator, ChainDelayAccumulates) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    NetId n = a;
+    for (int i = 0; i < 4; ++i) n = nl.add_cell(CellFunc::Buf, "b" + std::to_string(i), {n});
+    nl.add_output("y", n);
+    Simulator sim(nl);
+    sim.run();
+    sim.schedule_pi(a, Logic::T);
+    const auto r = sim.run();
+    EXPECT_EQ(r.end_time_ps, 200);
+}
+
+TEST(Simulator, InertialDelaySwallowsShortPulse) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId y = nl.add_cell(CellFunc::Buf, "buf", {a});  // 50ps inertial
+    nl.add_output("y", y);
+    Simulator sim(nl);
+    sim.run();
+    // 20ps pulse, shorter than the gate delay: must not appear at the output.
+    sim.schedule_pi(a, Logic::T, 0);
+    sim.schedule_pi(a, Logic::F, 20);
+    sim.run();
+    EXPECT_EQ(sim.value(y), Logic::F);
+    EXPECT_EQ(sim.transitions(y), 0u);
+}
+
+TEST(Simulator, TransportDelayPropagatesEveryEdge) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId y = nl.add_cell(CellFunc::Delay, "dly", {a});
+    nl.set_cell_delay(nl.driver_of(y), 500);
+    nl.add_output("y", y);
+    Simulator sim(nl);
+    sim.run();
+    sim.schedule_pi(a, Logic::T, 0);
+    sim.schedule_pi(a, Logic::F, 100);  // 100ps pulse through 500ps transport
+    sim.run();
+    EXPECT_EQ(sim.transitions(y), 2u);  // both edges arrive
+    EXPECT_EQ(sim.value(y), Logic::F);
+}
+
+TEST(Simulator, MullerCElementJoinsAndHolds) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const NetId c = nl.add_cell(CellFunc::C, "c", {a, b});
+    nl.add_output("c", c);
+    Simulator sim(nl);
+    sim.run();
+    sim.schedule_pi(a, Logic::T);
+    sim.run();
+    EXPECT_EQ(sim.value(c), Logic::F);  // only one input high: hold
+    sim.schedule_pi(b, Logic::T);
+    sim.run();
+    EXPECT_EQ(sim.value(c), Logic::T);  // join
+    sim.schedule_pi(a, Logic::F);
+    sim.run();
+    EXPECT_EQ(sim.value(c), Logic::T);  // hold
+    sim.schedule_pi(b, Logic::F);
+    sim.run();
+    EXPECT_EQ(sim.value(c), Logic::F);  // join down
+}
+
+TEST(Simulator, LatchCapturesOnEnableFall) {
+    Netlist nl;
+    const NetId d = nl.add_input("d");
+    const NetId en = nl.add_input("en");
+    const NetId q = nl.add_cell(CellFunc::Latch, "q", {d, en});
+    nl.add_output("q", q);
+    Simulator sim(nl);
+    sim.run();
+    sim.schedule_pi(en, Logic::T);
+    sim.schedule_pi(d, Logic::T, 100);
+    sim.run();
+    EXPECT_EQ(sim.value(q), Logic::T);  // transparent
+    sim.schedule_pi(en, Logic::F);
+    sim.run();
+    sim.schedule_pi(d, Logic::F);
+    sim.run();
+    EXPECT_EQ(sim.value(q), Logic::T);  // held
+}
+
+TEST(Simulator, LoopedLutImplementsCElement) {
+    // The paper's memory-element mechanism: a LUT with its own output looped
+    // back (through the IM in the real fabric) behaves as a Muller C.
+    using afpga::netlist::cell_function_with_feedback;
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const auto maj = cell_function_with_feedback(CellFunc::C, 2);
+    const NetId c = nl.add_lut("looped", maj, {a, b, a});  // placeholder 3rd pin
+    nl.rewire_input(nl.driver_of(c), 2, c);                // close the loop
+    nl.add_output("c", c);
+    Simulator sim(nl);
+    sim.run();
+    sim.schedule_pi(a, Logic::T);
+    sim.run();
+    EXPECT_EQ(sim.value(c), Logic::F);
+    sim.schedule_pi(b, Logic::T);
+    sim.run();
+    EXPECT_EQ(sim.value(c), Logic::T);
+    sim.schedule_pi(a, Logic::F);
+    sim.run();
+    EXPECT_EQ(sim.value(c), Logic::T);  // holds through the loop
+    sim.schedule_pi(b, Logic::F);
+    sim.run();
+    EXPECT_EQ(sim.value(c), Logic::F);
+}
+
+TEST(Simulator, SinkDelaySkewsOneFanoutBranch) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId y0 = nl.add_cell(CellFunc::Buf, "y0", {a});
+    const NetId y1 = nl.add_cell(CellFunc::Buf, "y1", {a});
+    nl.add_output("y0", y0);
+    nl.add_output("y1", y1);
+    Simulator sim(nl);
+    sim.run();
+    // a's sink 0 feeds y0, sink 1 feeds y1; skew branch 1 by 300ps.
+    sim.set_sink_delay(a, 1, 300);
+    sim.schedule_pi(a, Logic::T);
+    auto r = sim.run_until(y0, Logic::T);
+    EXPECT_EQ(r.end_time_ps, 50);
+    r = sim.run_until(y1, Logic::T);
+    EXPECT_EQ(r.end_time_ps, 350);
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    NetId n = a;
+    for (int i = 0; i < 10; ++i) n = nl.add_cell(CellFunc::Buf, "b" + std::to_string(i), {n});
+    nl.add_output("y", n);
+    Simulator sim(nl);
+    sim.run();
+    sim.schedule_pi(a, Logic::T);
+    const NetId mid = nl.find_net("b4");
+    const auto r = sim.run_until(mid, Logic::T);
+    EXPECT_FALSE(r.quiescent);
+    EXPECT_EQ(sim.value(mid), Logic::T);
+    EXPECT_EQ(sim.value(n), Logic::F);  // tail not yet reached
+}
+
+TEST(Simulator, OscillationHitsBudget) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId x = nl.add_cell(CellFunc::Nand, "x", {a, a});
+    nl.rewire_input(nl.driver_of(x), 1, x);  // ring oscillator
+    nl.add_output("x", x);
+    Simulator sim(nl);
+    sim.schedule_pi(a, Logic::T);
+    sim.set_event_budget(10'000);
+    const auto r = sim.run();
+    EXPECT_TRUE(r.budget_exceeded);
+}
+
+TEST(Simulator, AllXInitStaysXForUndrivenLogic) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId y = nl.add_cell(CellFunc::Xor, "y", {a, a});
+    nl.add_output("y", y);
+    Simulator sim(nl, InitState::AllX);
+    sim.run();
+    EXPECT_EQ(sim.value(y), Logic::X);
+    sim.schedule_pi(a, Logic::T);
+    sim.run();
+    EXPECT_EQ(sim.value(y), Logic::F);  // XOR(a,a) resolves once a is known
+}
+
+TEST(GlitchMonitor, DetectsNarrowPulse) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId y = nl.add_cell(CellFunc::Delay, "y", {a});
+    nl.set_cell_delay(nl.driver_of(y), 10);
+    nl.add_output("y", y);
+    Simulator sim(nl);
+    sim.run();
+    afpga::sim::GlitchMonitor mon(sim, {y}, 50);
+    sim.schedule_pi(a, Logic::T, 0);
+    sim.schedule_pi(a, Logic::F, 20);  // 20ps pulse survives transport delay
+    sim.run();
+    ASSERT_EQ(mon.glitches().size(), 1u);
+    EXPECT_EQ(mon.glitches()[0].width_ps, 20);
+}
+
+TEST(GlitchMonitor, CleanSignalNoGlitches) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId y = nl.add_cell(CellFunc::Buf, "y", {a});
+    nl.add_output("y", y);
+    Simulator sim(nl);
+    sim.run();
+    afpga::sim::GlitchMonitor mon(sim, {y}, 50);
+    sim.schedule_pi(a, Logic::T, 0);
+    sim.schedule_pi(a, Logic::F, 1000);
+    sim.run();
+    EXPECT_TRUE(mon.glitches().empty());
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Unit + property tests for TruthTable and the cell evaluation semantics.
+#include <gtest/gtest.h>
+
+#include "base/check.hpp"
+#include "base/rng.hpp"
+#include "netlist/cells.hpp"
+#include "netlist/truthtable.hpp"
+
+namespace {
+
+using afpga::base::Rng;
+using afpga::netlist::CellFunc;
+using afpga::netlist::Logic;
+using afpga::netlist::TruthTable;
+
+TruthTable random_table(std::size_t arity, Rng& rng) {
+    return TruthTable::from_function(arity, [&](std::uint32_t) { return rng.chance(0.5); });
+}
+
+TEST(TruthTable, ConstantAndIdentity) {
+    const auto c1 = TruthTable::constant(3, true);
+    EXPECT_TRUE(c1.is_constant());
+    for (std::uint32_t m = 0; m < 8; ++m) EXPECT_TRUE(c1.eval(m));
+    const auto x1 = TruthTable::identity(3, 1);
+    for (std::uint32_t m = 0; m < 8; ++m) EXPECT_EQ(x1.eval(m), ((m >> 1) & 1) != 0);
+}
+
+TEST(TruthTable, FromBitsRoundTrip) {
+    const auto t = TruthTable::from_bits(3, 0b10010110);  // XOR3
+    EXPECT_EQ(t.bits64(), 0b10010110u);
+    EXPECT_TRUE(t.eval(0b001));
+    EXPECT_FALSE(t.eval(0b011));
+}
+
+TEST(TruthTable, SupportDetection) {
+    // f = x0 XOR x2 over 4 vars: depends on 0 and 2 only.
+    const auto t = TruthTable::from_function(
+        4, [](std::uint32_t m) { return ((m & 1) ^ ((m >> 2) & 1)) != 0; });
+    EXPECT_TRUE(t.depends_on(0));
+    EXPECT_FALSE(t.depends_on(1));
+    EXPECT_TRUE(t.depends_on(2));
+    EXPECT_FALSE(t.depends_on(3));
+    EXPECT_EQ(t.support(), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(TruthTable, CofactorShannon) {
+    Rng rng(42);
+    for (int iter = 0; iter < 20; ++iter) {
+        const auto f = random_table(5, rng);
+        for (std::size_t var = 0; var < 5; ++var) {
+            const auto f0 = f.cofactor(var, false);
+            const auto f1 = f.cofactor(var, true);
+            // Shannon: f(m) == (m_var ? f1 : f0)(m without var)
+            for (std::uint32_t m = 0; m < 32; ++m) {
+                const std::uint32_t lo = m & ((1u << var) - 1);
+                const std::uint32_t hi = (m >> (var + 1)) << var;
+                const std::uint32_t sub = hi | lo;
+                const bool expect = ((m >> var) & 1) ? f1.eval(sub) : f0.eval(sub);
+                EXPECT_EQ(f.eval(m), expect);
+            }
+        }
+    }
+}
+
+TEST(TruthTable, PruneSupport) {
+    const auto t = TruthTable::from_function(
+        4, [](std::uint32_t m) { return ((m & 1) & ((m >> 3) & 1)) != 0; });
+    std::vector<std::size_t> kept;
+    const auto p = t.prune_support(&kept);
+    EXPECT_EQ(p.arity(), 2u);
+    EXPECT_EQ(kept, (std::vector<std::size_t>{0, 3}));
+    EXPECT_TRUE(p.eval(0b11));
+    EXPECT_FALSE(p.eval(0b01));
+}
+
+TEST(TruthTable, RemapPermutation) {
+    Rng rng(7);
+    const auto f = random_table(3, rng);
+    // Swap vars 0 and 2.
+    const auto g = f.remap({2, 1, 0}, 3);
+    for (std::uint32_t m = 0; m < 8; ++m) {
+        const std::uint32_t swapped = ((m & 1) << 2) | (m & 2) | ((m >> 2) & 1);
+        EXPECT_EQ(g.eval(m), f.eval(swapped));
+    }
+}
+
+TEST(TruthTable, RemapExtend) {
+    const auto f = TruthTable::from_bits(2, 0b0110);  // XOR2
+    const auto g = f.remap({1, 3}, 5);                // vars 1 and 3 of a 5-var fn
+    for (std::uint32_t m = 0; m < 32; ++m)
+        EXPECT_EQ(g.eval(m), (((m >> 1) ^ (m >> 3)) & 1) != 0);
+}
+
+TEST(TruthTable, BooleanOperators) {
+    Rng rng(3);
+    const auto a = random_table(4, rng);
+    const auto b = random_table(4, rng);
+    const auto andt = a & b;
+    const auto ort = a | b;
+    const auto xort = a ^ b;
+    const auto nott = ~a;
+    for (std::uint32_t m = 0; m < 16; ++m) {
+        EXPECT_EQ(andt.eval(m), a.eval(m) && b.eval(m));
+        EXPECT_EQ(ort.eval(m), a.eval(m) || b.eval(m));
+        EXPECT_EQ(xort.eval(m), a.eval(m) != b.eval(m));
+        EXPECT_EQ(nott.eval(m), !a.eval(m));
+    }
+}
+
+TEST(TruthTable, ArityLimit) {
+    EXPECT_THROW(TruthTable(17), afpga::base::Error);
+    EXPECT_NO_THROW(TruthTable(16));
+}
+
+// --- cell evaluation ---------------------------------------------------------
+
+TEST(CellEval, ControllingValuesDominateX) {
+    using afpga::netlist::eval_cell;
+    const std::vector<Logic> and_in{Logic::F, Logic::X};
+    EXPECT_EQ(eval_cell(CellFunc::And, and_in, Logic::X), Logic::F);
+    const std::vector<Logic> or_in{Logic::T, Logic::X};
+    EXPECT_EQ(eval_cell(CellFunc::Or, or_in, Logic::X), Logic::T);
+    const std::vector<Logic> xor_in{Logic::T, Logic::X};
+    EXPECT_EQ(eval_cell(CellFunc::Xor, xor_in, Logic::X), Logic::X);
+}
+
+TEST(CellEval, MullerCHolds) {
+    using afpga::netlist::eval_cell;
+    const std::vector<Logic> mixed{Logic::T, Logic::F};
+    EXPECT_EQ(eval_cell(CellFunc::C, mixed, Logic::F), Logic::F);
+    EXPECT_EQ(eval_cell(CellFunc::C, mixed, Logic::T), Logic::T);
+    const std::vector<Logic> all_t{Logic::T, Logic::T};
+    EXPECT_EQ(eval_cell(CellFunc::C, all_t, Logic::F), Logic::T);
+    const std::vector<Logic> all_f{Logic::F, Logic::F};
+    EXPECT_EQ(eval_cell(CellFunc::C, all_f, Logic::T), Logic::F);
+}
+
+TEST(CellEval, AsymmetricC) {
+    using afpga::netlist::eval_cell;
+    // rises only on a&b
+    EXPECT_EQ(eval_cell(CellFunc::CAsym2P, std::vector<Logic>{Logic::T, Logic::T}, Logic::F),
+              Logic::T);
+    EXPECT_EQ(eval_cell(CellFunc::CAsym2P, std::vector<Logic>{Logic::T, Logic::F}, Logic::F),
+              Logic::F);
+    // holds while a stays high
+    EXPECT_EQ(eval_cell(CellFunc::CAsym2P, std::vector<Logic>{Logic::T, Logic::F}, Logic::T),
+              Logic::T);
+    // falls on !a regardless of b
+    EXPECT_EQ(eval_cell(CellFunc::CAsym2P, std::vector<Logic>{Logic::F, Logic::T}, Logic::T),
+              Logic::F);
+}
+
+TEST(CellEval, LatchTransparency) {
+    using afpga::netlist::eval_cell;
+    EXPECT_EQ(eval_cell(CellFunc::Latch, std::vector<Logic>{Logic::T, Logic::T}, Logic::F),
+              Logic::T);
+    EXPECT_EQ(eval_cell(CellFunc::Latch, std::vector<Logic>{Logic::T, Logic::F}, Logic::F),
+              Logic::F);
+}
+
+TEST(CellEval, LutExactXPropagation) {
+    using afpga::netlist::eval_cell;
+    // f = a OR b: with a=T, b=X the output is known T.
+    const auto t = TruthTable::from_bits(2, 0b1110);
+    const std::vector<Logic> in{Logic::T, Logic::X};
+    EXPECT_EQ(eval_cell(CellFunc::Lut, in, Logic::X, &t), Logic::T);
+    const std::vector<Logic> in2{Logic::F, Logic::X};
+    EXPECT_EQ(eval_cell(CellFunc::Lut, in2, Logic::X, &t), Logic::X);
+}
+
+TEST(CellEval, FeedbackFunctionOfC2IsMajority) {
+    // C2 with feedback variable appended equals MAJ(a, b, state).
+    const auto t = afpga::netlist::cell_function_with_feedback(CellFunc::C, 2);
+    ASSERT_EQ(t.arity(), 3u);
+    for (std::uint32_t m = 0; m < 8; ++m) {
+        const int ones = ((m & 1) != 0) + ((m & 2) != 0) + ((m & 4) != 0);
+        EXPECT_EQ(t.eval(m), ones >= 2) << "m=" << m;
+    }
+}
+
+TEST(CellEval, PropertyRandomLutMatchesTable) {
+    Rng rng(99);
+    for (int iter = 0; iter < 50; ++iter) {
+        const std::size_t arity = 1 + rng.below(6);
+        const auto t = random_table(arity, rng);
+        for (std::uint32_t m = 0; m < (1u << arity); ++m) {
+            std::vector<bool> in(arity);
+            for (std::size_t i = 0; i < arity; ++i) in[i] = (m >> i) & 1u;
+            EXPECT_EQ(afpga::netlist::eval_cell_bool(CellFunc::Lut, in, &t), t.eval(m));
+        }
+    }
+}
+
+}  // namespace
