@@ -197,8 +197,6 @@ ElaboratedDesign elaborate(const RRGraph& rr, const Bitstream& bits,
                          int depth) -> std::pair<NetId, std::int64_t> {
         check(depth < static_cast<int>(geom.num_plbs()) + 2,
               "elaborate: pass-through cycle in IM configuration");
-        const PlbCoord c = geom.plb_coord(plb_index);
-        const PlbConfig& cfg = bits.plb(c);
         if (src == arch.im_src_const0()) return {const0, 0};
         if (src == arch.im_src_const1()) return {const1, 0};
         if (src == arch.im_src_pde_out()) {

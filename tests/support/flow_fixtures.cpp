@@ -1,0 +1,105 @@
+#include "support/flow_fixtures.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+
+namespace afpga::testsupport {
+
+asynclib::DualRail find_rails(const netlist::Netlist& nl, const std::string& base) {
+    asynclib::DualRail d;
+    d.t = nl.find_net(base + ".t");
+    d.f = nl.find_net(base + ".f");
+    base::check(d.t.valid() && d.f.valid(), "testsupport: missing rails for " + base);
+    return d;
+}
+
+netlist::NetId po_net(const netlist::Netlist& nl, const std::string& name) {
+    for (const auto& [n, net] : nl.primary_outputs())
+        if (n == name) return net;
+    base::fail("testsupport: missing PO " + name);
+}
+
+asynclib::DualRail po_rails(const netlist::Netlist& nl, const std::string& base) {
+    asynclib::DualRail d;
+    d.t = po_net(nl, base + ".t");
+    d.f = po_net(nl, base + ".f");
+    return d;
+}
+
+PostRouteSim::PostRouteSim(const cad::FlowResult& fr) : design(fr.elaborate()) {
+    sim = std::make_unique<sim::Simulator>(design.nl);
+    for (const auto& d : core::resolve_wire_delays(design))
+        sim->set_sink_delay(d.net, d.sink_idx, d.delay_ps);
+    sim->run();
+}
+
+sim::QdiCombIface qdi_adder_iface(const netlist::Netlist& nl, std::size_t n_bits) {
+    sim::QdiCombIface iface;
+    for (std::size_t i = 0; i < n_bits; ++i)
+        iface.inputs.push_back(find_rails(nl, base::bus_bit("a", i)));
+    for (std::size_t i = 0; i < n_bits; ++i)
+        iface.inputs.push_back(find_rails(nl, base::bus_bit("b", i)));
+    iface.inputs.push_back(find_rails(nl, "cin"));
+    for (std::size_t i = 0; i < n_bits; ++i)
+        iface.outputs.push_back(po_rails(nl, base::bus_bit("sum", i)));
+    iface.outputs.push_back(po_rails(nl, "cout"));
+    iface.done = po_net(nl, "done");
+    return iface;
+}
+
+sim::BundledStageIface mp_adder_iface(const netlist::Netlist& nl, std::size_t n_bits) {
+    sim::BundledStageIface iface;
+    for (std::size_t i = 0; i < n_bits; ++i)
+        iface.data_in.push_back(nl.find_net(base::bus_bit("a", i)));
+    for (std::size_t i = 0; i < n_bits; ++i)
+        iface.data_in.push_back(nl.find_net(base::bus_bit("b", i)));
+    iface.data_in.push_back(nl.find_net("cin"));
+    iface.req_in = nl.find_net("req_in");
+    iface.ack_out = nl.find_net("ack_out");
+    for (std::size_t i = 0; i < n_bits; ++i)
+        iface.data_out.push_back(po_net(nl, base::bus_bit("sum", i)));
+    iface.data_out.push_back(po_net(nl, "cout"));
+    iface.req_out = po_net(nl, "req_out");
+    iface.ack_in = po_net(nl, "ack_in");
+    return iface;
+}
+
+sim::BundledStageIface mp_fifo_iface(const netlist::Netlist& nl, std::size_t n_bits) {
+    sim::BundledStageIface iface;
+    for (std::size_t i = 0; i < n_bits; ++i)
+        iface.data_in.push_back(nl.find_net(base::bus_bit("in", i)));
+    iface.req_in = nl.find_net("req_in");
+    iface.ack_out = nl.find_net("ack_out");
+    for (std::size_t i = 0; i < n_bits; ++i)
+        iface.data_out.push_back(po_net(nl, base::bus_bit("out", i)));
+    iface.req_out = po_net(nl, "req_out");
+    iface.ack_in = po_net(nl, "ack_in");
+    return iface;
+}
+
+std::string flow_fingerprint(const cad::FlowResult& fr) {
+    std::ostringstream os;
+    os << "placement:";
+    for (const auto& c : fr.placement.cluster_loc) os << " (" << c.x << "," << c.y << ")";
+    os << "\npads:";
+    std::map<std::string, std::uint32_t> pads;
+    for (const auto& [name, pad] : fr.placement.pi_pad) pads.emplace("pi:" + name, pad);
+    for (const auto& [name, pad] : fr.placement.po_pad) pads.emplace("po:" + name, pad);
+    for (const auto& [name, pad] : pads) os << " " << name << "=" << pad;
+    os << "\nrouting:";
+    for (const auto& tree : fr.routing.trees) {
+        std::vector<std::uint32_t> edges = tree.edges;
+        std::sort(edges.begin(), edges.end());
+        os << " [" << tree.root_opin << ":";
+        for (std::uint32_t e : edges) os << " " << e;
+        os << "]";
+    }
+    os << "\nbits: " << fr.bits->serialize().to_string() << "\n";
+    return os.str();
+}
+
+}  // namespace afpga::testsupport

@@ -1,0 +1,58 @@
+// Shared helpers for tests that drive the full CAD flow and then simulate
+// the implemented (post-route) design. Kept out of the individual test
+// files so the end-to-end regression, the determinism checks and future
+// placer/router PRs all exercise exactly the same harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asynclib/styles.hpp"
+#include "cad/flow.hpp"
+#include "core/elaborate.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "sim/testbench.hpp"
+
+namespace afpga::testsupport {
+
+/// Look up the dual-rail pair `base.t` / `base.f` in `nl`; throws if absent.
+[[nodiscard]] asynclib::DualRail find_rails(const netlist::Netlist& nl, const std::string& base);
+
+/// Find a primary output net by its PO name; throws if absent.
+[[nodiscard]] netlist::NetId po_net(const netlist::Netlist& nl, const std::string& name);
+
+/// A dual-rail pair whose rails are looked up among the primary outputs
+/// (post-route POs keep their names while internal nets are renamed).
+[[nodiscard]] asynclib::DualRail po_rails(const netlist::Netlist& nl, const std::string& base);
+
+/// The implemented design reconstructed from a flow result, with a
+/// simulator whose sink delays carry the routed wire delays — the object
+/// post-route behavioural checks run against.
+struct PostRouteSim {
+    core::ElaboratedDesign design;
+    std::unique_ptr<sim::Simulator> sim;
+
+    explicit PostRouteSim(const cad::FlowResult& fr);
+};
+
+/// Build the QDI testbench interface (a/b/cin rails in, sum/cout rails +
+/// done out) for an n-bit adder, from either the source or the elaborated
+/// netlist.
+[[nodiscard]] sim::QdiCombIface qdi_adder_iface(const netlist::Netlist& nl, std::size_t n_bits);
+
+/// Build the bundled-data interface for an n-bit micropipeline adder.
+[[nodiscard]] sim::BundledStageIface mp_adder_iface(const netlist::Netlist& nl,
+                                                    std::size_t n_bits);
+
+/// Build the bundled-data interface for an n-bit micropipeline FIFO.
+[[nodiscard]] sim::BundledStageIface mp_fifo_iface(const netlist::Netlist& nl, std::size_t n_bits);
+
+/// A stable fingerprint of everything the flow decided: placement
+/// locations, pad assignments, per-net routed wire lists and the serialized
+/// bitstream. Two runs agree on this iff the flow was deterministic.
+[[nodiscard]] std::string flow_fingerprint(const cad::FlowResult& fr);
+
+}  // namespace afpga::testsupport

@@ -123,7 +123,7 @@ TEST(BitVector, CrcDependsOnLength) {
 
 TEST(BitVector, OutOfRangeThrows) {
     BitVector bv(8);
-    EXPECT_THROW(bv.get(8), afpga::base::Error);
+    EXPECT_THROW((void)bv.get(8), afpga::base::Error);
     EXPECT_THROW(bv.set(9, true), afpga::base::Error);
 }
 

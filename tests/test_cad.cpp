@@ -12,6 +12,7 @@
 #include "sim/monitors.hpp"
 #include "sim/simulator.hpp"
 #include "sim/testbench.hpp"
+#include "support/flow_fixtures.hpp"
 
 namespace {
 
@@ -25,14 +26,9 @@ using netlist::NetId;
 using netlist::Netlist;
 using netlist::TruthTable;
 using sim::Simulator;
-
-asynclib::DualRail dr(const Netlist& nl, const std::string& base) {
-    asynclib::DualRail d;
-    d.t = nl.find_net(base + ".t");
-    d.f = nl.find_net(base + ".f");
-    base::check(d.t.valid() && d.f.valid(), "test: missing rails for " + base);
-    return d;
-}
+using testsupport::find_rails;
+using testsupport::po_net;
+using testsupport::PostRouteSim;
 
 // --- techmap ------------------------------------------------------------------
 
@@ -237,33 +233,6 @@ TEST(Place, ThrowsWhenDesignTooBig) {
 
 // --- full flow ----------------------------------------------------------------------
 
-sim::QdiCombIface qdi_iface_from_elaborated(const Netlist& nl, std::size_t n_bits) {
-    sim::QdiCombIface iface;
-    for (std::size_t i = 0; i < n_bits; ++i)
-        iface.inputs.push_back(dr(nl, base::bus_bit("a", i)));
-    for (std::size_t i = 0; i < n_bits; ++i)
-        iface.inputs.push_back(dr(nl, base::bus_bit("b", i)));
-    iface.inputs.push_back(dr(nl, "cin"));
-    // outputs via PO names
-    auto po_net = [&nl](const std::string& name) {
-        for (const auto& [n, net] : nl.primary_outputs())
-            if (n == name) return net;
-        base::fail("missing PO " + name);
-    };
-    for (std::size_t i = 0; i < n_bits; ++i) {
-        asynclib::DualRail d;
-        d.t = po_net(base::bus_bit("sum", i) + ".t");
-        d.f = po_net(base::bus_bit("sum", i) + ".f");
-        iface.outputs.push_back(d);
-    }
-    asynclib::DualRail co;
-    co.t = po_net("cout.t");
-    co.f = po_net("cout.f");
-    iface.outputs.push_back(co);
-    iface.done = po_net("done");
-    return iface;
-}
-
 TEST(Flow, QdiFullAdderPostRouteEquivalence) {
     auto adder = asynclib::make_qdi_adder(1);
     const ArchSpec arch;
@@ -272,13 +241,10 @@ TEST(Flow, QdiFullAdderPostRouteEquivalence) {
     const auto fr = run_flow(adder.nl, adder.hints, arch, opts);
     EXPECT_TRUE(fr.routing.success);
 
-    const auto design = fr.elaborate();
-    Simulator sim(design.nl);
-    for (const auto& d : core::resolve_wire_delays(design))
-        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
-    sim.run();
+    PostRouteSim prs(fr);
+    Simulator& sim = *prs.sim;
 
-    const auto iface = qdi_iface_from_elaborated(design.nl, 1);
+    const auto iface = testsupport::qdi_adder_iface(prs.design.nl, 1);
     for (std::uint64_t v = 0; v < 8; ++v) {
         const std::uint64_t a = v & 1;
         const std::uint64_t b = (v >> 1) & 1;
@@ -294,12 +260,9 @@ TEST(Flow, QdiRippleAdderPostRouteEquivalence) {
     opts.seed = 11;
     const auto fr = run_flow(adder.nl, adder.hints, arch, opts);
 
-    const auto design = fr.elaborate();
-    Simulator sim(design.nl);
-    for (const auto& d : core::resolve_wire_delays(design))
-        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
-    sim.run();
-    const auto iface = qdi_iface_from_elaborated(design.nl, 2);
+    PostRouteSim prs(fr);
+    Simulator& sim = *prs.sim;
+    const auto iface = testsupport::qdi_adder_iface(prs.design.nl, 2);
     for (std::uint64_t v = 0; v < 32; ++v) {
         const std::uint64_t a = v & 3;
         const std::uint64_t b = (v >> 2) & 3;
@@ -315,25 +278,9 @@ TEST(Flow, MicropipelineAdderPostRouteEquivalence) {
     opts.seed = 5;
     const auto fr = run_flow(adder.nl, {}, arch, opts);
 
-    const auto design = fr.elaborate();
-    Simulator sim(design.nl);
-    for (const auto& d : core::resolve_wire_delays(design))
-        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
-    sim.run();
-
-    auto po_net = [&](const std::string& name) {
-        for (const auto& [n, net] : design.nl.primary_outputs())
-            if (n == name) return net;
-        base::fail("missing PO " + name);
-    };
-    sim::BundledStageIface iface;
-    iface.data_in = {design.nl.find_net("a[0]"), design.nl.find_net("b[0]"),
-                     design.nl.find_net("cin")};
-    iface.req_in = design.nl.find_net("req_in");
-    iface.ack_out = design.nl.find_net("ack_out");
-    iface.data_out = {po_net("sum[0]"), po_net("cout")};
-    iface.req_out = po_net("req_out");
-    iface.ack_in = po_net("ack_in");
+    PostRouteSim prs(fr);
+    Simulator& sim = *prs.sim;
+    const auto iface = testsupport::mp_adder_iface(prs.design.nl, 1);
     for (std::uint64_t v = 0; v < 8; ++v) {
         const std::uint64_t expect = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
         EXPECT_EQ(sim::bundled_apply_token(sim, iface, v, 200), expect) << "v=" << v;
@@ -347,24 +294,9 @@ TEST(Flow, MicropipelineBundlingHoldsPostRoute) {
     opts.seed = 5;
     opts.pde_extra_margin = 2.0;
     const auto fr = run_flow(adder.nl, {}, arch, opts);
-    const auto design = fr.elaborate();
-    Simulator sim(design.nl);
-    for (const auto& d : core::resolve_wire_delays(design))
-        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
-    sim.run();
-    auto po_net = [&](const std::string& name) {
-        for (const auto& [n, net] : design.nl.primary_outputs())
-            if (n == name) return net;
-        base::fail("missing PO " + name);
-    };
-    sim::BundledStageIface iface;
-    iface.data_in = {design.nl.find_net("a[0]"), design.nl.find_net("b[0]"),
-                     design.nl.find_net("cin")};
-    iface.req_in = design.nl.find_net("req_in");
-    iface.ack_out = design.nl.find_net("ack_out");
-    iface.data_out = {po_net("sum[0]"), po_net("cout")};
-    iface.req_out = po_net("req_out");
-    iface.ack_in = po_net("ack_in");
+    PostRouteSim prs(fr);
+    Simulator& sim = *prs.sim;
+    const auto iface = testsupport::mp_adder_iface(prs.design.nl, 1);
     sim::BundledChannelMonitor mon(sim, iface.data_out, iface.req_out, iface.ack_out, "out");
     for (std::uint64_t v = 0; v < 8; ++v) (void)sim::bundled_apply_token(sim, iface, v, 200);
     EXPECT_TRUE(mon.violations().empty())
@@ -412,27 +344,17 @@ TEST(Flow, WchbFifoPostRouteStreams) {
     FlowOptions opts;
     opts.seed = 9;
     const auto fr = run_flow(fifo.nl, fifo.hints, arch, opts);
-    const auto design = fr.elaborate();
-    Simulator sim(design.nl);
-    for (const auto& d : core::resolve_wire_delays(design))
-        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
-    sim.run();
+    PostRouteSim prs(fr);
+    Simulator& sim = *prs.sim;
+    const auto& design = prs.design;
 
     std::vector<asynclib::DualRail> in_rails;
-    for (std::size_t i = 0; i < 2; ++i) in_rails.push_back(dr(design.nl, base::bus_bit("in", i)));
-    auto po_net = [&](const std::string& name) {
-        for (const auto& [n, net] : design.nl.primary_outputs())
-            if (n == name) return net;
-        base::fail("missing PO " + name);
-    };
+    for (std::size_t i = 0; i < 2; ++i)
+        in_rails.push_back(find_rails(design.nl, base::bus_bit("in", i)));
     std::vector<asynclib::DualRail> out_rails;
-    for (std::size_t i = 0; i < 2; ++i) {
-        asynclib::DualRail d;
-        d.t = po_net(base::bus_bit("out", i) + ".t");
-        d.f = po_net(base::bus_bit("out", i) + ".f");
-        out_rails.push_back(d);
-    }
-    const NetId ack_in = po_net("ack_in");
+    for (std::size_t i = 0; i < 2; ++i)
+        out_rails.push_back(testsupport::po_rails(design.nl, base::bus_bit("out", i)));
+    const NetId ack_in = po_net(design.nl, "ack_in");
     const NetId ack_out = design.nl.find_net("ack_out");
 
     std::vector<std::uint64_t> tokens{3, 0, 1, 2, 3, 1};

@@ -137,6 +137,39 @@ TEST(BundledMonitor, SamplesTokenAtReqRise) {
     EXPECT_EQ(mon.tokens()[0], 0b11u);
 }
 
+TEST(TwoPhaseMonitor, FlagsDataChangeBetweenReqAndAckToggles) {
+    BdFixture fx;
+    Simulator sim(fx.nl);
+    sim.run();
+    sim::TwoPhaseBundledMonitor mon(sim, fx.data, fx.req, fx.ack, "ch");
+    sim.schedule_pi(fx.data[0], Logic::T, 0);
+    sim.schedule_pi(fx.req, Logic::T, 50);       // token outstanding (toggle)
+    sim.schedule_pi(fx.data[1], Logic::T, 80);   // bundling broken
+    sim.run();
+    ASSERT_FALSE(mon.violations().empty());
+}
+
+TEST(TwoPhaseMonitor, SamplesTokenOnBothReqEdges) {
+    BdFixture fx;
+    Simulator sim(fx.nl);
+    sim.run();
+    sim::TwoPhaseBundledMonitor mon(sim, fx.data, fx.req, fx.ack, "ch");
+    // Token 1: req rises (0 -> 1), ack toggles back.
+    sim.schedule_pi(fx.data[0], Logic::T, 0);
+    sim.schedule_pi(fx.req, Logic::T, 50);
+    sim.schedule_pi(fx.ack, Logic::T, 100);
+    // Token 2: data changes while idle, then req FALLS (1 -> 0) — in
+    // 2-phase signalling a falling edge carries a token too.
+    sim.schedule_pi(fx.data[1], Logic::T, 150);
+    sim.schedule_pi(fx.req, Logic::F, 200);
+    sim.schedule_pi(fx.ack, Logic::F, 250);
+    sim.run();
+    EXPECT_TRUE(mon.violations().empty());
+    ASSERT_EQ(mon.tokens().size(), 2u);
+    EXPECT_EQ(mon.tokens()[0], 0b01u);
+    EXPECT_EQ(mon.tokens()[1], 0b11u);
+}
+
 TEST(TokenTimes, SteadyPeriodIgnoresWarmup) {
     sim::TokenTimes tt;
     // Warm-up gaps of 500, steady gaps of 100.

@@ -10,6 +10,7 @@
 #include "sim/channels.hpp"
 #include "sim/monitors.hpp"
 #include "sim/simulator.hpp"
+#include "support/flow_fixtures.hpp"
 
 namespace {
 
@@ -125,17 +126,11 @@ TEST(Mousetrap, TwoPhaseHasFewerHandshakeEdgesThanFourPhase) {
 TEST(Mousetrap, PostRouteEquivalenceOnFabric) {
     auto fifo = asynclib::make_mousetrap_fifo(2, 2);
     const auto fr = cad::run_flow(fifo.nl, {}, core::paper_arch(), {});
-    const auto design = fr.elaborate();
-    Simulator sim(design.nl);
-    for (const auto& d : core::resolve_wire_delays(design))
-        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
-    sim.run();
+    testsupport::PostRouteSim prs(fr);
+    Simulator& sim = *prs.sim;
+    const auto& design = prs.design;
 
-    auto po_net = [&](const std::string& name) {
-        for (const auto& [n, net] : design.nl.primary_outputs())
-            if (n == name) return net;
-        return NetId::invalid();
-    };
+    auto po_net = [&](const std::string& name) { return testsupport::po_net(design.nl, name); };
     std::vector<NetId> in = {design.nl.find_net("in[0]"), design.nl.find_net("in[1]")};
     std::vector<NetId> out = {po_net("out[0]"), po_net("out[1]")};
     std::vector<std::uint64_t> tokens{2, 1, 3, 0, 2, 3};

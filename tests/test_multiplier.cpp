@@ -10,6 +10,7 @@
 #include "sim/monitors.hpp"
 #include "sim/simulator.hpp"
 #include "sim/testbench.hpp"
+#include "support/flow_fixtures.hpp"
 
 namespace {
 
@@ -62,28 +63,18 @@ TEST(QdiMultiplier, PostRouteEquivalence) {
     arch.channel_width = 14;
     const auto fr = cad::run_flow(mul.nl, mul.hints, arch, {});
 
-    const auto design = fr.elaborate();
-    Simulator sim(design.nl);
-    for (const auto& d : core::resolve_wire_delays(design))
-        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
-    sim.run();
+    testsupport::PostRouteSim prs(fr);
+    Simulator& sim = *prs.sim;
+    const auto& design = prs.design;
 
-    auto po_net = [&](const std::string& name) {
-        for (const auto& [n, net] : design.nl.primary_outputs())
-            if (n == name) return net;
-        return netlist::NetId::invalid();
-    };
     sim::QdiCombIface iface;
     for (std::size_t i = 0; i < 2; ++i)
-        iface.inputs.push_back({design.nl.find_net(base::bus_bit("a", i) + ".t"),
-                                design.nl.find_net(base::bus_bit("a", i) + ".f")});
+        iface.inputs.push_back(testsupport::find_rails(design.nl, base::bus_bit("a", i)));
     for (std::size_t i = 0; i < 2; ++i)
-        iface.inputs.push_back({design.nl.find_net(base::bus_bit("b", i) + ".t"),
-                                design.nl.find_net(base::bus_bit("b", i) + ".f")});
+        iface.inputs.push_back(testsupport::find_rails(design.nl, base::bus_bit("b", i)));
     for (std::size_t o = 0; o < 4; ++o)
-        iface.outputs.push_back({po_net(base::bus_bit("p", o) + ".t"),
-                                 po_net(base::bus_bit("p", o) + ".f")});
-    iface.done = po_net("done");
+        iface.outputs.push_back(testsupport::po_rails(design.nl, base::bus_bit("p", o)));
+    iface.done = testsupport::po_net(design.nl, "done");
 
     for (std::uint64_t a = 0; a < 4; ++a)
         for (std::uint64_t b = 0; b < 4; ++b)

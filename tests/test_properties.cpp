@@ -11,6 +11,7 @@
 #include "netlist/analyze.hpp"
 #include "sim/simulator.hpp"
 #include "sim/testbench.hpp"
+#include "support/flow_fixtures.hpp"
 
 namespace {
 
@@ -21,12 +22,7 @@ using netlist::NetId;
 using netlist::Netlist;
 using netlist::TruthTable;
 using sim::Simulator;
-
-netlist::NetId po_net(const Netlist& nl, const std::string& name) {
-    for (const auto& [n, net] : nl.primary_outputs())
-        if (n == name) return net;
-    return NetId::invalid();
-}
+using testsupport::po_net;
 
 class RandomQdiFlow : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -58,19 +54,16 @@ TEST_P(RandomQdiFlow, DimsBlockSurvivesTheFullFlow) {
     opts.seed = GetParam();
     const auto fr = cad::run_flow(nl, res.hints, arch, opts);
 
-    const auto design = fr.elaborate();
-    Simulator sim(design.nl);
-    for (const auto& d : core::resolve_wire_delays(design))
-        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
-    sim.run();
+    testsupport::PostRouteSim prs(fr);
+    Simulator& sim = *prs.sim;
+    const auto& design = prs.design;
 
     sim::QdiCombIface iface;
     for (std::size_t i = 0; i < n; ++i)
-        iface.inputs.push_back({design.nl.find_net("x[" + std::to_string(i) + "].t"),
-                                design.nl.find_net("x[" + std::to_string(i) + "].f")});
+        iface.inputs.push_back(
+            testsupport::find_rails(design.nl, "x[" + std::to_string(i) + "]"));
     for (std::size_t o = 0; o < n_out; ++o)
-        iface.outputs.push_back({po_net(design.nl, "o" + std::to_string(o) + ".t"),
-                                 po_net(design.nl, "o" + std::to_string(o) + ".f")});
+        iface.outputs.push_back(testsupport::po_rails(design.nl, "o" + std::to_string(o)));
     iface.done = po_net(design.nl, "done");
 
     for (std::uint32_t m = 0; m < (1u << n); ++m) {
@@ -122,11 +115,9 @@ TEST_P(RandomBundledFlow, RandomLogicStageSurvivesTheFullFlow) {
     opts.pde_extra_margin = 2.0;
     const auto fr = cad::run_flow(nl, {}, arch, opts);
 
-    const auto design = fr.elaborate();
-    Simulator sim(design.nl);
-    for (const auto& d : core::resolve_wire_delays(design))
-        sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
-    sim.run();
+    testsupport::PostRouteSim prs(fr);
+    Simulator& sim = *prs.sim;
+    const auto& design = prs.design;
 
     sim::BundledStageIface iface;
     for (std::size_t i = 0; i < n; ++i)

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "afpga.hpp"
+#include "support/flow_fixtures.hpp"
 
 namespace {
 
@@ -49,31 +50,9 @@ TEST_P(ChannelWidthSweep, RoutabilityIsMonotonicInWidth) {
     try {
         const auto fr = cad::run_flow(adder.nl, adder.hints, arch, opts);
         // Success: the implementation must be functionally correct.
-        const auto design = fr.elaborate();
-        sim::Simulator sim(design.nl);
-        for (const auto& d : core::resolve_wire_delays(design))
-            sim.set_sink_delay(d.net, d.sink_idx, d.delay_ps);
-        sim.run();
-        sim::QdiCombIface iface;
-        for (std::size_t i = 0; i < 2; ++i)
-            iface.inputs.push_back({design.nl.find_net(base::bus_bit("a", i) + ".t"),
-                                    design.nl.find_net(base::bus_bit("a", i) + ".f")});
-        for (std::size_t i = 0; i < 2; ++i)
-            iface.inputs.push_back({design.nl.find_net(base::bus_bit("b", i) + ".t"),
-                                    design.nl.find_net(base::bus_bit("b", i) + ".f")});
-        iface.inputs.push_back(
-            {design.nl.find_net("cin.t"), design.nl.find_net("cin.f")});
-        auto po_net = [&](const std::string& name) {
-            for (const auto& [n, net] : design.nl.primary_outputs())
-                if (n == name) return net;
-            return netlist::NetId::invalid();
-        };
-        for (std::size_t i = 0; i < 2; ++i)
-            iface.outputs.push_back({po_net(base::bus_bit("sum", i) + ".t"),
-                                     po_net(base::bus_bit("sum", i) + ".f")});
-        iface.outputs.push_back({po_net("cout.t"), po_net("cout.f")});
-        iface.done = po_net("done");
-        EXPECT_EQ(sim::qdi_apply_token(sim, iface, 0b1'11'01), 0b001u + 0b11u + 1u);
+        testsupport::PostRouteSim prs(fr);
+        const auto iface = testsupport::qdi_adder_iface(prs.design.nl, 2);
+        EXPECT_EQ(sim::qdi_apply_token(*prs.sim, iface, 0b1'11'01), 0b001u + 0b11u + 1u);
     } catch (const base::Error& e) {
         // Failure is acceptable only as an explicit routing/congestion error.
         EXPECT_NE(std::string(e.what()).find("routing failed"), std::string::npos)
