@@ -1,0 +1,141 @@
+// CAD flow scaling sweep: run the full techmap -> pack -> place -> route ->
+// bitstream flow on generated designs across increasing fabric sizes, in both
+// the optimized configuration (incremental place cost + incremental
+// PathFinder) and the pre-refactor baseline (rescan evaluator + full rip-up),
+// and emit BENCH_flow.json with per-stage wall times, router iterations,
+// total wirelength and the end-to-end speedup per design.
+//
+// Usage: cad_scaling [--smoke] [--reps N] [--out FILE]
+//   --smoke   only the smallest fabric, one rep (CI wiring check)
+//   --reps N  repetitions per configuration, best time kept (default 2)
+//   --out     output path (default BENCH_flow.json in the cwd)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "asynclib/adders.hpp"
+#include "base/json.hpp"
+#include "base/timer.hpp"
+#include "cad/flow.hpp"
+
+using namespace afpga;
+
+namespace {
+
+struct SweepPoint {
+    std::size_t adder_bits;
+    std::uint32_t fabric;         // width == height
+    std::uint32_t channel_width;
+};
+
+struct RunResult {
+    double total_ms = 1e18;
+    cad::FlowResult fr;  // of the best rep
+};
+
+RunResult run_flow_best(const netlist::Netlist& nl, const asynclib::MappingHints& hints,
+                        const core::ArchSpec& arch, bool incremental, int reps) {
+    RunResult best;
+    for (int r = 0; r < reps; ++r) {
+        cad::FlowOptions opts;
+        opts.seed = 7;
+        opts.place.incremental = incremental;
+        opts.route.incremental = incremental;
+        base::WallTimer t;
+        auto fr = cad::run_flow(nl, hints, arch, opts);
+        const double ms = t.elapsed_ms();
+        if (ms < best.total_ms) {
+            best.total_ms = ms;
+            best.fr = std::move(fr);
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    int reps = 2;
+    std::string out_path = "BENCH_flow.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+            reps = std::max(1, std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: cad_scaling [--smoke] [--reps N] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    std::vector<SweepPoint> sweep{
+        {4, 10, 12},
+        {8, 14, 14},
+        {16, 20, 16},
+        {24, 24, 16},
+    };
+    if (smoke) {
+        sweep.resize(1);
+        reps = 1;
+    }
+
+    base::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("cad_scaling");
+    w.key("reps").value(reps);
+    w.key("designs").begin_array();
+
+    for (const SweepPoint& pt : sweep) {
+        auto adder = asynclib::make_qdi_adder(pt.adder_bits);
+        core::ArchSpec arch;
+        arch.width = pt.fabric;
+        arch.height = pt.fabric;
+        arch.channel_width = pt.channel_width;
+
+        const RunResult opt = run_flow_best(adder.nl, adder.hints, arch, true, reps);
+        const RunResult base = run_flow_best(adder.nl, adder.hints, arch, false, reps);
+        const double speedup = base.total_ms / opt.total_ms;
+
+        std::printf("qdi_adder_%zu on %ux%u cw=%u: optimized %.1f ms, baseline %.1f ms, "
+                    "speedup %.2fx, route iters %d, wirelength %zu\n",
+                    pt.adder_bits, pt.fabric, pt.fabric, pt.channel_width, opt.total_ms,
+                    base.total_ms, speedup, opt.fr.routing.iterations,
+                    opt.fr.routing.wirelength);
+
+        w.begin_object();
+        w.key("name").value("qdi_adder_" + std::to_string(pt.adder_bits));
+        w.key("fabric").value(std::to_string(pt.fabric) + "x" + std::to_string(pt.fabric));
+        w.key("channel_width").value(std::uint64_t{pt.channel_width});
+        w.key("clusters").value(std::uint64_t{opt.fr.packed.clusters.size()});
+        w.key("nets").value(std::uint64_t{opt.fr.routing.trees.size()});
+        w.key("optimized_total_ms").value(opt.total_ms);
+        w.key("baseline_total_ms").value(base.total_ms);
+        w.key("speedup").value(speedup);
+        w.key("route_iterations").value(opt.fr.routing.iterations);
+        w.key("nets_rerouted").value(std::uint64_t{opt.fr.routing.nets_rerouted});
+        w.key("wirelength").value(std::uint64_t{opt.fr.routing.wirelength});
+        w.key("placement_cost").value(opt.fr.placement.final_cost);
+        // Per-stage wall times and trajectories of the optimized flow.
+        w.key("telemetry").raw(opt.fr.telemetry.to_json());
+        w.end_object();
+    }
+
+    w.end_array();
+    w.end_object();
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "cad_scaling: cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    out << w.str() << "\n";
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

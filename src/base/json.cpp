@@ -1,0 +1,145 @@
+#include "base/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/check.hpp"
+
+namespace afpga::base {
+
+void JsonWriter::before_value() {
+    if (scopes_.empty()) {
+        check(out_.empty(), "JsonWriter: multiple top-level values");
+        return;
+    }
+    if (scopes_.back() == Scope::Object) {
+        check(key_pending_, "JsonWriter: object member needs a key first");
+        key_pending_ = false;
+        return;
+    }
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+}
+
+void JsonWriter::emit_string(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out_ += "\\\""; break;
+            case '\\': out_ += "\\\\"; break;
+            case '\n': out_ += "\\n"; break;
+            case '\r': out_ += "\\r"; break;
+            case '\t': out_ += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+        }
+    }
+    out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    before_value();
+    out_ += '{';
+    scopes_.push_back(Scope::Object);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    check(!scopes_.empty() && scopes_.back() == Scope::Object && !key_pending_,
+          "JsonWriter: unbalanced end_object");
+    out_ += '}';
+    scopes_.pop_back();
+    has_items_.pop_back();
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    before_value();
+    out_ += '[';
+    scopes_.push_back(Scope::Array);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    check(!scopes_.empty() && scopes_.back() == Scope::Array, "JsonWriter: unbalanced end_array");
+    out_ += ']';
+    scopes_.pop_back();
+    has_items_.pop_back();
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    check(!scopes_.empty() && scopes_.back() == Scope::Object && !key_pending_,
+          "JsonWriter: key() only valid directly inside an object");
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+    emit_string(k);
+    out_ += ':';
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+    before_value();
+    emit_string(v);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    before_value();
+    if (!std::isfinite(v)) {
+        out_ += "null";  // JSON has no Inf/NaN
+        return *this;
+    }
+    // Integral values print without a mantissa; everything else gets enough
+    // digits to be useful in a report without round-trip noise.
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        out_ += buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        out_ += buf;
+    }
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    before_value();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    before_value();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    before_value();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+    before_value();
+    out_ += json;
+    return *this;
+}
+
+std::string JsonWriter::str() const {
+    check(scopes_.empty(), "JsonWriter: unclosed containers");
+    return out_;
+}
+
+}  // namespace afpga::base

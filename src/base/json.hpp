@@ -1,0 +1,62 @@
+// Minimal JSON emission for machine-readable reports (flow telemetry,
+// bench output). Writing only — nothing in the tool reads JSON back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afpga::base {
+
+/// Streaming JSON writer with automatic comma/nesting management.
+///
+/// Usage:
+///     JsonWriter w;
+///     w.begin_object();
+///     w.key("name").value("place");
+///     w.key("trajectory").begin_array();
+///     for (double c : costs) w.value(c);
+///     w.end_array();
+///     w.end_object();
+///     std::string s = w.str();
+///
+/// Misuse (value without key inside an object, unbalanced end_*) throws
+/// base::Error.
+class JsonWriter {
+public:
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Object member key; must be followed by exactly one value/container.
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    JsonWriter& value(double v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter& value(bool v);
+
+    /// Splice a pre-serialized JSON document in value position (e.g. a
+    /// FlowTelemetry::to_json() string inside a bench report).
+    JsonWriter& raw(std::string_view json);
+
+    /// The finished document; throws if containers are still open.
+    [[nodiscard]] std::string str() const;
+
+private:
+    enum class Scope : std::uint8_t { Object, Array };
+    void before_value();
+    void emit_string(std::string_view s);
+
+    std::string out_;
+    std::vector<Scope> scopes_;
+    std::vector<bool> has_items_;  // parallel to scopes_
+    bool key_pending_ = false;
+};
+
+}  // namespace afpga::base

@@ -10,8 +10,6 @@ std::uint64_t splitmix64(std::uint64_t& x) noexcept {
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     return z ^ (z >> 31);
 }
-
-std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) noexcept {
@@ -20,38 +18,6 @@ void Rng::reseed(std::uint64_t seed) noexcept {
     // Avoid the all-zero state (splitmix64 cannot produce four zeros from any
     // seed in practice, but keep the guarantee explicit).
     if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
-}
-
-std::uint64_t Rng::next() noexcept {
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t Rng::below(std::uint64_t bound) noexcept {
-    // Lemire's rejection method for unbiased bounded draws.
-    if (bound == 0) return 0;
-    const std::uint64_t threshold = (~bound + 1) % bound;
-    for (;;) {
-        const std::uint64_t r = next();
-        if (r >= threshold) return r % bound;
-    }
-}
-
-std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
-    if (hi <= lo) return lo;
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(below(span));
-}
-
-double Rng::uniform() noexcept {
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 }  // namespace afpga::base

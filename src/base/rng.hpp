@@ -13,6 +13,8 @@ namespace afpga::base {
 ///
 /// Chosen over std::mt19937_64 for a compact, well-documented state that makes
 /// determinism across standard-library implementations trivial to guarantee.
+/// The draw methods are header-inline: the annealer takes millions of draws
+/// per flow and an out-of-line call per draw showed up in profiles.
 class Rng {
 public:
     explicit Rng(std::uint64_t seed = 0xA5F0'12D3'55AA'9E37ULL) noexcept { reseed(seed); }
@@ -20,16 +22,38 @@ public:
     void reseed(std::uint64_t seed) noexcept;
 
     /// Uniform 64-bit word.
-    std::uint64_t next() noexcept;
+    std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /// Uniform integer in [0, bound). bound must be > 0.
-    std::uint64_t below(std::uint64_t bound) noexcept;
+    std::uint64_t below(std::uint64_t bound) noexcept {
+        // Lemire's rejection method for unbiased bounded draws.
+        if (bound == 0) return 0;
+        const std::uint64_t threshold = (~bound + 1) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold) return r % bound;
+        }
+    }
 
     /// Uniform integer in [lo, hi] inclusive.
-    std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+    std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+        if (hi <= lo) return lo;
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(below(span));
+    }
 
     /// Uniform double in [0, 1).
-    double uniform() noexcept;
+    double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
     /// Bernoulli draw.
     bool chance(double p) noexcept { return uniform() < p; }
@@ -51,6 +75,10 @@ public:
     }
 
 private:
+    static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4] = {};
 };
 

@@ -1,0 +1,24 @@
+// Monotonic wall-clock timing for the flow telemetry and benches.
+#pragma once
+
+#include <chrono>
+
+namespace afpga::base {
+
+/// Stopwatch over std::chrono::steady_clock; starts on construction.
+class WallTimer {
+public:
+    WallTimer() noexcept : start_(Clock::now()) {}
+
+    void reset() noexcept { start_ = Clock::now(); }
+
+    [[nodiscard]] double elapsed_ms() const noexcept {
+        return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace afpga::base

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "base/check.hpp"
+#include "base/timer.hpp"
 
 namespace afpga::cad {
 
@@ -16,309 +17,419 @@ core::ElaboratedDesign FlowResult::elaborate() const {
     return core::elaborate(*rr, *bits, pad_names);
 }
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stage 1: technology mapping
+// ---------------------------------------------------------------------------
+class TechmapStage final : public FlowStage {
+public:
+    [[nodiscard]] std::string name() const override { return "techmap"; }
+    void run(FlowContext& ctx, StageReport& report) override {
+        FlowResult& fr = ctx.result;
+        fr.mapped = techmap(ctx.nl, ctx.hints, ctx.opts.techmap);
+        if (ctx.opts.verify_mapping) verify_mapping(ctx.nl, fr.mapped);
+        report.add_metric("les", static_cast<double>(fr.mapped.les.size()));
+        report.add_metric("pdes", static_cast<double>(fr.mapped.pdes.size()));
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Stage 2: packing
+// ---------------------------------------------------------------------------
+class PackStage final : public FlowStage {
+public:
+    [[nodiscard]] std::string name() const override { return "pack"; }
+    void run(FlowContext& ctx, StageReport& report) override {
+        FlowResult& fr = ctx.result;
+        fr.packed = pack(fr.mapped, ctx.arch, ctx.opts.pack);
+        report.add_metric("clusters", static_cast<double>(fr.packed.clusters.size()));
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Stage 3: placement
+// ---------------------------------------------------------------------------
+class PlaceStage final : public FlowStage {
+public:
+    [[nodiscard]] std::string name() const override { return "place"; }
+    void run(FlowContext& ctx, StageReport& report) override {
+        FlowResult& fr = ctx.result;
+        PlaceOptions popts = ctx.opts.place;
+        popts.seed = ctx.opts.seed;
+        fr.placement = place(fr.packed, fr.mapped, ctx.arch, popts);
+        report.iterations = fr.placement.anneal_rounds;
+        report.cost_trajectory = fr.placement.cost_trajectory;
+        report.add_metric("final_cost", fr.placement.final_cost);
+        report.add_metric("moves_tried", static_cast<double>(fr.placement.moves_tried));
+        report.add_metric("moves_accepted", static_cast<double>(fr.placement.moves_accepted));
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Stage 4: routing (RR graph build + net list construction + PathFinder)
+// ---------------------------------------------------------------------------
+class RouteStage final : public FlowStage {
+public:
+    [[nodiscard]] std::string name() const override { return "route"; }
+
+    void run(FlowContext& ctx, StageReport& report) override {
+        FlowResult& fr = ctx.result;
+        base::WallTimer rr_timer;
+        fr.rr = std::make_shared<core::RRGraph>(ctx.arch);
+        report.add_metric("rr_build_ms", rr_timer.elapsed_ms());
+
+        build_requests(ctx);
+        report.add_metric("nets", static_cast<double>(ctx.reqs.size()));
+
+        fr.routing = route(*fr.rr, ctx.reqs, ctx.opts.route);
+        check(fr.routing.success,
+              "flow: routing failed after " + std::to_string(fr.routing.iterations) +
+                  " iterations (" + std::to_string(fr.routing.overused_nodes) +
+                  " overused nodes) — widen the channels");
+
+        report.iterations = fr.routing.iterations;
+        for (std::size_t o : fr.routing.overuse_trajectory)
+            report.cost_trajectory.push_back(static_cast<double>(o));
+        report.add_metric("nets_rerouted", static_cast<double>(fr.routing.nets_rerouted));
+        report.add_metric("wirelength", static_cast<double>(fr.routing.wirelength));
+    }
+
+private:
+    /// Flatten the packed design into per-signal route requests, remembering
+    /// which cluster each sink feeds so the bitstream stage can program the
+    /// receiving IM.
+    static void build_requests(FlowContext& ctx) {
+        FlowResult& fr = ctx.result;
+        const core::ArchSpec& arch = ctx.arch;
+        const MappedDesign& md = fr.mapped;
+        const PackedDesign& pd = fr.packed;
+
+        const auto consumers = pd.build_consumers(md);
+        std::unordered_map<NetId, std::string> pi_name_of;
+        for (const auto& [name, s] : md.primary_inputs) pi_name_of[s] = name;
+        std::unordered_map<NetId, std::vector<std::string>> po_names_of;
+        for (const auto& [name, s] : md.primary_outputs) po_names_of[s].push_back(name);
+        std::unordered_map<NetId, std::size_t> producer_cluster;
+        for (std::size_t ci = 0; ci < pd.clusters.size(); ++ci)
+            for (NetId s : pd.clusters[ci].produced(md)) producer_cluster[s] = ci;
+
+        // IM source index of every cluster-produced signal (the LE output slot /
+        // PDE output feeding it) — needed up front so routing can avoid output
+        // pins the IM topology cannot drive from that source.
+        std::unordered_map<NetId, std::uint32_t> im_source_of;
+        for (const Cluster& cl : pd.clusters) {
+            for (std::size_t slot = 0; slot < cl.le_indices.size(); ++slot) {
+                const LeInst& inst = md.les[cl.le_indices[slot]];
+                for (NetId s : inst.output_signals())
+                    im_source_of[s] = arch.im_src_le_output(static_cast<std::uint32_t>(slot),
+                                                            inst.output_slot(s));
+            }
+            if (cl.pde_index) im_source_of[md.pdes[*cl.pde_index].output] = arch.im_src_pde_out();
+        }
+
+        std::vector<NetId> all_signals;
+        for (const auto& [s, v] : consumers) all_signals.push_back(s);
+        for (const auto& [s, v] : po_names_of)
+            if (!consumers.count(s)) all_signals.push_back(s);
+        std::sort(all_signals.begin(), all_signals.end());  // deterministic order
+
+        for (NetId s : all_signals) {
+            if (md.constant_signals.count(s)) continue;
+            RouteRequest rq;
+            rq.signal = s;
+            std::size_t driver_cluster = SIZE_MAX;
+            const auto pit = pi_name_of.find(s);
+            if (pit != pi_name_of.end()) {
+                rq.src_is_pad = true;
+                rq.src_pad = fr.placement.pi_pad.at(pit->second);
+            } else {
+                const auto dit = producer_cluster.find(s);
+                check(dit != producer_cluster.end(), "flow: undriven signal");
+                driver_cluster = dit->second;
+                rq.src_plb = fr.placement.cluster_loc[driver_cluster];
+                if (arch.im_topology != core::ImTopology::FullCrossbar) {
+                    const std::uint32_t src = im_source_of.at(s);
+                    for (std::uint32_t p = 0; p < arch.plb_outputs; ++p)
+                        if (arch.im_connects(src, arch.im_sink_plb_output(p)))
+                            rq.allowed_src_pins.push_back(p);
+                    check(!rq.allowed_src_pins.empty(),
+                          "flow: IM topology " + to_string(arch.im_topology) +
+                              " offers no output pin for a signal's source");
+                }
+            }
+            std::vector<std::size_t> scl;
+            const auto cit = consumers.find(s);
+            if (cit != consumers.end()) {
+                for (std::size_t c : cit->second) {
+                    if (c == driver_cluster) continue;  // IM-internal
+                    RouteRequest::Sink sk;
+                    sk.plb = fr.placement.cluster_loc[c];
+                    rq.sinks.push_back(sk);
+                    scl.push_back(c);
+                }
+            }
+            const auto poit = po_names_of.find(s);
+            if (poit != po_names_of.end()) {
+                check(pit == pi_name_of.end(), "flow: PI-to-PO pass-through not supported");
+                for (const std::string& name : poit->second) {
+                    RouteRequest::Sink sk;
+                    sk.is_pad = true;
+                    sk.pad = fr.placement.po_pad.at(name);
+                    rq.sinks.push_back(sk);
+                    scl.push_back(SIZE_MAX);
+                }
+            }
+            if (rq.sinks.empty()) continue;
+            // Route nearer sinks first (keeps trees short).
+            std::vector<std::size_t> order(rq.sinks.size());
+            for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+            const auto src_pos = rq.src_is_pad
+                                     ? std::pair<double, double>{0, 0}
+                                     : std::pair<double, double>{rq.src_plb.x + 0.5,
+                                                                 rq.src_plb.y + 0.5};
+            auto sink_dist = [&](const RouteRequest::Sink& sk) {
+                if (sk.is_pad) return 1e6;  // pads last
+                return std::abs(sk.plb.x + 0.5 - src_pos.first) +
+                       std::abs(sk.plb.y + 0.5 - src_pos.second);
+            };
+            std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+                return sink_dist(rq.sinks[a]) < sink_dist(rq.sinks[b]);
+            });
+            RouteRequest sorted = rq;
+            std::vector<std::size_t> sorted_cl(scl.size());
+            for (std::size_t i = 0; i < order.size(); ++i) {
+                sorted.sinks[i] = rq.sinks[order[i]];
+                sorted_cl[i] = scl[order[i]];
+            }
+            ctx.reqs.push_back(std::move(sorted));
+            ctx.sink_cluster.push_back(std::move(sorted_cl));
+            ctx.req_signal.push_back(s);
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Stage 5: bitstream programming (routing switches, IM config, pads)
+// ---------------------------------------------------------------------------
+class BitstreamStage final : public FlowStage {
+public:
+    [[nodiscard]] std::string name() const override { return "bitstream"; }
+
+    void run(FlowContext& ctx, StageReport& report) override {
+        FlowResult& fr = ctx.result;
+        const core::ArchSpec& arch = ctx.arch;
+        const core::RRGraph& rr = *fr.rr;
+        const MappedDesign& md = fr.mapped;
+        const PackedDesign& pd = fr.packed;
+
+        fr.bits = std::make_shared<core::Bitstream>(arch, rr.num_edges());
+        core::Bitstream& bits = *fr.bits;
+
+        // (signal, cluster) -> PLB input pin delivering it.
+        std::unordered_map<std::uint64_t, std::uint32_t> entry_pin;
+        auto sig_cluster_key = [](NetId s, std::size_t cluster) {
+            return (static_cast<std::uint64_t>(s.value()) << 24) ^
+                   static_cast<std::uint64_t>(cluster);
+        };
+        // signal -> chosen output pin on its driver PLB.
+        std::unordered_map<NetId, std::uint32_t> exit_pin;
+
+        for (std::size_t ri = 0; ri < ctx.reqs.size(); ++ri) {
+            const RouteTree& tree = fr.routing.trees[ri];
+            if (!ctx.reqs[ri].src_is_pad) {
+                check(tree.root_opin != UINT32_MAX, "flow: routed net without a root");
+                exit_pin[ctx.req_signal[ri]] = rr.pin_index(tree.root_opin);
+            }
+            for (std::size_t si = 0; si < tree.sinks.size(); ++si) {
+                if (ctx.sink_cluster[ri][si] == SIZE_MAX) continue;  // pad sink
+                entry_pin[sig_cluster_key(ctx.req_signal[ri], ctx.sink_cluster[ri][si])] =
+                    rr.pin_index(tree.sinks[si].ipin);
+            }
+            for (std::uint32_t e : tree.edges) bits.set_edge(e, true);
+        }
+
+        for (std::size_t ci = 0; ci < pd.clusters.size(); ++ci) {
+            const Cluster& cl = pd.clusters[ci];
+            const PlbCoord loc = fr.placement.cluster_loc[ci];
+            core::PlbConfig& cfg = bits.plb(loc);
+
+            // slot/source of every signal produced inside this PLB
+            std::unordered_map<NetId, std::uint32_t> internal_src;
+            for (std::size_t slot = 0; slot < cl.le_indices.size(); ++slot) {
+                const LeInst& inst = md.les[cl.le_indices[slot]];
+                for (NetId s : inst.output_signals())
+                    internal_src[s] = arch.im_src_le_output(static_cast<std::uint32_t>(slot),
+                                                            inst.output_slot(s));
+            }
+            if (cl.pde_index)
+                internal_src[md.pdes[*cl.pde_index].output] = arch.im_src_pde_out();
+
+            auto resolve_source = [&](NetId s) -> std::uint32_t {
+                const auto iit = internal_src.find(s);
+                if (iit != internal_src.end()) return iit->second;
+                const auto cit2 = md.constant_signals.find(s);
+                if (cit2 != md.constant_signals.end())
+                    return cit2->second ? arch.im_src_const1() : arch.im_src_const0();
+                const auto eit = entry_pin.find(sig_cluster_key(s, ci));
+                check(eit != entry_pin.end(), "flow: signal not delivered to cluster");
+                return arch.im_src_plb_input(eit->second);
+            };
+
+            for (std::size_t slot = 0; slot < cl.le_indices.size(); ++slot) {
+                const LeInst& inst = md.les[cl.le_indices[slot]];
+                core::LeConfig& le = cfg.le[slot];
+                const std::vector<NetId> signals = inst.input_signals();
+                check(signals.size() <= arch.le_inputs, "flow: LE input overflow");
+
+                // Topology-aware pin assignment: each signal needs an LE input
+                // pin whose IM sink can listen to the signal's source (always
+                // satisfiable on the full crossbar; a real constraint for the
+                // sparse-IM ablations). Halves may only use pins 0..5.
+                const std::size_t max_pin = inst.full7 ? 7 : 6;
+                std::vector<std::size_t> pin_of_signal(signals.size(), SIZE_MAX);
+                std::vector<bool> pin_taken(max_pin, false);
+                auto can_use = [&](std::size_t sig, std::size_t pin) {
+                    return arch.im_connects(
+                        resolve_source(signals[sig]),
+                        arch.im_sink_le_input(static_cast<std::uint32_t>(slot),
+                                              static_cast<std::uint32_t>(pin)));
+                };
+                std::function<bool(std::size_t)> assign = [&](std::size_t sig) {
+                    if (sig == signals.size()) return true;
+                    for (std::size_t p = 0; p < max_pin; ++p) {
+                        if (pin_taken[p] || !can_use(sig, p)) continue;
+                        pin_taken[p] = true;
+                        pin_of_signal[sig] = p;
+                        if (assign(sig + 1)) return true;
+                        pin_taken[p] = false;
+                        pin_of_signal[sig] = SIZE_MAX;
+                    }
+                    return false;
+                };
+                check(assign(0),
+                      "flow: IM topology " + to_string(arch.im_topology) +
+                          " cannot deliver all inputs of an LE (memory feedback or "
+                          "sparse crossbar conflict)");
+                auto pin_of = [&](NetId s) {
+                    for (std::size_t i = 0; i < signals.size(); ++i)
+                        if (signals[i] == s) return pin_of_signal[i];
+                    base::fail("flow: signal not an LE input");
+                };
+
+                if (inst.full7) {
+                    // set_full7 needs exactly one variable on pin 6; if the
+                    // matcher left pin 6 free, rotate one variable onto it.
+                    bool pin6_used = false;
+                    for (std::size_t v : pin_of_signal) pin6_used |= (v == 6);
+                    if (!pin6_used) {
+                        for (std::size_t i = 0; i < signals.size(); ++i) {
+                            if (can_use(i, 6)) {
+                                pin_of_signal[i] = 6;
+                                break;
+                            }
+                        }
+                    }
+                    std::vector<std::size_t> pin_map;
+                    for (NetId s : inst.full7->inputs) pin_map.push_back(pin_of(s));
+                    core::LeProgram::set_full7(le, inst.full7->tt, pin_map);
+                } else {
+                    if (inst.a) {
+                        std::vector<std::size_t> pin_map;
+                        for (NetId s : inst.a->inputs) pin_map.push_back(pin_of(s));
+                        core::LeProgram::set_half(le, false, inst.a->tt, pin_map);
+                    }
+                    if (inst.b) {
+                        std::vector<std::size_t> pin_map;
+                        for (NetId s : inst.b->inputs) pin_map.push_back(pin_of(s));
+                        core::LeProgram::set_half(le, true, inst.b->tt, pin_map);
+                    }
+                }
+                if (inst.lut2) {
+                    const std::uint32_t sel0 = inst.output_slot(inst.lut2->inputs[0]);
+                    const std::uint32_t sel1 = inst.output_slot(inst.lut2->inputs[1]);
+                    check(sel0 < 3 && sel1 < 3, "flow: LUT2 input is not an LE output");
+                    core::LeProgram::set_lut2(le, inst.lut2->tt, sel0, sel1);
+                }
+                for (std::size_t i = 0; i < signals.size(); ++i)
+                    cfg.im.connect(
+                        arch,
+                        arch.im_sink_le_input(static_cast<std::uint32_t>(slot),
+                                              static_cast<std::uint32_t>(pin_of_signal[i])),
+                        resolve_source(signals[i]));
+            }
+
+            if (cl.pde_index) {
+                const PdeInst& p = md.pdes[*cl.pde_index];
+                cfg.im.connect(arch, arch.im_sink_pde_in(), resolve_source(p.input));
+                const double required =
+                    static_cast<double>(p.required_delay_ps) * (1.0 + ctx.opts.pde_extra_margin);
+                const auto tap = static_cast<std::int64_t>(
+                    std::ceil(required / static_cast<double>(arch.pde_quantum_ps)));
+                check(tap >= 0 && tap < static_cast<std::int64_t>(arch.pde_taps),
+                      "flow: PDE range exceeded (need " + std::to_string(required) +
+                          " ps, max " +
+                          std::to_string((arch.pde_taps - 1) * arch.pde_quantum_ps) + " ps)");
+                cfg.pde.tap = static_cast<std::uint8_t>(std::max<std::int64_t>(tap, 1));
+            }
+
+            // PLB output pins for signals that leave this cluster.
+            for (NetId s : cl.produced(md)) {
+                const auto xit = exit_pin.find(s);
+                if (xit == exit_pin.end()) continue;  // consumed internally only
+                cfg.im.connect(arch, arch.im_sink_plb_output(xit->second), resolve_source(s));
+            }
+        }
+
+        // --- pads ---------------------------------------------------------------
+        for (const auto& [name, pad] : fr.placement.pi_pad) {
+            // Only program pads whose signal actually reached the fabric; an
+            // unconnected PI stays unprogrammed.
+            bits.set_pad_mode(pad, core::PadMode::Input);
+            fr.pad_names[pad] = name;
+        }
+        for (const auto& [name, pad] : fr.placement.po_pad) {
+            bits.set_pad_mode(pad, core::PadMode::Output);
+            fr.pad_names[pad] = name;
+        }
+
+        report.add_metric("switches_on", static_cast<double>(bits.num_enabled_edges()));
+    }
+};
+
+}  // namespace
+
 FlowResult run_flow(const netlist::Netlist& nl, const asynclib::MappingHints& hints,
                     const core::ArchSpec& arch, const FlowOptions& opts) {
     arch.validate();
+    // Multi-capacity channels are a router-level model (see cad::route and
+    // RRGraph::node_capacity): the bitstream and elaboration layers assume
+    // one net per wire node, so a bundled routing would program a short.
+    check(arch.wire_capacity == 1,
+          "flow: wire_capacity > 1 is supported by the standalone router only; "
+          "the bitstream layer models one net per wire");
     FlowResult fr;
     fr.arch = arch;
+    FlowContext ctx{nl, hints, arch, opts, fr, {}, {}, {}};
 
-    // --- map, pack, place ------------------------------------------------------
-    fr.mapped = techmap(nl, hints, opts.techmap);
-    if (opts.verify_mapping) verify_mapping(nl, fr.mapped);
-    fr.packed = pack(fr.mapped, arch, opts.pack);
-    PlaceOptions popts = opts.place;
-    popts.seed = opts.seed;
-    fr.placement = place(fr.packed, fr.mapped, arch, popts);
+    TechmapStage techmap_stage;
+    PackStage pack_stage;
+    PlaceStage place_stage;
+    RouteStage route_stage;
+    BitstreamStage bitstream_stage;
+    FlowStage* const pipeline[] = {&techmap_stage, &pack_stage, &place_stage, &route_stage,
+                                   &bitstream_stage};
 
-    fr.rr = std::make_shared<core::RRGraph>(arch);
-    const core::RRGraph& rr = *fr.rr;
-
-    const MappedDesign& md = fr.mapped;
-    const PackedDesign& pd = fr.packed;
-
-    // --- build route requests ----------------------------------------------------
-    const auto consumers = pd.build_consumers(md);
-    std::unordered_map<NetId, std::string> pi_name_of;
-    for (const auto& [name, s] : md.primary_inputs) pi_name_of[s] = name;
-    std::unordered_map<NetId, std::vector<std::string>> po_names_of;
-    for (const auto& [name, s] : md.primary_outputs) po_names_of[s].push_back(name);
-    std::unordered_map<NetId, std::size_t> producer_cluster;
-    for (std::size_t ci = 0; ci < pd.clusters.size(); ++ci)
-        for (NetId s : pd.clusters[ci].produced(md)) producer_cluster[s] = ci;
-
-    std::vector<RouteRequest> reqs;
-    // Parallel metadata: the consuming cluster per sink (SIZE_MAX for pads).
-    std::vector<std::vector<std::size_t>> sink_cluster;
-    std::vector<NetId> req_signal;
-
-    // IM source index of every cluster-produced signal (the LE output slot /
-    // PDE output feeding it) — needed up front so routing can avoid output
-    // pins the IM topology cannot drive from that source.
-    std::unordered_map<NetId, std::uint32_t> im_source_of;
-    for (const Cluster& cl : pd.clusters) {
-        for (std::size_t slot = 0; slot < cl.le_indices.size(); ++slot) {
-            const LeInst& inst = md.les[cl.le_indices[slot]];
-            for (NetId s : inst.output_signals())
-                im_source_of[s] = arch.im_src_le_output(static_cast<std::uint32_t>(slot),
-                                                        inst.output_slot(s));
-        }
-        if (cl.pde_index) im_source_of[md.pdes[*cl.pde_index].output] = arch.im_src_pde_out();
+    base::WallTimer total;
+    for (FlowStage* stage : pipeline) {
+        StageReport report;
+        report.stage = stage->name();
+        base::WallTimer t;
+        stage->run(ctx, report);
+        report.wall_ms = t.elapsed_ms();
+        fr.telemetry.stages.push_back(std::move(report));
     }
-
-    std::vector<NetId> all_signals;
-    for (const auto& [s, v] : consumers) all_signals.push_back(s);
-    for (const auto& [s, v] : po_names_of)
-        if (!consumers.count(s)) all_signals.push_back(s);
-    std::sort(all_signals.begin(), all_signals.end());  // deterministic order
-
-    for (NetId s : all_signals) {
-        if (md.constant_signals.count(s)) continue;
-        RouteRequest rq;
-        rq.signal = s;
-        std::size_t driver_cluster = SIZE_MAX;
-        const auto pit = pi_name_of.find(s);
-        if (pit != pi_name_of.end()) {
-            rq.src_is_pad = true;
-            rq.src_pad = fr.placement.pi_pad.at(pit->second);
-        } else {
-            const auto dit = producer_cluster.find(s);
-            check(dit != producer_cluster.end(), "flow: undriven signal");
-            driver_cluster = dit->second;
-            rq.src_plb = fr.placement.cluster_loc[driver_cluster];
-            if (arch.im_topology != core::ImTopology::FullCrossbar) {
-                const std::uint32_t src = im_source_of.at(s);
-                for (std::uint32_t p = 0; p < arch.plb_outputs; ++p)
-                    if (arch.im_connects(src, arch.im_sink_plb_output(p)))
-                        rq.allowed_src_pins.push_back(p);
-                check(!rq.allowed_src_pins.empty(),
-                      "flow: IM topology " + to_string(arch.im_topology) +
-                          " offers no output pin for a signal's source");
-            }
-        }
-        std::vector<std::size_t> scl;
-        const auto cit = consumers.find(s);
-        if (cit != consumers.end()) {
-            for (std::size_t c : cit->second) {
-                if (c == driver_cluster) continue;  // IM-internal
-                RouteRequest::Sink sk;
-                sk.plb = fr.placement.cluster_loc[c];
-                rq.sinks.push_back(sk);
-                scl.push_back(c);
-            }
-        }
-        const auto poit = po_names_of.find(s);
-        if (poit != po_names_of.end()) {
-            check(pit == pi_name_of.end(), "flow: PI-to-PO pass-through not supported");
-            for (const std::string& name : poit->second) {
-                RouteRequest::Sink sk;
-                sk.is_pad = true;
-                sk.pad = fr.placement.po_pad.at(name);
-                rq.sinks.push_back(sk);
-                scl.push_back(SIZE_MAX);
-            }
-        }
-        if (rq.sinks.empty()) continue;
-        // Route nearer sinks first (keeps trees short).
-        std::vector<std::size_t> order(rq.sinks.size());
-        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-        const auto src_pos = rq.src_is_pad
-                                 ? std::pair<double, double>{0, 0}
-                                 : std::pair<double, double>{rq.src_plb.x + 0.5,
-                                                             rq.src_plb.y + 0.5};
-        auto sink_dist = [&](const RouteRequest::Sink& sk) {
-            if (sk.is_pad) return 1e6;  // pads last
-            return std::abs(sk.plb.x + 0.5 - src_pos.first) +
-                   std::abs(sk.plb.y + 0.5 - src_pos.second);
-        };
-        std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-            return sink_dist(rq.sinks[a]) < sink_dist(rq.sinks[b]);
-        });
-        RouteRequest sorted = rq;
-        std::vector<std::size_t> sorted_cl(scl.size());
-        for (std::size_t i = 0; i < order.size(); ++i) {
-            sorted.sinks[i] = rq.sinks[order[i]];
-            sorted_cl[i] = scl[order[i]];
-        }
-        reqs.push_back(std::move(sorted));
-        sink_cluster.push_back(std::move(sorted_cl));
-        req_signal.push_back(s);
-    }
-
-    fr.routing = route(rr, reqs, opts.route);
-    check(fr.routing.success,
-          "flow: routing failed after " + std::to_string(fr.routing.iterations) +
-              " iterations (" + std::to_string(fr.routing.overused_nodes) +
-              " overused nodes) — widen the channels");
-
-    // --- program the bitstream -----------------------------------------------------
-    fr.bits = std::make_shared<core::Bitstream>(arch, rr.num_edges());
-    core::Bitstream& bits = *fr.bits;
-
-    // (signal, cluster) -> PLB input pin delivering it.
-    std::unordered_map<std::uint64_t, std::uint32_t> entry_pin;
-    auto sig_cluster_key = [](NetId s, std::size_t cluster) {
-        return (static_cast<std::uint64_t>(s.value()) << 24) ^
-               static_cast<std::uint64_t>(cluster);
-    };
-    // signal -> chosen output pin on its driver PLB.
-    std::unordered_map<NetId, std::uint32_t> exit_pin;
-
-    for (std::size_t ri = 0; ri < reqs.size(); ++ri) {
-        const RouteTree& tree = fr.routing.trees[ri];
-        if (!reqs[ri].src_is_pad) {
-            check(tree.root_opin != UINT32_MAX, "flow: routed net without a root");
-            exit_pin[req_signal[ri]] = rr.pin_index(tree.root_opin);
-        }
-        for (std::size_t si = 0; si < tree.sinks.size(); ++si) {
-            if (sink_cluster[ri][si] == SIZE_MAX) continue;  // pad sink
-            entry_pin[sig_cluster_key(req_signal[ri], sink_cluster[ri][si])] =
-                rr.pin_index(tree.sinks[si].ipin);
-        }
-        for (std::uint32_t e : tree.edges) bits.set_edge(e, true);
-    }
-
-    for (std::size_t ci = 0; ci < pd.clusters.size(); ++ci) {
-        const Cluster& cl = pd.clusters[ci];
-        const PlbCoord loc = fr.placement.cluster_loc[ci];
-        core::PlbConfig& cfg = bits.plb(loc);
-
-        // slot/source of every signal produced inside this PLB
-        std::unordered_map<NetId, std::uint32_t> internal_src;
-        for (std::size_t slot = 0; slot < cl.le_indices.size(); ++slot) {
-            const LeInst& inst = md.les[cl.le_indices[slot]];
-            for (NetId s : inst.output_signals())
-                internal_src[s] = arch.im_src_le_output(static_cast<std::uint32_t>(slot),
-                                                        inst.output_slot(s));
-        }
-        if (cl.pde_index) internal_src[md.pdes[*cl.pde_index].output] = arch.im_src_pde_out();
-
-        auto resolve_source = [&](NetId s) -> std::uint32_t {
-            const auto iit = internal_src.find(s);
-            if (iit != internal_src.end()) return iit->second;
-            const auto cit2 = md.constant_signals.find(s);
-            if (cit2 != md.constant_signals.end())
-                return cit2->second ? arch.im_src_const1() : arch.im_src_const0();
-            const auto eit = entry_pin.find(sig_cluster_key(s, ci));
-            check(eit != entry_pin.end(), "flow: signal not delivered to cluster");
-            return arch.im_src_plb_input(eit->second);
-        };
-
-        for (std::size_t slot = 0; slot < cl.le_indices.size(); ++slot) {
-            const LeInst& inst = md.les[cl.le_indices[slot]];
-            core::LeConfig& le = cfg.le[slot];
-            const std::vector<NetId> signals = inst.input_signals();
-            check(signals.size() <= arch.le_inputs, "flow: LE input overflow");
-
-            // Topology-aware pin assignment: each signal needs an LE input
-            // pin whose IM sink can listen to the signal's source (always
-            // satisfiable on the full crossbar; a real constraint for the
-            // sparse-IM ablations). Halves may only use pins 0..5.
-            const std::size_t max_pin = inst.full7 ? 7 : 6;
-            std::vector<std::size_t> pin_of_signal(signals.size(), SIZE_MAX);
-            std::vector<bool> pin_taken(max_pin, false);
-            auto can_use = [&](std::size_t sig, std::size_t pin) {
-                return arch.im_connects(
-                    resolve_source(signals[sig]),
-                    arch.im_sink_le_input(static_cast<std::uint32_t>(slot),
-                                          static_cast<std::uint32_t>(pin)));
-            };
-            std::function<bool(std::size_t)> assign = [&](std::size_t sig) {
-                if (sig == signals.size()) return true;
-                for (std::size_t p = 0; p < max_pin; ++p) {
-                    if (pin_taken[p] || !can_use(sig, p)) continue;
-                    pin_taken[p] = true;
-                    pin_of_signal[sig] = p;
-                    if (assign(sig + 1)) return true;
-                    pin_taken[p] = false;
-                    pin_of_signal[sig] = SIZE_MAX;
-                }
-                return false;
-            };
-            check(assign(0),
-                  "flow: IM topology " + to_string(arch.im_topology) +
-                      " cannot deliver all inputs of an LE (memory feedback or "
-                      "sparse crossbar conflict)");
-            auto pin_of = [&](NetId s) {
-                for (std::size_t i = 0; i < signals.size(); ++i)
-                    if (signals[i] == s) return pin_of_signal[i];
-                base::fail("flow: signal not an LE input");
-            };
-
-            if (inst.full7) {
-                // set_full7 needs exactly one variable on pin 6; if the
-                // matcher left pin 6 free, rotate one variable onto it.
-                bool pin6_used = false;
-                for (std::size_t v : pin_of_signal) pin6_used |= (v == 6);
-                if (!pin6_used) {
-                    for (std::size_t i = 0; i < signals.size(); ++i) {
-                        if (can_use(i, 6)) {
-                            pin_of_signal[i] = 6;
-                            break;
-                        }
-                    }
-                }
-                std::vector<std::size_t> pin_map;
-                for (NetId s : inst.full7->inputs) pin_map.push_back(pin_of(s));
-                core::LeProgram::set_full7(le, inst.full7->tt, pin_map);
-            } else {
-                if (inst.a) {
-                    std::vector<std::size_t> pin_map;
-                    for (NetId s : inst.a->inputs) pin_map.push_back(pin_of(s));
-                    core::LeProgram::set_half(le, false, inst.a->tt, pin_map);
-                }
-                if (inst.b) {
-                    std::vector<std::size_t> pin_map;
-                    for (NetId s : inst.b->inputs) pin_map.push_back(pin_of(s));
-                    core::LeProgram::set_half(le, true, inst.b->tt, pin_map);
-                }
-            }
-            if (inst.lut2) {
-                const std::uint32_t sel0 = inst.output_slot(inst.lut2->inputs[0]);
-                const std::uint32_t sel1 = inst.output_slot(inst.lut2->inputs[1]);
-                check(sel0 < 3 && sel1 < 3, "flow: LUT2 input is not an LE output");
-                core::LeProgram::set_lut2(le, inst.lut2->tt, sel0, sel1);
-            }
-            for (std::size_t i = 0; i < signals.size(); ++i)
-                cfg.im.connect(
-                    arch,
-                    arch.im_sink_le_input(static_cast<std::uint32_t>(slot),
-                                          static_cast<std::uint32_t>(pin_of_signal[i])),
-                    resolve_source(signals[i]));
-        }
-
-        if (cl.pde_index) {
-            const PdeInst& p = md.pdes[*cl.pde_index];
-            cfg.im.connect(arch, arch.im_sink_pde_in(), resolve_source(p.input));
-            const double required =
-                static_cast<double>(p.required_delay_ps) * (1.0 + opts.pde_extra_margin);
-            const auto tap = static_cast<std::int64_t>(
-                std::ceil(required / static_cast<double>(arch.pde_quantum_ps)));
-            check(tap >= 0 && tap < static_cast<std::int64_t>(arch.pde_taps),
-                  "flow: PDE range exceeded (need " + std::to_string(required) + " ps, max " +
-                      std::to_string((arch.pde_taps - 1) * arch.pde_quantum_ps) + " ps)");
-            cfg.pde.tap = static_cast<std::uint8_t>(std::max<std::int64_t>(tap, 1));
-        }
-
-        // PLB output pins for signals that leave this cluster.
-        for (NetId s : cl.produced(md)) {
-            const auto xit = exit_pin.find(s);
-            if (xit == exit_pin.end()) continue;  // consumed internally only
-            cfg.im.connect(arch, arch.im_sink_plb_output(xit->second), resolve_source(s));
-        }
-    }
-
-    // --- pads -------------------------------------------------------------------------
-    for (const auto& [name, pad] : fr.placement.pi_pad) {
-        // Only program pads whose signal actually reached the fabric; an
-        // unconnected PI stays unprogrammed.
-        bits.set_pad_mode(pad, core::PadMode::Input);
-        fr.pad_names[pad] = name;
-    }
-    for (const auto& [name, pad] : fr.placement.po_pad) {
-        bits.set_pad_mode(pad, core::PadMode::Output);
-        fr.pad_names[pad] = name;
-    }
-
+    fr.telemetry.total_ms = total.elapsed_ms();
     return fr;
 }
 

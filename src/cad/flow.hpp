@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "asynclib/styles.hpp"
+#include "cad/flow_stage.hpp"
 #include "cad/mapped.hpp"
 #include "cad/pack.hpp"
 #include "cad/place.hpp"
@@ -44,6 +45,9 @@ struct FlowResult {
     std::shared_ptr<core::RRGraph> rr;      ///< shared: benches reuse it
     std::shared_ptr<core::Bitstream> bits;
     std::unordered_map<std::uint32_t, std::string> pad_names;
+    /// Per-stage wall time, iterations and cost trajectories; serializable
+    /// via FlowTelemetry::to_json().
+    FlowTelemetry telemetry;
 
     /// Reconstruct the implemented netlist from the bitstream.
     [[nodiscard]] core::ElaboratedDesign elaborate() const;

@@ -1,0 +1,80 @@
+// The staged CAD pipeline: run_flow threads a FlowContext through five
+// FlowStage implementations (techmap -> pack -> place -> route -> bitstream),
+// timing each one into a StageReport and collecting the reports into a
+// machine-readable FlowTelemetry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "asynclib/styles.hpp"
+#include "cad/route.hpp"
+#include "netlist/netlist.hpp"
+
+namespace afpga::cad {
+
+struct FlowOptions;
+struct FlowResult;
+
+/// What one stage did: wall time, iteration count and per-iteration cost
+/// trajectory where the stage is iterative (annealer rounds, PathFinder
+/// iterations), plus free-form named metrics.
+struct StageReport {
+    std::string stage;
+    double wall_ms = 0.0;
+    int iterations = 0;
+    std::vector<double> cost_trajectory;
+    std::vector<std::pair<std::string, double>> metrics;  ///< insertion-ordered
+
+    void add_metric(std::string name, double v) {
+        metrics.emplace_back(std::move(name), v);
+    }
+    /// nullptr when the stage never recorded the metric.
+    [[nodiscard]] const double* metric(std::string_view name) const;
+};
+
+/// Per-stage reports in pipeline order plus the end-to-end wall time.
+struct FlowTelemetry {
+    std::vector<StageReport> stages;
+    double total_ms = 0.0;
+
+    /// nullptr when no stage has that name.
+    [[nodiscard]] const StageReport* stage(std::string_view name) const;
+    /// Serialize the whole telemetry as a JSON object.
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// Mutable state threaded through the pipeline. Stages read what upstream
+/// stages produced (mostly inside `result`) and leave their own products for
+/// the stages downstream.
+struct FlowContext {
+    const netlist::Netlist& nl;
+    const asynclib::MappingHints& hints;
+    const core::ArchSpec& arch;
+    const FlowOptions& opts;
+    FlowResult& result;
+
+    // Route-stage products the bitstream stage consumes: the flattened net
+    // list, each net's consuming cluster per sink (SIZE_MAX = pad), and the
+    // signal each request carries.
+    std::vector<RouteRequest> reqs;
+    std::vector<std::vector<std::size_t>> sink_cluster;
+    std::vector<netlist::NetId> req_signal;
+};
+
+/// One pipeline stage. The five concrete stages are internal to flow.cpp;
+/// the interface is public so the driver's contract (name + timed run over
+/// a shared context) is visible alongside StageReport/FlowTelemetry.
+class FlowStage {
+public:
+    virtual ~FlowStage() = default;
+    [[nodiscard]] virtual std::string name() const = 0;
+    /// Do the work; fill iteration counts/trajectory/metrics into `report`
+    /// (wall_ms is stamped by the pipeline driver).
+    virtual void run(FlowContext& ctx, StageReport& report) = 0;
+};
+
+}  // namespace afpga::cad

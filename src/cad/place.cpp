@@ -5,6 +5,7 @@
 
 #include "base/check.hpp"
 #include "base/rng.hpp"
+#include "cad/place_cost.hpp"
 
 namespace afpga::cad {
 
@@ -16,7 +17,8 @@ namespace {
 /// A movable object: a cluster or an I/O signal bound to a pad.
 struct Entity {
     enum class Kind : std::uint8_t { Cluster, Pi, Po } kind;
-    std::size_t index;  // cluster index, or index into pi/po lists
+    std::size_t index;    ///< cluster index, or index into pi/po lists
+    std::size_t io_slot;  ///< index into pad_of_io (Pi/Po); SIZE_MAX for clusters
 };
 
 struct Pt {
@@ -38,22 +40,16 @@ struct State {
 
     // positions
     std::vector<PlbCoord> cluster_loc;
-    std::vector<std::uint32_t> pad_of_io;  // per Pi/Po entity order (see io_slot)
+    std::vector<std::uint32_t> pad_of_io;  // io slot -> pad
     std::vector<std::size_t> io_entity_ids;
 
     // occupancy
-    std::vector<std::size_t> grid;  // (x + y*W) -> entity id + 1, 0 = empty
+    std::vector<std::size_t> grid;  // (x + y*W) -> cluster index + 1, 0 = empty
     std::vector<std::size_t> pad_owner;  // pad -> io slot + 1
 
     explicit State(const core::ArchSpec& a) : arch(&a), geom(a) {}
 
-    [[nodiscard]] Pt position(std::size_t eid) const {
-        const Entity& e = entities[eid];
-        if (e.kind == Entity::Kind::Cluster) {
-            const PlbCoord c = cluster_loc[e.index];
-            return {c.x + 1.0, c.y + 1.0};
-        }
-        const std::uint32_t pad = pad_of_io[io_slot(eid)];
+    [[nodiscard]] Pt pad_pt(std::uint32_t pad) const {
         const core::IobCoord io = geom.pad_iob(pad);
         switch (io.side) {
             case core::Side::Bottom: return {io.offset + 1.0, 0.0};
@@ -64,19 +60,41 @@ struct State {
         return {0, 0};
     }
 
-    [[nodiscard]] std::size_t io_slot(std::size_t eid) const {
-        // io entities are appended after clusters in order; slot = position.
+    [[nodiscard]] Pt position(std::size_t eid) const {
+        const Entity& e = entities[eid];
+        if (e.kind == Entity::Kind::Cluster) {
+            const PlbCoord c = cluster_loc[e.index];
+            return {c.x + 1.0, c.y + 1.0};
+        }
+        // io_slot is stored on the entity; the pre-refactor code re-derived
+        // it with a linear search on every position lookup (see io_slot_find).
+        return pad_pt(pad_of_io[e.io_slot]);
+    }
+
+    /// Pre-refactor io-slot lookup, kept verbatim as the bench baseline: the
+    /// seed placer ran this linear search for every I/O position query.
+    [[nodiscard]] std::size_t io_slot_find(std::size_t eid) const {
         const auto it = std::find(io_entity_ids.begin(), io_entity_ids.end(), eid);
         return static_cast<std::size_t>(it - io_entity_ids.begin());
     }
 
-    [[nodiscard]] double net_cost(const PlNet& n) const {
+    [[nodiscard]] Pt position_prerefactor(std::size_t eid) const {
+        const Entity& e = entities[eid];
+        if (e.kind == Entity::Kind::Cluster) {
+            const PlbCoord c = cluster_loc[e.index];
+            return {c.x + 1.0, c.y + 1.0};
+        }
+        return pad_pt(pad_of_io[io_slot_find(eid)]);
+    }
+
+    template <typename PositionFn>
+    [[nodiscard]] double net_cost_via(const PlNet& n, PositionFn&& pos) const {
         double xmin = 1e18;
         double xmax = -1e18;
         double ymin = 1e18;
         double ymax = -1e18;
         for (std::size_t eid : n.entities) {
-            const Pt p = position(eid);
+            const Pt p = pos(eid);
             xmin = std::min(xmin, p.x);
             xmax = std::max(xmax, p.x);
             ymin = std::min(ymin, p.y);
@@ -85,9 +103,23 @@ struct State {
         return (xmax - xmin) + (ymax - ymin);
     }
 
-    [[nodiscard]] double cost_of(const std::vector<std::size_t>& net_ids) const {
+    [[nodiscard]] double net_cost(const PlNet& n) const {
+        return net_cost_via(n, [this](std::size_t eid) { return position(eid); });
+    }
+
+    /// Baseline move evaluation: rescan the given nets through the
+    /// pre-refactor position lookup (linear io-slot search included).
+    [[nodiscard]] double cost_of_prerefactor(const std::vector<std::size_t>& net_ids) const {
         double c = 0;
-        for (std::size_t ni : net_ids) c += net_cost(nets[ni]);
+        for (std::size_t ni : net_ids)
+            c += net_cost_via(nets[ni],
+                              [this](std::size_t eid) { return position_prerefactor(eid); });
+        return c;
+    }
+
+    [[nodiscard]] double total_cost() const {
+        double c = 0;
+        for (const PlNet& n : nets) c += net_cost(n);
         return c;
     }
 };
@@ -108,14 +140,14 @@ Placement place(const PackedDesign& pd, const MappedDesign& md, const core::Arch
 
     // --- entity table ---------------------------------------------------------
     for (std::size_t ci = 0; ci < pd.clusters.size(); ++ci)
-        st.entities.push_back({Entity::Kind::Cluster, ci});
+        st.entities.push_back({Entity::Kind::Cluster, ci, SIZE_MAX});
     for (std::size_t i = 0; i < md.primary_inputs.size(); ++i) {
         st.io_entity_ids.push_back(st.entities.size());
-        st.entities.push_back({Entity::Kind::Pi, i});
+        st.entities.push_back({Entity::Kind::Pi, i, st.io_entity_ids.size() - 1});
     }
     for (std::size_t i = 0; i < md.primary_outputs.size(); ++i) {
         st.io_entity_ids.push_back(st.entities.size());
-        st.entities.push_back({Entity::Kind::Po, i});
+        st.entities.push_back({Entity::Kind::Po, i, st.io_entity_ids.size() - 1});
     }
 
     // --- nets ------------------------------------------------------------------
@@ -188,8 +220,24 @@ Placement place(const PackedDesign& pd, const MappedDesign& md, const core::Arch
         }
     }
 
-    double cost = 0;
-    for (const PlNet& n : st.nets) cost += st.net_cost(n);
+    // --- incremental cost engine -------------------------------------------------
+    // Entities and nets mirror the State tables; the engine caches positions
+    // and per-net bounding boxes so move evaluation never rescans positions.
+    PlaceCostEngine engine;
+    if (opts.incremental) {
+        for (std::size_t eid = 0; eid < st.entities.size(); ++eid) {
+            const Pt p = st.position(eid);
+            engine.add_entity(p.x, p.y);
+        }
+        for (const PlNet& n : st.nets) engine.add_net(n.entities);
+        engine.finalize();
+    }
+
+    // Pad coordinates are pure geometry; table them once for move proposals.
+    std::vector<Pt> pad_pts(st.geom.num_pads());
+    for (std::uint32_t p = 0; p < pad_pts.size(); ++p) pad_pts[p] = st.pad_pt(p);
+
+    double cost = opts.incremental ? engine.total_cost() : st.total_cost();
 
     Placement result;
 
@@ -202,63 +250,94 @@ Placement place(const PackedDesign& pd, const MappedDesign& md, const core::Arch
         if (move_cluster && pd.clusters.empty()) return 0;
         if (commit_stats) ++result.moves_tried;
 
+        // Legacy (pre-refactor) evaluation: rescan the affected nets before
+        // and after a tentative mutation, then roll back.
+        auto legacy_delta = [&](std::size_t eid_a, std::size_t eid_b,
+                                auto&& apply, auto&& revert) {
+            std::vector<std::size_t> affected = st.nets_of_entity[eid_a];
+            if (eid_b != SIZE_MAX)
+                for (std::size_t ni : st.nets_of_entity[eid_b]) affected.push_back(ni);
+            std::sort(affected.begin(), affected.end());
+            affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+            const double before = st.cost_of_prerefactor(affected);
+            apply();
+            const double after = st.cost_of_prerefactor(affected);
+            revert();
+            return after - before;
+        };
+        auto accept = [&](double delta) {
+            return delta <= 0 ||
+                   rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9));
+        };
+
         if (move_cluster) {
             const std::size_t ci = static_cast<std::size_t>(rng.below(pd.clusters.size()));
             const std::uint32_t cell = static_cast<std::uint32_t>(rng.below(W * H));
             const PlbCoord to{cell % W, cell / W};
             const PlbCoord from = st.cluster_loc[ci];
             if (to == from) return 0;
-            const std::size_t other = st.grid[cell];  // entity id + 1 (cluster only)
-            std::vector<std::size_t> affected = st.nets_of_entity[ci];
-            if (other)
-                for (std::size_t ni : st.nets_of_entity[other - 1]) affected.push_back(ni);
-            std::sort(affected.begin(), affected.end());
-            affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
-            const double before = st.cost_of(affected);
+            const std::size_t other = st.grid[cell];  // cluster index + 1
+            double delta = 0;
+            if (opts.incremental) {
+                const EntityMove moves[2] = {{ci, to.x + 1.0, to.y + 1.0},
+                                             {other - 1, from.x + 1.0, from.y + 1.0}};
+                delta = engine.eval({moves, other ? std::size_t{2} : std::size_t{1}});
+            } else {
+                delta = legacy_delta(
+                    ci, other ? other - 1 : SIZE_MAX,
+                    [&] {
+                        st.cluster_loc[ci] = to;
+                        if (other) st.cluster_loc[other - 1] = from;
+                    },
+                    [&] {
+                        st.cluster_loc[ci] = from;
+                        if (other) st.cluster_loc[other - 1] = to;
+                    });
+            }
+            if (!accept(delta)) return 0;
             st.cluster_loc[ci] = to;
             st.grid[cell] = ci + 1;
             st.grid[from.y * W + from.x] = other;
             if (other) st.cluster_loc[other - 1] = from;
-            const double after = st.cost_of(affected);
-            const double delta = after - before;
-            if (delta <= 0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9))) {
-                if (commit_stats) ++result.moves_accepted;
-                return delta;
-            }
-            st.cluster_loc[ci] = from;
-            st.grid[from.y * W + from.x] = ci + 1;
-            st.grid[cell] = other;
-            if (other) st.cluster_loc[other - 1] = to;
-            return 0;
+            if (opts.incremental) engine.commit();
+            if (commit_stats) ++result.moves_accepted;
+            return delta;
         }
+
         const std::size_t slot = static_cast<std::size_t>(rng.below(st.io_entity_ids.size()));
         const std::uint32_t to_pad = static_cast<std::uint32_t>(rng.below(st.geom.num_pads()));
         const std::uint32_t from_pad = st.pad_of_io[slot];
         if (to_pad == from_pad) return 0;
-        const std::size_t other = st.pad_owner[to_pad];
+        const std::size_t other = st.pad_owner[to_pad];  // io slot + 1
         const std::size_t eid = st.io_entity_ids[slot];
-        std::vector<std::size_t> affected = st.nets_of_entity[eid];
-        if (other)
-            for (std::size_t ni : st.nets_of_entity[st.io_entity_ids[other - 1]])
-                affected.push_back(ni);
-        std::sort(affected.begin(), affected.end());
-        affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
-        const double before = st.cost_of(affected);
+        double delta = 0;
+        if (opts.incremental) {
+            const Pt p = pad_pts[to_pad];
+            const Pt q = pad_pts[from_pad];
+            const EntityMove moves[2] = {
+                {eid, p.x, p.y},
+                {other ? st.io_entity_ids[other - 1] : SIZE_MAX, q.x, q.y}};
+            delta = engine.eval({moves, other ? std::size_t{2} : std::size_t{1}});
+        } else {
+            delta = legacy_delta(
+                eid, other ? st.io_entity_ids[other - 1] : SIZE_MAX,
+                [&] {
+                    st.pad_of_io[slot] = to_pad;
+                    if (other) st.pad_of_io[other - 1] = from_pad;
+                },
+                [&] {
+                    st.pad_of_io[slot] = from_pad;
+                    if (other) st.pad_of_io[other - 1] = to_pad;
+                });
+        }
+        if (!accept(delta)) return 0;
         st.pad_of_io[slot] = to_pad;
         st.pad_owner[to_pad] = slot + 1;
         st.pad_owner[from_pad] = other;
         if (other) st.pad_of_io[other - 1] = from_pad;
-        const double after = st.cost_of(affected);
-        const double delta = after - before;
-        if (delta <= 0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9))) {
-            if (commit_stats) ++result.moves_accepted;
-            return delta;
-        }
-        st.pad_of_io[slot] = from_pad;
-        st.pad_owner[from_pad] = slot + 1;
-        st.pad_owner[to_pad] = other;
-        if (other) st.pad_of_io[other - 1] = to_pad;
-        return 0;
+        if (opts.incremental) engine.commit();
+        if (commit_stats) ++result.moves_accepted;
+        return delta;
     };
 
     if (opts.anneal && !st.nets.empty()) {
@@ -280,12 +359,13 @@ Placement place(const PackedDesign& pd, const MappedDesign& md, const core::Arch
         const auto moves_per_temp = static_cast<std::size_t>(
             std::max(16.0, opts.moves_scale * std::pow(static_cast<double>(n_ent), 4.0 / 3.0)));
         // Recompute cost (probe moves changed the state).
-        cost = 0;
-        for (const PlNet& n : st.nets) cost += st.net_cost(n);
+        cost = opts.incremental ? engine.total_cost() : st.total_cost();
 
         for (int round = 0; round < 300; ++round) {
             for (std::size_t m = 0; m < moves_per_temp; ++m) cost += try_move(temperature, true);
             temperature *= opts.alpha;
+            ++result.anneal_rounds;
+            result.cost_trajectory.push_back(cost);
             if (temperature < 0.005 * std::max(cost, 1.0) / static_cast<double>(st.nets.size()))
                 break;
         }
@@ -298,18 +378,12 @@ Placement place(const PackedDesign& pd, const MappedDesign& md, const core::Arch
     for (std::size_t i = 0; i < md.primary_outputs.size(); ++i)
         result.po_pad[md.primary_outputs[i].first] =
             st.pad_of_io[md.primary_inputs.size() + i];
-    double final_cost = 0;
-    for (const PlNet& n : st.nets) final_cost += st.net_cost(n);
-    result.final_cost = final_cost;
+    result.final_cost = st.total_cost();
     return result;
 }
 
 double placement_wirelength(const PackedDesign& pd, const MappedDesign& md,
                             const core::ArchSpec& arch, const Placement& pl) {
-    // Rebuild the cost exactly as place() does, for reporting.
-    PlaceOptions opts;
-    opts.anneal = false;
-    (void)opts;
     // Cheap recomputation: reuse place's machinery is awkward; compute HPWL
     // directly over signals here.
     const auto consumers = pd.build_consumers(md);

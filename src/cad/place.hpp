@@ -19,6 +19,8 @@ struct Placement {
     double final_cost = 0.0;
     std::uint64_t moves_tried = 0;
     std::uint64_t moves_accepted = 0;
+    int anneal_rounds = 0;                 ///< temperature steps executed
+    std::vector<double> cost_trajectory;   ///< HPWL after each temperature step
 };
 
 struct PlaceOptions {
@@ -26,6 +28,10 @@ struct PlaceOptions {
     double alpha = 0.9;            ///< temperature decay
     double moves_scale = 10.0;     ///< moves per temperature ~ scale * n^(4/3)
     bool anneal = true;            ///< false: keep the seeded random placement
+    /// false: pre-refactor cost evaluation (rescan affected nets through
+    /// position lookups with mutate/rollback) — kept as the bench baseline
+    /// and as a cross-check; decisions are bit-identical in both modes.
+    bool incremental = true;
 };
 
 /// Throws base::Error if the design does not fit (clusters > W*H or I/Os >

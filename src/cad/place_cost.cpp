@@ -1,0 +1,251 @@
+#include "cad/place_cost.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace afpga::cad {
+
+using base::check;
+
+namespace {
+
+/// Exact O(1) bounding-interval update for one coordinate axis: entity moves
+/// from `o` to `n`. Returns false when the interval cannot be updated without
+/// rescanning the net (the unique boundary occupant retreated inward).
+bool update_axis(double o, double n, double& mn, double& mx, std::uint16_t& nmn,
+                 std::uint16_t& nmx) {
+    if (o == n) return true;
+    // min side: remove o, add n
+    if (n < mn) {
+        mn = n;  // strictly below everything else, whatever o contributed
+        nmn = 1;
+    } else if (n == mn) {
+        if (o != mn) ++nmn;
+    } else if (o == mn) {
+        if (nmn == 1) return false;  // the min rises to an unknown value
+        --nmn;
+    }
+    // max side, symmetric
+    if (n > mx) {
+        mx = n;
+        nmx = 1;
+    } else if (n == mx) {
+        if (o != mx) ++nmx;
+    } else if (o == mx) {
+        if (nmx == 1) return false;
+        --nmx;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::size_t PlaceCostEngine::add_entity(double x, double y) {
+    xs_.push_back(x);
+    ys_.push_back(y);
+    return xs_.size() - 1;
+}
+
+void PlaceCostEngine::add_net(std::vector<std::size_t> entities) {
+    for (std::size_t eid : entities) check(eid < xs_.size(), "PlaceCostEngine: bad entity id");
+    nets_.push_back(std::move(entities));
+}
+
+void PlaceCostEngine::finalize() {
+    // Flatten both incidence directions into CSR arrays.
+    net_first_.assign(nets_.size() + 1, 0);
+    for (std::size_t ni = 0; ni < nets_.size(); ++ni)
+        net_first_[ni + 1] = net_first_[ni] + static_cast<std::uint32_t>(nets_[ni].size());
+    net_ents_.resize(net_first_.back());
+    noe_first_.assign(xs_.size() + 1, 0);
+    for (const auto& net : nets_)
+        for (std::size_t eid : net) ++noe_first_[eid + 1];
+    for (std::size_t e = 0; e < xs_.size(); ++e) noe_first_[e + 1] += noe_first_[e];
+    noe_nets_.resize(noe_first_.back());
+    {
+        std::vector<std::uint32_t> at(noe_first_.begin(), noe_first_.end() - 1);
+        std::uint32_t idx = 0;
+        for (std::size_t ni = 0; ni < nets_.size(); ++ni)
+            for (std::size_t eid : nets_[ni]) {
+                net_ents_[idx++] = static_cast<std::uint32_t>(eid);
+                noe_nets_[at[eid]++] = static_cast<std::uint32_t>(ni);
+            }
+    }
+
+    const std::size_t n_nets = nets_.size();
+    nets_.clear();  // fully superseded by the CSR arrays
+    nets_.shrink_to_fit();
+    boxes_.resize(n_nets);
+    for (std::size_t ni = 0; ni < n_nets; ++ni) boxes_[ni] = scan_net(ni, {});
+    net_mark_.assign(n_nets, 0);
+    net_slot_.assign(n_nets, 0);
+    slot_box_.resize(n_nets);
+    slot_rescan_.resize(n_nets);
+    mark_ = 0;
+}
+
+PlaceCostEngine::NetBox PlaceCostEngine::scan_net(std::size_t ni,
+                                                  std::span<const EntityMove> moves) const {
+    NetBox b{1e18, -1e18, 1e18, -1e18, 0, 0, 0, 0, 0.0};
+    for (std::uint32_t i = net_first_[ni]; i < net_first_[ni + 1]; ++i) {
+        const std::uint32_t eid = net_ents_[i];
+        double x = xs_[eid];
+        double y = ys_[eid];
+        for (const EntityMove& m : moves) {
+            if (m.entity == eid) {
+                x = m.x;
+                y = m.y;
+                break;
+            }
+        }
+        if (x < b.xmin) {
+            b.xmin = x;
+            b.n_xmin = 1;
+        } else if (x == b.xmin) {
+            ++b.n_xmin;
+        }
+        if (x > b.xmax) {
+            b.xmax = x;
+            b.n_xmax = 1;
+        } else if (x == b.xmax) {
+            ++b.n_xmax;
+        }
+        if (y < b.ymin) {
+            b.ymin = y;
+            b.n_ymin = 1;
+        } else if (y == b.ymin) {
+            ++b.n_ymin;
+        }
+        if (y > b.ymax) {
+            b.ymax = y;
+            b.n_ymax = 1;
+        } else if (y == b.ymax) {
+            ++b.n_ymax;
+        }
+    }
+    b.cost = net_size(ni) < 2 ? 0.0 : (b.xmax - b.xmin) + (b.ymax - b.ymin);
+    return b;
+}
+
+double PlaceCostEngine::total_cost() const {
+    double c = 0;
+    for (const NetBox& b : boxes_) c += b.cost;
+    return c;
+}
+
+double PlaceCostEngine::recompute_from_scratch() const {
+    double c = 0;
+    for (std::size_t ni = 0; ni + 1 < net_first_.size(); ++ni) c += scan_net(ni, {}).cost;
+    return c;
+}
+
+double PlaceCostEngine::eval(std::span<const EntityMove> moves) {
+    AFPGA_ASSERT(!moves.empty(), "PlaceCostEngine::eval: empty proposal");
+    pending_moves_.assign(moves.begin(), moves.end());
+    order_.clear();
+    ++mark_;
+
+    // The annealer's 1-2 entry proposals unpack into locals for the inlined
+    // small-net scans below; larger proposals take the general scan_net.
+    const EntityMove none{SIZE_MAX, 0, 0};
+    const EntityMove m0 = moves[0];
+    const EntityMove m1 = moves.size() > 1 ? moves[1] : none;
+    const bool general = moves.size() > 2;
+
+    for (const EntityMove& m : moves) {
+        AFPGA_ASSERT(m.entity < xs_.size(), "PlaceCostEngine: bad entity id in move");
+        const double ox = xs_[m.entity];
+        const double oy = ys_[m.entity];
+        for (std::uint32_t k = noe_first_[m.entity]; k < noe_first_[m.entity + 1]; ++k) {
+            const std::uint32_t ni = noe_nets_[k];
+            std::uint32_t slot;
+            if (net_mark_[ni] != mark_) {
+                net_mark_[ni] = mark_;
+                slot = static_cast<std::uint32_t>(order_.size());
+                net_slot_[ni] = slot;
+                order_.push_back(ni);
+                // For tiny nets the O(1) boundary bookkeeping costs as much
+                // as a rescan, so flag them for the inlined scan below (their
+                // cached counts are never read, only their cost).
+                const bool rescan = net_size(ni) <= 3;
+                slot_rescan_[slot] = rescan;
+                if (!rescan) slot_box_[slot] = boxes_[ni];
+            } else {
+                slot = net_slot_[ni];
+            }
+            if (slot_rescan_[slot]) continue;  // scanning later anyway
+            NetBox& b = slot_box_[slot];
+            if (!update_axis(ox, m.x, b.xmin, b.xmax, b.n_xmin, b.n_xmax) ||
+                !update_axis(oy, m.y, b.ymin, b.ymax, b.n_ymin, b.n_ymax))
+                slot_rescan_[slot] = 1;
+        }
+    }
+
+    for (std::uint32_t slot = 0; slot < order_.size(); ++slot) {
+        const std::uint32_t ni = order_[slot];
+        if (!slot_rescan_[slot]) {
+            NetBox& b = slot_box_[slot];
+            b.cost = (b.xmax - b.xmin) + (b.ymax - b.ymin);
+            continue;
+        }
+        const std::size_t sz = net_size(ni);
+        if (general || sz < 2 || sz > 3) {
+            // Large nets land here when the O(1) update bailed; they need the
+            // full scan so their boundary counts stay exact.
+            slot_box_[slot] = scan_net(ni, moves);
+            continue;
+        }
+        // Inlined min/max-only scan for the common tiny-net rescan: only the
+        // cost is needed downstream (see the rescan flag above).
+        double xmin = 1e18;
+        double xmax = -1e18;
+        double ymin = 1e18;
+        double ymax = -1e18;
+        for (std::uint32_t i = net_first_[ni]; i < net_first_[ni + 1]; ++i) {
+            const std::uint32_t eid = net_ents_[i];
+            double x;
+            double y;
+            if (eid == m0.entity) {
+                x = m0.x;
+                y = m0.y;
+            } else if (eid == m1.entity) {
+                x = m1.x;
+                y = m1.y;
+            } else {
+                x = xs_[eid];
+                y = ys_[eid];
+            }
+            xmin = std::min(xmin, x);
+            xmax = std::max(xmax, x);
+            ymin = std::min(ymin, y);
+            ymax = std::max(ymax, y);
+        }
+        slot_box_[slot].cost = (xmax - xmin) + (ymax - ymin);
+    }
+
+    // Deterministic evaluation order regardless of which entity listed the
+    // net first, and the same "cost(after) - cost(before)" float rounding as
+    // a full rescan evaluator: the two sums are accumulated separately over
+    // the affected nets in ascending net order, so incremental and rescan
+    // evaluation reach bit-identical accept/reject decisions.
+    std::sort(order_.begin(), order_.end());
+    double before = 0;
+    double after = 0;
+    for (const std::uint32_t ni : order_) {
+        before += boxes_[ni].cost;
+        after += slot_box_[net_slot_[ni]].cost;
+    }
+    return after - before;
+}
+
+void PlaceCostEngine::commit() {
+    for (const EntityMove& m : pending_moves_) {
+        xs_[m.entity] = m.x;
+        ys_[m.entity] = m.y;
+    }
+    for (const std::uint32_t ni : order_) boxes_[ni] = slot_box_[net_slot_[ni]];
+    pending_moves_.clear();
+    order_.clear();
+}
+}  // namespace afpga::cad

@@ -1,0 +1,103 @@
+// Incremental half-perimeter wirelength (HPWL) engine for the placer.
+//
+// The annealer proposes moves of one or two entities (a cluster relocation,
+// a cluster swap, a pad reassignment). Instead of rescanning every entity of
+// every affected net through a position lookup — the pre-refactor placer even
+// did a linear io_slot search per lookup — the engine caches every entity's
+// position and every net's bounding box with per-boundary occupancy counts
+// (how many entities sit on each box edge, VPR-style). A move then updates
+// each affected box in O(1); only when the last entity on a boundary retreats
+// inward does the net get rescanned. Every update path produces bit-identical
+// boxes to a from-scratch rescan, and evaluation never mutates state — commit
+// or discard, no rollback.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace afpga::cad {
+
+/// One tentative entity relocation inside a move proposal.
+struct EntityMove {
+    std::size_t entity;
+    double x;
+    double y;
+};
+
+class PlaceCostEngine {
+public:
+    // --- construction -------------------------------------------------------
+    /// Register an entity at its initial position; ids are dense from 0.
+    std::size_t add_entity(double x, double y);
+    /// Register a net over entity ids (>= 2 of them to contribute cost).
+    void add_net(std::vector<std::size_t> entities);
+    /// Build the reverse index and the initial boxes. Call once, after all
+    /// entities and nets are in; positions may still change via moves.
+    void finalize();
+
+    // --- queries ------------------------------------------------------------
+    /// Sum of cached per-net costs (O(nets); bit-identical to a from-scratch
+    /// recomputation because cached boxes are always exact).
+    [[nodiscard]] double total_cost() const;
+    /// Validation-only: recompute every box from positions and sum.
+    [[nodiscard]] double recompute_from_scratch() const;
+    [[nodiscard]] double entity_x(std::size_t eid) const { return xs_[eid]; }
+    [[nodiscard]] double entity_y(std::size_t eid) const { return ys_[eid]; }
+
+    // --- move protocol ------------------------------------------------------
+    /// Cost delta of applying `moves` (typically 1-2 entries, e.g. a stack
+    /// array; one entry per entity). Nothing is mutated; the tentative boxes
+    /// are stashed for a follow-up commit(). The delta is accumulated as
+    /// sum(after) - sum(before) over the affected nets in ascending net
+    /// order, reproducing the float rounding of a full rescan evaluator so
+    /// both reach bit-identical accept/reject decisions.
+    double eval(std::span<const EntityMove> moves);
+    /// Apply the last evaluated proposal (positions + cached boxes).
+    void commit();
+
+private:
+    struct NetBox {
+        double xmin, xmax, ymin, ymax;
+        std::uint16_t n_xmin, n_xmax, n_ymin, n_ymax;  ///< entities on each edge
+        double cost;
+    };
+
+    [[nodiscard]] NetBox scan_net(std::size_t ni, std::span<const EntityMove> moves) const;
+    [[nodiscard]] std::size_t net_size(std::size_t ni) const {
+        return net_first_[ni + 1] - net_first_[ni];
+    }
+
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+    /// Construction-time staging only; finalize() flattens it into the CSR
+    /// arrays below and clears it.
+    std::vector<std::vector<std::size_t>> nets_;
+    std::vector<NetBox> boxes_;
+
+    // Flat CSR views built by finalize(): nets -> entities and the reverse,
+    // so the per-move hot loops walk contiguous arrays.
+    std::vector<std::uint32_t> net_first_;   // net -> first index into net_ents_
+    std::vector<std::uint32_t> net_ents_;    // entity ids flattened by net
+    std::vector<std::uint32_t> noe_first_;   // entity -> first index into noe_nets_
+    std::vector<std::uint32_t> noe_nets_;    // net ids flattened by entity
+
+    // Pending proposal (filled by eval, consumed by commit). Affected nets
+    // get a dense slot in creation order: order_[slot] is the net id,
+    // slot_box_[slot] its tentative box, slot_rescan_[slot] whether the O(1)
+    // update bailed and the box must be rebuilt by scan. slot_box_ is sized
+    // once and never cleared — every slot is written before it is read.
+    std::vector<EntityMove> pending_moves_;
+    std::vector<std::uint32_t> order_;  ///< affected net ids, sorted by eval
+    std::vector<NetBox> slot_box_;
+    std::vector<std::uint8_t> slot_rescan_;
+
+    // O(1) affected-net dedup across one eval call: net_mark_[ni] == mark_
+    // means net ni already owns slot net_slot_[ni].
+    std::vector<std::uint32_t> net_mark_;
+    std::vector<std::uint32_t> net_slot_;
+    std::uint32_t mark_ = 0;
+};
+
+}  // namespace afpga::cad

@@ -48,8 +48,8 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
     // Per-net bookkeeping of occupied nodes so rip-up is exact.
     std::vector<std::vector<std::uint32_t>> net_nodes(reqs.size());
 
-    auto pres_cost = [&](std::uint32_t n, std::uint16_t extra) {
-        const int over = static_cast<int>(occ[n]) + extra + 1 - 1;  // capacity 1
+    auto pres_cost = [&](std::uint32_t n) {
+        const int over = static_cast<int>(occ[n]) + 1 - static_cast<int>(rr.node_capacity(n));
         return over > 0 ? 1.0 + pres_fac * static_cast<double>(over) : 1.0;
     };
     auto base_cost = [&](std::uint32_t n) {
@@ -64,19 +64,51 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
     std::vector<std::uint32_t> visit_mark(N, 0);
     std::uint32_t mark = 0;
 
+    std::vector<std::size_t> dirty;  // nets to (re)route this iteration
+    std::size_t best_overused = SIZE_MAX;
+    int stall = 0;
+
     for (int iter = 1; iter <= opts.max_iterations; ++iter) {
-        // rip-up everything (classic PathFinder full reroute)
-        for (auto& nodes : net_nodes) {
-            for (std::uint32_t n : nodes) --occ[n];
-            nodes.clear();
+        // Select this iteration's work. The first iteration routes everything;
+        // afterwards, with incremental PathFinder, only nets touching an
+        // over-capacity node (every user of a congested node is implicated)
+        // or with unrouted sinks are ripped up — unless congestion has
+        // stalled, in which case one full rip-up round breaks the oscillation
+        // that pinned legal nets can otherwise sustain forever.
+        const bool full_rip_up = iter == 1 || !opts.incremental ||
+                                 (opts.stall_full_reroute > 0 &&
+                                  stall >= opts.stall_full_reroute);
+        if (full_rip_up) stall = 0;
+        dirty.clear();
+        for (std::size_t ri = 0; ri < reqs.size(); ++ri) {
+            bool d = full_rip_up;
+            if (!d)
+                for (std::uint32_t n : net_nodes[ri])
+                    if (occ[n] > rr.node_capacity(n)) {
+                        d = true;
+                        break;
+                    }
+            if (!d)
+                for (const auto& s : result.trees[ri].sinks)
+                    if (s.ipin == UINT32_MAX) {
+                        d = true;
+                        break;
+                    }
+            if (d) dirty.push_back(ri);
+        }
+        result.nets_rerouted += dirty.size();
+
+        for (std::size_t ri : dirty) {
+            for (std::uint32_t n : net_nodes[ri]) --occ[n];
+            net_nodes[ri].clear();
         }
 
-        for (std::size_t k = 0; k < reqs.size(); ++k) {
+        for (std::size_t k = 0; k < dirty.size(); ++k) {
             // Rotate the net order each iteration: with a fixed order the
             // first-routed net never pays present-congestion cost and small
             // conflict sets oscillate forever.
             const std::size_t ri =
-                (k + static_cast<std::size_t>(iter - 1)) % reqs.size();
+                dirty[(k + static_cast<std::size_t>(iter - 1)) % dirty.size()];
             const RouteRequest& rq = reqs[ri];
             RouteTree tree;
             tree.sinks.assign(rq.sinks.size(), {});
@@ -132,7 +164,7 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
                 };
                 if (tree_nodes.empty()) {
                     for (std::uint32_t s : sources)
-                        push(s, base_cost(s) * pres_cost(s, 0), UINT32_MAX);
+                        push(s, base_cost(s) * pres_cost(s), UINT32_MAX);
                 } else {
                     for (std::uint32_t n : tree_nodes) push(n, 0.0, UINT32_MAX);
                 }
@@ -149,11 +181,11 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
                     const core::RRNode& nd = rr.node(it.node);
                     // Never expand through a sink pin of some other block.
                     if (nd.kind == RRKind::Ipin) continue;
-                    for (std::uint32_t e : rr.out_edges(it.node)) {
-                        const std::uint32_t to = rr.edge_target(e);
+                    // Flat CSR adjacency: one contiguous scan per expansion.
+                    for (const core::RRGraph::OutEdge oe : rr.out(it.node)) {
                         const double c =
-                            it.backward + base_cost(to) * pres_cost(to, 0) + hist[to];
-                        push(to, c, e);
+                            it.backward + base_cost(oe.to) * pres_cost(oe.to) + hist[oe.to];
+                        push(oe.to, c, oe.edge);
                     }
                 }
                 if (found == UINT32_MAX) {
@@ -190,12 +222,13 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
         std::size_t overused = 0;
         bool all_routed = true;
         for (std::size_t n = 0; n < N; ++n) {
-            if (occ[n] > 1) {
+            const auto cap = rr.node_capacity(static_cast<std::uint32_t>(n));
+            if (occ[n] > cap) {
                 ++overused;
                 // History scaled by the node's base cost so that it competes
                 // with real detour costs within a few iterations.
                 hist[n] += opts.hist_fac * base_cost(static_cast<std::uint32_t>(n)) *
-                           static_cast<double>(occ[n] - 1);
+                           static_cast<double>(occ[n] - cap);
             }
         }
         for (std::size_t ri = 0; ri < reqs.size(); ++ri)
@@ -204,11 +237,18 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
 
         result.iterations = iter;
         result.overused_nodes = overused;
+        result.overuse_trajectory.push_back(overused);
+        if (overused < best_overused) {
+            best_overused = overused;
+            stall = 0;
+        } else {
+            ++stall;
+        }
         if (opts.verbose) {
-            std::fprintf(stderr, "[router] iter %d overused=%zu pres=%.3g\n", iter, overused,
-                         pres_fac);
+            std::fprintf(stderr, "[router] iter %d rerouted=%zu overused=%zu pres=%.3g\n", iter,
+                         dirty.size(), overused, pres_fac);
             for (std::uint32_t n = 0; n < N; ++n) {
-                if (occ[n] <= 1) continue;
+                if (occ[n] <= rr.node_capacity(n)) continue;
                 const core::RRNode& nd = rr.node(n);
                 std::string users;
                 for (std::size_t ri = 0; ri < reqs.size(); ++ri)
@@ -228,7 +268,7 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
 
     if (!result.success) {
         for (std::uint32_t n = 0; n < N; ++n) {
-            if (occ[n] <= 1) continue;
+            if (occ[n] <= rr.node_capacity(n)) continue;
             const core::RRNode& nd = rr.node(n);
             std::string users;
             for (std::size_t ri = 0; ri < reqs.size(); ++ri)
@@ -247,6 +287,13 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
             result.overuse_report.push_back(std::to_string(unrouted) + " unrouted sinks");
         return result;
     }
+
+    // --- wirelength: channel wires held across all nets ------------------------
+    for (const auto& nodes : net_nodes)
+        for (std::uint32_t n : nodes) {
+            const RRKind k = rr.node(n).kind;
+            if (k == RRKind::ChanX || k == RRKind::ChanY) ++result.wirelength;
+        }
 
     // --- final delays: accumulate node delays from the root over the tree ----
     for (std::size_t ri = 0; ri < reqs.size(); ++ri) {

@@ -53,6 +53,15 @@ struct RouterOptions {
     double pres_fac_mult = 1.7;
     double hist_fac = 1.0;
     double astar_fac = 1.0;  ///< 0 = pure Dijkstra
+    /// After the first iteration only rip up and reroute nets that touch an
+    /// over-capacity node (or have unrouted sinks); legal nets keep their
+    /// trees. false = classic PathFinder full rip-up every iteration.
+    bool incremental = true;
+    /// Incremental mode can deadlock near saturation: a small conflict set
+    /// oscillates while every legal net stays pinned in place. After this
+    /// many iterations without overuse improvement, fall back to one full
+    /// rip-up round to shake the whole configuration loose.
+    int stall_full_reroute = 4;
     bool verbose = false;    ///< print per-iteration congestion to stderr
 };
 
@@ -63,6 +72,11 @@ struct RoutingResult {
     std::size_t overused_nodes = 0;  ///< after the last iteration
     /// On failure: human-readable description of the conflicting resources.
     std::vector<std::string> overuse_report;
+
+    // --- telemetry -----------------------------------------------------------
+    std::vector<std::size_t> overuse_trajectory;  ///< overused nodes per iteration
+    std::size_t nets_rerouted = 0;   ///< sum of per-iteration reroute counts
+    std::size_t wirelength = 0;      ///< channel-wire nodes used (on success)
 };
 
 /// Route all requests. Throws base::Error only on malformed requests;

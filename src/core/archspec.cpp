@@ -58,6 +58,7 @@ std::size_t ArchSpec::plb_config_bits() const noexcept {
 void ArchSpec::validate() const {
     check(width >= 1 && height >= 1, "ArchSpec: empty array");
     check(channel_width >= 2, "ArchSpec: channel too narrow");
+    check(wire_capacity >= 1 && wire_capacity <= 64, "ArchSpec: 1..64 nets per track");
     check(fc_in > 0.0 && fc_in <= 1.0 && fc_out > 0.0 && fc_out <= 1.0, "ArchSpec: bad Fc");
     check(le_inputs == 7, "ArchSpec: the LE model is fixed at 7 inputs (LUT7-3)");
     check(les_per_plb >= 1 && les_per_plb <= 4, "ArchSpec: 1..4 LEs per PLB");
@@ -77,6 +78,7 @@ std::uint64_t ArchSpec::fingerprint() const noexcept {
     h = mix(h, width);
     h = mix(h, height);
     h = mix(h, channel_width);
+    h = mix(h, wire_capacity);
     h = mix(h, static_cast<std::uint64_t>(fc_in * 1000));
     h = mix(h, static_cast<std::uint64_t>(fc_out * 1000));
     h = mix(h, pads_per_iob);

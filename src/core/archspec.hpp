@@ -29,6 +29,11 @@ struct ArchSpec {
     std::uint32_t width = 8;          ///< PLB columns
     std::uint32_t height = 8;         ///< PLB rows
     std::uint32_t channel_width = 12; ///< routing tracks per channel
+    /// Nets one channel track may carry. 1 models plain single-driver wires
+    /// (the paper's fabric); >1 models each track as a bundle of identical
+    /// wires, shrinking the RR graph while keeping congestion negotiation
+    /// honest (the router reads this as the RR node capacity).
+    std::uint32_t wire_capacity = 1;
     double fc_in = 0.5;               ///< fraction of tracks a PLB input pin taps
     double fc_out = 0.25;             ///< fraction of tracks a PLB output pin drives
     std::uint32_t pads_per_iob = 4;   ///< I/O pads per perimeter position

@@ -22,6 +22,7 @@ std::string to_string(RRKind k) {
 RRGraph::RRGraph(const ArchSpec& arch) : geom_(arch) {
     arch.validate();
     build();
+    build_csr();
 }
 
 std::uint32_t RRGraph::add_node(const RRNode& n) {
@@ -146,6 +147,27 @@ void RRGraph::build() {
                     add_biedge(chanx(jy, jx, t), chany(jx, jy, twist_up));
             }
         }
+    }
+}
+
+void RRGraph::build_csr() {
+    // validate() bounds wire_capacity to 1..64, so the narrowing is safe.
+    const auto cap_wire = static_cast<std::uint16_t>(geom_.arch().wire_capacity);
+    capacity_.resize(nodes_.size());
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        const bool is_wire = nodes_[n].kind == RRKind::ChanX || nodes_[n].kind == RRKind::ChanY;
+        capacity_[n] = is_wire ? cap_wire : std::uint16_t{1};
+    }
+
+    // Flatten the per-node edge-id vectors into one contiguous (edge, target)
+    // array, preserving each node's edge order.
+    csr_first_.assign(nodes_.size() + 1, 0);
+    for (std::size_t n = 0; n < nodes_.size(); ++n)
+        csr_first_[n + 1] = csr_first_[n] + static_cast<std::uint32_t>(out_edges_[n].size());
+    csr_adj_.resize(edge_to_.size());
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        std::uint32_t at = csr_first_[n];
+        for (std::uint32_t e : out_edges_[n]) csr_adj_[at++] = {e, edge_to_[e]};
     }
 }
 

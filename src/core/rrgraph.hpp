@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,25 @@ public:
         return edge_from_.at(edge);
     }
 
+    // --- flat CSR adjacency (router hot path) --------------------------------
+    /// One adjacency entry: the edge id and its target node.
+    struct OutEdge {
+        std::uint32_t edge;
+        std::uint32_t to;
+    };
+    /// Outgoing adjacency of `node` as one contiguous span — the cache-dense
+    /// view the router iterates instead of the per-node edge-id vectors.
+    [[nodiscard]] std::span<const OutEdge> out(std::uint32_t node) const noexcept {
+        return {csr_adj_.data() + csr_first_[node], csr_first_[node + 1] - csr_first_[node]};
+    }
+
+    /// How many nets may legally occupy `node` (1 for pins; wire nodes carry
+    /// ArchSpec::wire_capacity). Raw-indexed like out(): it sits in the
+    /// router's per-edge hot loop.
+    [[nodiscard]] std::uint16_t node_capacity(std::uint32_t n) const noexcept {
+        return capacity_[n];
+    }
+
     // --- node lookup --------------------------------------------------------
     [[nodiscard]] std::uint32_t plb_opin(PlbCoord c, std::uint32_t pin) const;
     [[nodiscard]] std::uint32_t plb_ipin(PlbCoord c, std::uint32_t pin) const;
@@ -77,6 +97,7 @@ public:
 
 private:
     void build();
+    void build_csr();
     std::uint32_t add_node(const RRNode& n);
     void add_edge(std::uint32_t from, std::uint32_t to);
     void add_biedge(std::uint32_t a, std::uint32_t b);
@@ -88,6 +109,9 @@ private:
     std::vector<std::vector<std::uint32_t>> out_edges_;  // node -> edge ids
     std::vector<std::uint32_t> edge_from_;
     std::vector<std::uint32_t> edge_to_;
+    std::vector<std::uint16_t> capacity_;   // node -> legal occupancy
+    std::vector<std::uint32_t> csr_first_;  // node -> first index into csr_adj_
+    std::vector<OutEdge> csr_adj_;          // adjacency flattened by source node
 
     // dense lookup bases
     std::uint32_t base_plb_opin_ = 0;
