@@ -5,8 +5,14 @@
 // and emit BENCH_flow.json with per-stage wall times, router iterations,
 // total wirelength and the end-to-end speedup per design.
 //
+// A second section sweeps the parallel CAD subsystem over thread counts
+// (1/2/4/8): multi-seed placement racing (4 replicas) and the concurrent
+// BatchFlowRunner (8 jobs), reporting wall-clock speedup against the
+// one-worker run plus the QoR delta / bit-identity checks that prove
+// parallelism never changes results.
+//
 // Usage: cad_scaling [--smoke] [--reps N] [--out FILE]
-//   --smoke   only the smallest fabric, one rep (CI wiring check)
+//   --smoke   only the smallest fabric and thread counts {1,2}, one rep
 //   --reps N  repetitions per configuration, best time kept (default 2)
 //   --out     output path (default BENCH_flow.json in the cwd)
 #include <algorithm>
@@ -20,7 +26,10 @@
 #include "asynclib/adders.hpp"
 #include "base/json.hpp"
 #include "base/timer.hpp"
+#include "cad/batch.hpp"
 #include "cad/flow.hpp"
+#include "cad/pack.hpp"
+#include "cad/techmap.hpp"
 
 using namespace afpga;
 
@@ -128,6 +137,146 @@ int main(int argc, char** argv) {
     }
 
     w.end_array();
+
+    // --- parallel subsystem sweep: thread counts 1/2/4/8 ----------------------
+    std::vector<unsigned> thread_counts{1, 2, 4, 8};
+    if (smoke) thread_counts = {1, 2};
+
+    // Tier 1: multi-seed placement racing. Four replicas on a growing pool;
+    // the winner must be bit-identical whatever the pool size, so the only
+    // moving number is the wall clock.
+    {
+        const std::size_t bits = smoke ? 4 : 8;
+        auto adder = asynclib::make_qdi_adder(bits);
+        core::ArchSpec arch;
+        arch.width = arch.height = smoke ? 10 : 14;
+        arch.channel_width = smoke ? 12 : 14;
+        const auto md = cad::techmap(adder.nl, adder.hints, {});
+        const auto pd = cad::pack(md, arch, {});
+
+        cad::PlaceOptions single;
+        single.seed = 7;
+        const double single_cost = cad::place(pd, md, arch, single).final_cost;
+
+        cad::PlaceOptions race = single;
+        race.parallel_seeds = 4;
+
+        double one_worker_ms = 0.0;
+        w.key("parallel_place").begin_array();
+        for (unsigned t : thread_counts) {
+            race.threads = t;
+            double best_ms = 1e18;
+            cad::Placement pl;
+            for (int r = 0; r < reps; ++r) {
+                base::WallTimer timer;
+                cad::Placement p = cad::place(pd, md, arch, race);
+                const double ms = timer.elapsed_ms();
+                if (ms < best_ms) {
+                    best_ms = ms;
+                    pl = std::move(p);
+                }
+            }
+            if (t == thread_counts.front()) one_worker_ms = best_ms;
+            const double speedup = one_worker_ms / best_ms;
+            const double qor_delta_pct =
+                single_cost > 0 ? (single_cost - pl.final_cost) / single_cost * 100.0 : 0.0;
+            std::printf("parallel_place qdi_adder_%zu: %u threads, 4 seeds: %.1f ms "
+                        "(%.2fx vs 1 thread), winner replica %zu cost %.1f "
+                        "(%.1f%% vs single seed)\n",
+                        bits, t, best_ms, speedup, pl.winner_replica, pl.final_cost,
+                        qor_delta_pct);
+            w.begin_object();
+            w.key("threads").value(std::uint64_t{t});
+            w.key("parallel_seeds").value(std::uint64_t{4});
+            w.key("wall_ms").value(best_ms);
+            w.key("speedup_vs_1_thread").value(speedup);
+            w.key("winner_replica").value(std::uint64_t{pl.winner_replica});
+            w.key("winner_cost").value(pl.final_cost);
+            w.key("qor_delta_vs_single_seed_pct").value(qor_delta_pct);
+            w.end_object();
+        }
+        w.end_array();
+    }
+
+    // Tier 2: BatchFlowRunner throughput. Eight independent jobs (same
+    // design, different seeds) against the one-worker batch; per-job QoR must
+    // be bit-identical to a sequential run_flow of the same options.
+    {
+        auto adder = asynclib::make_qdi_adder(4);
+        core::ArchSpec arch;
+        arch.width = arch.height = 10;
+        arch.channel_width = 12;
+
+        // The batch runner amortizes one shared RRGraph outside its timed
+        // run() window; hand the sequential reference the same prebuilt
+        // graph so both sides do equal work and the speedup measures pure
+        // concurrency.
+        const std::shared_ptr<const core::RRGraph> prebuilt_rr =
+            std::make_shared<core::RRGraph>(arch);
+
+        std::vector<cad::BatchJob> jobs;
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            cad::BatchJob j;
+            j.name = "qdi_adder_4_s" + std::to_string(seed);
+            j.nl = &adder.nl;
+            j.hints = &adder.hints;
+            j.opts.seed = seed;
+            j.opts.prebuilt_rr = prebuilt_rr;  // the runner swaps in its own
+            jobs.push_back(j);
+        }
+
+        // Sequential reference: the same eight flows, one after another. Only
+        // run_flow is timed — serialization happens outside the window, like
+        // the batch side.
+        std::vector<base::BitVector> sequential_bits;
+        double sequential_ms = 1e18;
+        for (int r = 0; r < reps; ++r) {
+            std::vector<cad::FlowResult> frs;
+            frs.reserve(jobs.size());
+            base::WallTimer timer;
+            for (const cad::BatchJob& j : jobs)
+                frs.push_back(cad::run_flow(*j.nl, *j.hints, arch, j.opts));
+            const double ms = timer.elapsed_ms();
+            if (ms < sequential_ms) {
+                sequential_ms = ms;
+                sequential_bits.clear();
+                for (const cad::FlowResult& fr : frs) sequential_bits.push_back(fr.bits->serialize());
+            }
+        }
+
+        w.key("batch_runner").begin_array();
+        for (unsigned t : thread_counts) {
+            cad::BatchOptions bopts;
+            bopts.threads = t;
+            cad::BatchFlowRunner runner(arch, bopts);
+            double best_ms = 1e18;
+            bool qor_identical = true;  // ANDed over every rep: one drift fails it
+            for (int r = 0; r < reps; ++r) {
+                const auto results = runner.run(jobs);
+                for (std::size_t i = 0; i < results.size(); ++i)
+                    qor_identical = qor_identical && results[i].ok &&
+                                    results[i].result.bits->serialize() == sequential_bits[i];
+                best_ms = std::min(best_ms, runner.last_batch_ms());
+            }
+            const double speedup = sequential_ms / best_ms;
+            const double throughput =
+                best_ms > 0 ? static_cast<double>(jobs.size()) * 1000.0 / best_ms : 0.0;
+            std::printf("batch_runner: %u threads, %zu jobs: %.1f ms (%.2fx vs "
+                        "sequential, %.2f jobs/s), qor_identical=%d\n",
+                        t, jobs.size(), best_ms, speedup, throughput, qor_identical);
+            w.begin_object();
+            w.key("threads").value(std::uint64_t{t});
+            w.key("jobs").value(std::uint64_t{jobs.size()});
+            w.key("wall_ms").value(best_ms);
+            w.key("sequential_ms").value(sequential_ms);
+            w.key("speedup_vs_sequential").value(speedup);
+            w.key("throughput_jobs_per_s").value(throughput);
+            w.key("qor_identical").value(qor_identical);
+            w.end_object();
+        }
+        w.end_array();
+    }
+
     w.end_object();
 
     std::ofstream out(out_path);

@@ -9,6 +9,7 @@
 #include "base/rng.hpp"         // IWYU pragma: export
 #include "base/strings.hpp"     // IWYU pragma: export
 #include "base/table.hpp"       // IWYU pragma: export
+#include "base/threadpool.hpp"  // IWYU pragma: export
 
 #include "netlist/analyze.hpp"  // IWYU pragma: export
 #include "netlist/cells.hpp"    // IWYU pragma: export
@@ -36,6 +37,7 @@
 #include "core/plb.hpp"        // IWYU pragma: export
 #include "core/rrgraph.hpp"    // IWYU pragma: export
 
+#include "cad/batch.hpp"    // IWYU pragma: export
 #include "cad/flow.hpp"     // IWYU pragma: export
 #include "cad/mapped.hpp"   // IWYU pragma: export
 #include "cad/pack.hpp"     // IWYU pragma: export

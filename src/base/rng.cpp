@@ -12,6 +12,28 @@ std::uint64_t splitmix64(std::uint64_t& x) noexcept {
 }
 }  // namespace
 
+std::uint64_t Rng::derive_seed(std::uint64_t base_seed, std::uint64_t stream_id) noexcept {
+    // Decorrelate from the raw base seed, then mix in the stream id through
+    // an odd-constant multiply (injective mod 2^64) before a final avalanche,
+    // so distinct (base_seed, stream_id) pairs map to well-separated seeds.
+    std::uint64_t x = base_seed;
+    std::uint64_t h = splitmix64(x);
+    h ^= (stream_id + 1) * 0x9E3779B97F4A7C15ULL;
+    return splitmix64(h);
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const noexcept {
+    // Hash the full 256-bit state word by word so forks taken at different
+    // points of the parent's sequence differ, without drawing from (and so
+    // perturbing) the parent.
+    std::uint64_t h = stream_id;
+    for (std::uint64_t w : s_) {
+        h ^= w;
+        h = splitmix64(h);
+    }
+    return Rng(derive_seed(h, stream_id));
+}
+
 void Rng::reseed(std::uint64_t seed) noexcept {
     std::uint64_t x = seed;
     for (auto& s : s_) s = splitmix64(x);

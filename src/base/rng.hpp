@@ -21,6 +21,20 @@ public:
 
     void reseed(std::uint64_t seed) noexcept;
 
+    /// Canonical seed of sub-stream `stream_id` under `base_seed`. Parallel
+    /// replicas (multi-seed placement, batch jobs) seed replica i with
+    /// derive_seed(job_seed, i): the mapping is a pure function of the two
+    /// arguments, so the same job seed reproduces the same replica streams
+    /// regardless of thread count or scheduling.
+    [[nodiscard]] static std::uint64_t derive_seed(std::uint64_t base_seed,
+                                                   std::uint64_t stream_id) noexcept;
+
+    /// An independent child generator derived from the current state and
+    /// `stream_id`. Does not advance this generator: forking any number of
+    /// children leaves the parent's sequence untouched, and distinct
+    /// stream_ids (or distinct parent states) yield uncorrelated streams.
+    [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept;
+
     /// Uniform 64-bit word.
     std::uint64_t next() noexcept {
         const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;

@@ -1,0 +1,109 @@
+#include "base/threadpool.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace afpga::base {
+
+std::size_t ThreadPool::default_workers() {
+    if (const char* env = std::getenv("AFPGA_THREADS")) {
+        char* end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+    if (workers == 0) workers = default_workers();
+    queues_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(sleep_mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lk(sleep_mu_);
+        target = next_queue_++ % queues_.size();
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lk(queues_[target]->mu);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+bool ThreadPool::try_take(std::size_t self, std::function<void()>& out) {
+    // Own deque first (back = most recently enqueued, cache-warm), then sweep
+    // the others as a thief (front = oldest waiting). One full sweep per wake
+    // keeps the fast path lock-cheap; missed races fall back to the
+    // condition variable.
+    {
+        std::lock_guard<std::mutex> lk(queues_[self]->mu);
+        if (!queues_[self]->tasks.empty()) {
+            out = std::move(queues_[self]->tasks.back());
+            queues_[self]->tasks.pop_back();
+            return true;
+        }
+    }
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+        const std::size_t victim = (self + k) % queues_.size();
+        std::lock_guard<std::mutex> lk(queues_[victim]->mu);
+        if (!queues_[victim]->tasks.empty()) {
+            out = std::move(queues_[victim]->tasks.front());
+            queues_[victim]->tasks.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+    for (;;) {
+        std::function<void()> task;
+        if (try_take(self, task)) {
+            {
+                std::lock_guard<std::mutex> lk(sleep_mu_);
+                --pending_;
+            }
+            task();  // packaged_task captures any exception into its future
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(sleep_mu_);
+        cv_.wait(lk, [this] { return pending_ > 0 || stop_; });
+        if (stop_ && pending_ == 0) return;
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    std::vector<std::future<void>> futs;
+    futs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) futs.push_back(submit([&fn, i] { fn(i); }));
+    // Drain every future before rethrowing so no task still references fn.
+    std::exception_ptr first;
+    for (std::future<void>& f : futs) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first) first = std::current_exception();
+        }
+    }
+    if (first) std::rethrow_exception(first);
+}
+
+}  // namespace afpga::base

@@ -1,0 +1,91 @@
+#include "cad/batch.hpp"
+
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "base/check.hpp"
+#include "base/json.hpp"
+#include "base/timer.hpp"
+
+namespace afpga::cad {
+
+using base::check;
+
+BatchFlowRunner::BatchFlowRunner(const core::ArchSpec& arch, BatchOptions opts)
+    : arch_(arch),
+      opts_(opts),
+      threads_(opts.threads != 0 ? opts.threads
+                                 : static_cast<unsigned>(base::ThreadPool::default_workers())),
+      pool_(threads_) {
+    arch_.validate();
+    if (opts_.share_rr) shared_rr_ = std::make_shared<core::RRGraph>(arch_);
+}
+
+std::vector<BatchJobResult> BatchFlowRunner::run(const std::vector<BatchJob>& jobs) {
+    for (const BatchJob& j : jobs)
+        check(j.nl != nullptr && j.hints != nullptr,
+              "batch: job '" + j.name + "' has no netlist or hints");
+
+    std::vector<std::future<BatchJobResult>> futs;
+    futs.reserve(jobs.size());
+    base::WallTimer batch_timer;
+    for (const BatchJob& job : jobs) {
+        futs.push_back(pool_.submit([this, &job] {
+            BatchJobResult r;
+            r.name = job.name;
+            FlowOptions o = job.opts;
+            o.prebuilt_rr = shared_rr_;  // nullptr when sharing is off
+            base::WallTimer t;
+            try {
+                r.result = run_flow(*job.nl, *job.hints, arch_, o);
+                r.ok = true;
+            } catch (const std::exception& e) {
+                r.error = e.what();
+            }
+            r.wall_ms = t.elapsed_ms();
+            return r;
+        }));
+    }
+
+    std::vector<BatchJobResult> out;
+    out.reserve(jobs.size());
+    for (auto& f : futs) out.push_back(f.get());
+    last_batch_ms_ = batch_timer.elapsed_ms();
+    return out;
+}
+
+std::string BatchFlowRunner::report_json(const std::vector<BatchJobResult>& results) const {
+    std::size_t ok = 0;
+    for (const BatchJobResult& r : results) ok += r.ok ? 1 : 0;
+
+    base::JsonWriter w;
+    w.begin_object();
+    w.key("threads").value(std::uint64_t{threads_});
+    w.key("share_rr").value(opts_.share_rr);
+    w.key("jobs_total").value(std::uint64_t{results.size()});
+    w.key("jobs_ok").value(std::uint64_t{ok});
+    w.key("batch_wall_ms").value(last_batch_ms_);
+    w.key("throughput_jobs_per_s")
+        .value(last_batch_ms_ > 0.0
+                   ? static_cast<double>(results.size()) * 1000.0 / last_batch_ms_
+                   : 0.0);
+    w.key("jobs").begin_array();
+    for (const BatchJobResult& r : results) {
+        w.begin_object();
+        w.key("name").value(r.name);
+        w.key("ok").value(r.ok);
+        w.key("wall_ms").value(r.wall_ms);
+        if (r.ok) {
+            w.key("telemetry").raw(r.result.telemetry.to_json());
+        } else {
+            w.key("error").value(r.error);
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+}
+
+}  // namespace afpga::cad

@@ -1,0 +1,80 @@
+// Concurrent batch execution of independent CAD flows.
+//
+// Ownership model: the ArchSpec (copied into the runner) and the prebuilt
+// RRGraph are shared and strictly read-only across jobs; everything mutable —
+// FlowContext, FlowResult, every stage's scratch state — is created inside
+// run_flow per job, so jobs never contend on anything but the task queue.
+// Results are combined in job order, never completion order, so a batch is as
+// deterministic as its jobs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/threadpool.hpp"
+#include "cad/flow.hpp"
+
+namespace afpga::cad {
+
+/// One design to compile. The netlist and hints are borrowed; they must stay
+/// alive until run() returns.
+struct BatchJob {
+    std::string name;
+    const netlist::Netlist* nl = nullptr;
+    const asynclib::MappingHints* hints = nullptr;
+    /// Per-job options (seed, stage knobs). `prebuilt_rr` is overwritten by
+    /// the runner when RR-graph sharing is enabled.
+    FlowOptions opts;
+};
+
+struct BatchJobResult {
+    std::string name;
+    bool ok = false;
+    std::string error;    ///< what() of the job's failure when !ok
+    FlowResult result;    ///< valid when ok
+    double wall_ms = 0.0; ///< this job's flow time (not queue wait)
+};
+
+struct BatchOptions {
+    unsigned threads = 0;  ///< pool size; 0 = base::ThreadPool::default_workers()
+    /// Build the RRGraph once and share it read-only across all jobs instead
+    /// of rebuilding it inside every job's route stage.
+    bool share_rr = true;
+};
+
+/// Runs many independent run_flow jobs concurrently over one architecture.
+///
+/// A failing job (unroutable design, fabric too small, ...) is captured in
+/// its BatchJobResult and never affects sibling jobs. Results are
+/// self-contained: the shared RRGraph is owned by the results' shared_ptrs
+/// (and carries its own ArchSpec copy), so they outlive the runner freely.
+class BatchFlowRunner {
+public:
+    explicit BatchFlowRunner(const core::ArchSpec& arch, BatchOptions opts = {});
+
+    /// Compile every job; blocks until all finish. Results are indexed like
+    /// `jobs`.
+    [[nodiscard]] std::vector<BatchJobResult> run(const std::vector<BatchJob>& jobs);
+
+    [[nodiscard]] const core::ArchSpec& arch() const noexcept { return arch_; }
+    [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+    /// Wall time of the most recent run() (queue + compute, for throughput).
+    [[nodiscard]] double last_batch_ms() const noexcept { return last_batch_ms_; }
+
+    /// One JSON report over a finished batch: batch-level wall time and
+    /// throughput plus, per job, status and the full FlowTelemetry.
+    [[nodiscard]] std::string report_json(const std::vector<BatchJobResult>& results) const;
+
+private:
+    core::ArchSpec arch_;
+    BatchOptions opts_;
+    unsigned threads_ = 0;        ///< resolved pool size
+    /// Built once at construction (share_rr): every run()'s jobs reuse it,
+    /// the way a flow server amortizes its architecture state.
+    std::shared_ptr<const core::RRGraph> shared_rr_;
+    base::ThreadPool pool_;
+    double last_batch_ms_ = 0.0;
+};
+
+}  // namespace afpga::cad

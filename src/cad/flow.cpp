@@ -63,6 +63,17 @@ public:
         report.add_metric("final_cost", fr.placement.final_cost);
         report.add_metric("moves_tried", static_cast<double>(fr.placement.moves_tried));
         report.add_metric("moves_accepted", static_cast<double>(fr.placement.moves_accepted));
+        if (!fr.placement.replicas.empty()) {
+            report.add_metric("parallel_seeds",
+                              static_cast<double>(fr.placement.replicas.size()));
+            report.add_metric("winner_replica",
+                              static_cast<double>(fr.placement.winner_replica));
+            for (std::size_t i = 0; i < fr.placement.replicas.size(); ++i) {
+                const PlaceReplica& r = fr.placement.replicas[i];
+                report.add_metric("replica" + std::to_string(i) + "_cost", r.final_cost);
+                report.add_metric("replica" + std::to_string(i) + "_ms", r.wall_ms);
+            }
+        }
     }
 };
 
@@ -75,9 +86,19 @@ public:
 
     void run(FlowContext& ctx, StageReport& report) override {
         FlowResult& fr = ctx.result;
-        base::WallTimer rr_timer;
-        fr.rr = std::make_shared<core::RRGraph>(ctx.arch);
-        report.add_metric("rr_build_ms", rr_timer.elapsed_ms());
+        if (ctx.opts.prebuilt_rr) {
+            // Shared immutable graph (batch jobs). The graph keeps its own
+            // ArchSpec copy; the parameter fingerprint proves it describes
+            // exactly the fabric this flow targets.
+            check(ctx.opts.prebuilt_rr->arch().fingerprint() == ctx.arch.fingerprint(),
+                  "flow: prebuilt_rr was built for a different architecture");
+            fr.rr = ctx.opts.prebuilt_rr;
+            report.add_metric("rr_shared", 1.0);
+        } else {
+            base::WallTimer rr_timer;
+            fr.rr = std::make_shared<core::RRGraph>(ctx.arch);
+            report.add_metric("rr_build_ms", rr_timer.elapsed_ms());
+        }
 
         build_requests(ctx);
         report.add_metric("nets", static_cast<double>(ctx.reqs.size()));

@@ -33,6 +33,12 @@ struct FlowOptions {
     double pde_extra_margin = 1.0;
     /// Check every LE function against its source cone after mapping.
     bool verify_mapping = true;
+    /// Routing-resource graph to reuse instead of building one per flow. The
+    /// graph is immutable through the whole flow (routing and elaboration
+    /// only read it), so BatchFlowRunner builds it once per architecture and
+    /// shares it across all concurrent jobs. Its ArchSpec fingerprint must
+    /// match the arch passed to run_flow.
+    std::shared_ptr<const core::RRGraph> prebuilt_rr;
 };
 
 /// Everything the flow produced; enough to elaborate, simulate and report.
@@ -42,7 +48,9 @@ struct FlowResult {
     PackedDesign packed;
     Placement placement;
     RoutingResult routing;
-    std::shared_ptr<core::RRGraph> rr;      ///< shared: benches reuse it
+    /// Shared and immutable: benches reuse it, and concurrent batch jobs on
+    /// the same architecture all point at one graph.
+    std::shared_ptr<const core::RRGraph> rr;
     std::shared_ptr<core::Bitstream> bits;
     std::unordered_map<std::uint32_t, std::string> pad_names;
     /// Per-stage wall time, iterations and cost trajectories; serializable

@@ -5,6 +5,8 @@
 
 #include "base/check.hpp"
 #include "base/rng.hpp"
+#include "base/threadpool.hpp"
+#include "base/timer.hpp"
 #include "cad/place_cost.hpp"
 
 namespace afpga::cad {
@@ -124,10 +126,13 @@ struct State {
     }
 };
 
-}  // namespace
-
-Placement place(const PackedDesign& pd, const MappedDesign& md, const core::ArchSpec& arch,
-                const PlaceOptions& opts) {
+/// One complete annealing run with an explicit seed — the unit of work a
+/// multi-seed race submits per replica. Pure function of its arguments (each
+/// call owns its State, Rng and PlaceCostEngine), so replicas are safe to run
+/// concurrently over the same shared pd/md/arch.
+Placement place_single(const PackedDesign& pd, const MappedDesign& md,
+                       const core::ArchSpec& arch, const PlaceOptions& opts,
+                       std::uint64_t seed) {
     arch.validate();
     State st(arch);
     const std::uint32_t W = arch.width;
@@ -196,7 +201,7 @@ Placement place(const PackedDesign& pd, const MappedDesign& md, const core::Arch
         for (std::size_t eid : st.nets[ni].entities) st.nets_of_entity[eid].push_back(ni);
 
     // --- initial placement ------------------------------------------------------
-    base::Rng rng(opts.seed);
+    base::Rng rng(seed);
     st.cluster_loc.resize(pd.clusters.size());
     st.grid.assign(std::size_t{W} * H, 0);
     {
@@ -380,6 +385,53 @@ Placement place(const PackedDesign& pd, const MappedDesign& md, const core::Arch
             st.pad_of_io[md.primary_inputs.size() + i];
     result.final_cost = st.total_cost();
     return result;
+}
+
+}  // namespace
+
+Placement place(const PackedDesign& pd, const MappedDesign& md, const core::ArchSpec& arch,
+                const PlaceOptions& opts) {
+    const int n = std::max(1, opts.parallel_seeds);
+    if (n == 1) return place_single(pd, md, arch, opts, opts.seed);
+
+    // Race N independently-seeded replicas on the pool. Every replica is a
+    // pure function of (pd, md, arch, opts, derived seed), and the winner is
+    // picked by (final_cost, replica index) over the results in replica
+    // order, so the outcome is identical whatever the pool size is.
+    // Replica slots outlive the pool (reverse destruction order). parallel_for
+    // drains every replica before rethrowing the lowest-index failure, which
+    // matches the order a serial run of the same seeds would report.
+    std::vector<Placement> results(static_cast<std::size_t>(n));
+    std::vector<double> wall_ms(static_cast<std::size_t>(n), 0.0);
+    // Never spawn more workers than replicas: a wide default pool would only
+    // oversubscribe the machine when many place() races run concurrently
+    // (e.g. inside batch jobs — which should still pin `threads` explicitly).
+    const std::size_t workers =
+        std::min<std::size_t>(opts.threads != 0 ? opts.threads : base::ThreadPool::default_workers(),
+                              static_cast<std::size_t>(n));
+    base::ThreadPool pool(workers);
+    pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+        base::WallTimer t;
+        results[i] = place_single(pd, md, arch, opts, base::Rng::derive_seed(opts.seed, i));
+        wall_ms[i] = t.elapsed_ms();
+    });
+
+    std::size_t win = 0;
+    for (std::size_t i = 1; i < results.size(); ++i)
+        if (results[i].final_cost < results[win].final_cost) win = i;
+
+    std::vector<PlaceReplica> replicas(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        replicas[i].seed = base::Rng::derive_seed(opts.seed, i);
+        replicas[i].final_cost = results[i].final_cost;
+        replicas[i].wall_ms = wall_ms[i];
+        replicas[i].cost_trajectory = results[i].cost_trajectory;
+    }
+
+    Placement winner = std::move(results[win]);
+    winner.replicas = std::move(replicas);
+    winner.winner_replica = win;
+    return winner;
 }
 
 double placement_wirelength(const PackedDesign& pd, const MappedDesign& md,

@@ -12,6 +12,15 @@
 
 namespace afpga::cad {
 
+/// What one annealing replica of a multi-seed race did (telemetry; the
+/// winner's fields are also promoted into the Placement itself).
+struct PlaceReplica {
+    std::uint64_t seed = 0;                ///< the replica's derived seed
+    double final_cost = 0.0;
+    double wall_ms = 0.0;
+    std::vector<double> cost_trajectory;   ///< HPWL after each temperature step
+};
+
 struct Placement {
     std::vector<core::PlbCoord> cluster_loc;           ///< per cluster
     std::unordered_map<std::string, std::uint32_t> pi_pad;  ///< PI name -> pad
@@ -21,6 +30,10 @@ struct Placement {
     std::uint64_t moves_accepted = 0;
     int anneal_rounds = 0;                 ///< temperature steps executed
     std::vector<double> cost_trajectory;   ///< HPWL after each temperature step
+    /// Multi-seed race only (parallel_seeds > 1): one entry per replica in
+    /// replica order, plus which replica won. Empty for a single-seed run.
+    std::vector<PlaceReplica> replicas;
+    std::size_t winner_replica = 0;
 };
 
 struct PlaceOptions {
@@ -32,6 +45,14 @@ struct PlaceOptions {
     /// position lookups with mutate/rollback) — kept as the bench baseline
     /// and as a cross-check; decisions are bit-identical in both modes.
     bool incremental = true;
+    /// Number of independently-seeded annealing replicas raced on a thread
+    /// pool; replica i anneals with Rng::derive_seed(seed, i) and the winner
+    /// is the lexicographic minimum of (final_cost, replica index), so the
+    /// result is bit-reproducible regardless of pool size or scheduling.
+    /// 1 = the classic single-seed anneal using `seed` directly.
+    int parallel_seeds = 1;
+    /// Pool size for the race; 0 = base::ThreadPool::default_workers().
+    unsigned threads = 0;
 };
 
 /// Throws base::Error if the design does not fit (clusters > W*H or I/Os >
