@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "asynclib/adders.hpp"
+#include "base/bitvector.hpp"
 #include "base/json.hpp"
+#include "base/threadpool.hpp"
 #include "base/timer.hpp"
 #include "cad/batch.hpp"
 #include "cad/flow.hpp"
@@ -272,6 +274,136 @@ int main(int argc, char** argv) {
             w.key("speedup_vs_sequential").value(speedup);
             w.key("throughput_jobs_per_s").value(throughput);
             w.key("qor_identical").value(qor_identical);
+            w.end_object();
+        }
+        w.end_array();
+    }
+
+    // Tier 3: deterministic in-flow parallel routing. The largest sweep
+    // design re-runs with the partitioned PathFinder at growing worker
+    // counts; the bitstream must be bit-identical at every count (that is
+    // the router's core guarantee), so wall clock is again the only moving
+    // number. threads=1 (same algorithm, one worker) is the scaling
+    // baseline; the serial reference router's stage time is reported for
+    // context.
+    {
+        const SweepPoint pt = smoke ? sweep.front() : sweep.back();
+        auto adder = asynclib::make_qdi_adder(pt.adder_bits);
+        core::ArchSpec arch;
+        arch.width = pt.fabric;
+        arch.height = pt.fabric;
+        arch.channel_width = pt.channel_width;
+
+        auto route_stage_ms = [](const cad::FlowResult& fr) {
+            const cad::StageReport* s = fr.telemetry.stage("route");
+            return s ? s->wall_ms : 0.0;
+        };
+
+        cad::FlowOptions opts;
+        opts.seed = 7;
+        const auto serial_fr = cad::run_flow(adder.nl, adder.hints, arch, opts);
+        const double serial_route_ms = route_stage_ms(serial_fr);
+
+        double one_worker_ms = 0.0;
+        base::BitVector ref_bits;
+        w.key("parallel_route").begin_array();
+        for (unsigned t : thread_counts) {
+            cad::FlowOptions popts;
+            popts.seed = 7;
+            popts.route.threads = t;
+            double best_ms = 1e18;
+            cad::FlowResult best_fr;
+            for (int r = 0; r < reps; ++r) {
+                auto fr = cad::run_flow(adder.nl, adder.hints, arch, popts);
+                const double ms = route_stage_ms(fr);
+                if (ms < best_ms) {
+                    best_ms = ms;
+                    best_fr = std::move(fr);
+                }
+            }
+            const base::BitVector bits = best_fr.bits->serialize();
+            bool qor_identical = true;
+            if (t == thread_counts.front()) {
+                one_worker_ms = best_ms;
+                ref_bits = bits;
+            } else {
+                qor_identical = bits == ref_bits;
+            }
+            const double speedup = one_worker_ms / best_ms;
+            const cad::StageReport* s = best_fr.telemetry.stage("route");
+            const double* bins = s ? s->metric("route_bins") : nullptr;
+            const double* boundary = s ? s->metric("route_boundary_nets") : nullptr;
+            const double* rr_ms = s ? s->metric("rr_build_ms") : nullptr;
+            std::printf("parallel_route qdi_adder_%zu on %ux%u: %u threads: route stage "
+                        "%.1f ms (%.2fx vs 1 thread, serial ref %.1f ms), bins %.0f, "
+                        "boundary nets %.0f, qor_identical=%d\n",
+                        pt.adder_bits, pt.fabric, pt.fabric, t, best_ms, speedup,
+                        serial_route_ms, bins ? *bins : 0.0, boundary ? *boundary : 0.0,
+                        qor_identical);
+            w.begin_object();
+            w.key("threads").value(std::uint64_t{t});
+            w.key("route_stage_ms").value(best_ms);
+            w.key("serial_reference_ms").value(serial_route_ms);
+            w.key("speedup_vs_1_thread").value(speedup);
+            w.key("rr_build_ms").value(rr_ms ? *rr_ms : 0.0);
+            w.key("bins").value(bins ? *bins : 0.0);
+            w.key("boundary_nets").value(boundary ? *boundary : 0.0);
+            w.key("wirelength").value(std::uint64_t{best_fr.routing.wirelength});
+            w.key("route_iterations").value(best_fr.routing.iterations);
+            w.key("qor_identical").value(qor_identical);
+            w.end_object();
+        }
+        w.end_array();
+    }
+
+    // Tier 4: parallel RR-graph construction. A fabric larger than any
+    // routed sweep point (the graph is the flow's biggest single
+    // allocation) is built serially and then on pools of growing size; the
+    // content fingerprint proves every build is byte-identical.
+    {
+        core::ArchSpec arch;
+        arch.width = arch.height = smoke ? 16 : 48;
+        arch.channel_width = smoke ? 12 : 24;
+
+        double serial_ms = 1e18;
+        std::uint64_t serial_fp = 0;
+        for (int r = 0; r < reps; ++r) {
+            base::WallTimer timer;
+            const core::RRGraph rr(arch);
+            serial_ms = std::min(serial_ms, timer.elapsed_ms());
+            serial_fp = rr.content_fingerprint();
+        }
+
+        w.key("rr_build").begin_array();
+        for (unsigned t : thread_counts) {
+            base::ThreadPool pool(t);
+            double best_ms = 1e18;
+            bool identical = true;
+            std::size_t nodes = 0;
+            std::size_t edges = 0;
+            for (int r = 0; r < reps; ++r) {
+                base::WallTimer timer;
+                const core::RRGraph rr(arch, pool);
+                best_ms = std::min(best_ms, timer.elapsed_ms());
+                identical = identical && rr.content_fingerprint() == serial_fp;
+                nodes = rr.num_nodes();
+                edges = rr.num_edges();
+            }
+            const double speedup = serial_ms / best_ms;
+            std::printf("rr_build %ux%u cw=%u (%zu nodes, %zu edges): %u threads: "
+                        "%.1f ms (%.2fx vs serial %.1f ms), identical=%d\n",
+                        arch.width, arch.height, arch.channel_width, nodes, edges, t,
+                        best_ms, speedup, serial_ms, identical);
+            w.begin_object();
+            w.key("threads").value(std::uint64_t{t});
+            w.key("fabric").value(std::to_string(arch.width) + "x" + std::to_string(arch.height));
+            w.key("channel_width").value(std::uint64_t{arch.channel_width});
+            w.key("nodes").value(std::uint64_t{nodes});
+            w.key("edges").value(std::uint64_t{edges});
+            w.key("wall_ms").value(best_ms);
+            w.key("serial_ms").value(serial_ms);
+            w.key("speedup_vs_serial").value(speedup);
+            w.key("fingerprint_identical").value(identical);
             w.end_object();
         }
         w.end_array();

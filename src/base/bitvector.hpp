@@ -1,4 +1,10 @@
-// Dynamic bit vector used for LUT truth tables and configuration bitstreams.
+/// \file
+/// Dynamic bit vector used for LUT truth tables and configuration
+/// bitstreams.
+///
+/// Threading: BitVector is a plain value type with no internal
+/// synchronisation — share const references freely, never mutate one
+/// object from two threads.
 #pragma once
 
 #include <cstddef>
@@ -15,14 +21,21 @@ namespace afpga::base {
 /// comparison and hashing are well defined.
 class BitVector {
 public:
+    /// Empty vector.
     BitVector() = default;
+    /// `nbits` bits, all set to `fill`.
     explicit BitVector(std::size_t nbits, bool fill = false);
 
+    /// Number of bits.
     [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+    /// True when size() == 0.
     [[nodiscard]] bool empty() const noexcept { return nbits_ == 0; }
 
+    /// Read bit `i` (bounds-checked).
     [[nodiscard]] bool get(std::size_t i) const;
+    /// Write bit `i` (bounds-checked).
     void set(std::size_t i, bool v);
+    /// Invert bit `i` (bounds-checked).
     void flip(std::size_t i);
 
     /// Append a single bit at the end.
@@ -34,9 +47,12 @@ public:
     /// Overwrite `n` bits starting at `pos` with the low bits of `word`.
     void set_bits(std::size_t pos, std::uint64_t word, std::size_t n);
 
+    /// Grow or shrink to `nbits`; new bits are set to `fill`.
     void resize(std::size_t nbits, bool fill = false);
+    /// Remove all bits.
     void clear() noexcept;
 
+    /// Population count.
     [[nodiscard]] std::size_t count_ones() const noexcept;
     /// True if every bit is zero.
     [[nodiscard]] bool none() const noexcept;
@@ -47,8 +63,10 @@ public:
     /// "0101..." LSB-first rendering, for diagnostics.
     [[nodiscard]] std::string to_string() const;
 
+    /// The packed 64-bit words (LSB-first; tail bits zero).
     [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept { return words_; }
 
+    /// Bitwise equality (same size and same bits).
     friend bool operator==(const BitVector& a, const BitVector& b) noexcept = default;
 
 private:

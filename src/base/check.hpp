@@ -1,8 +1,13 @@
-// Error-handling helpers.
-//
-// Library-level contract violations and data errors throw afpga::base::Error;
-// internal invariants use AFPGA_ASSERT which also throws (so tests can verify
-// failure paths without death tests).
+/// \file
+/// Error-handling helpers.
+///
+/// Library-level contract violations and data errors throw
+/// afpga::base::Error; internal invariants use AFPGA_ASSERT which also
+/// throws (so tests can verify failure paths without death tests).
+///
+/// Threading: everything here is stateless and safe to call from any
+/// thread; exceptions thrown inside pool tasks propagate through the
+/// task's future (see base/threadpool.hpp).
 #pragma once
 
 #include <stdexcept>
@@ -13,6 +18,7 @@ namespace afpga::base {
 /// Root exception for all library errors.
 class Error : public std::runtime_error {
 public:
+    /// Wrap a diagnostic message.
     explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
@@ -21,6 +27,7 @@ inline void check(bool condition, const std::string& message) {
     if (!condition) throw Error(message);
 }
 
+/// Unconditionally throw Error with `message`.
 [[noreturn]] inline void fail(const std::string& message) { throw Error(message); }
 
 }  // namespace afpga::base

@@ -1,8 +1,11 @@
-// Strongly-typed integer identifiers.
-//
-// Every object table in the code base (cells, nets, RR nodes, PLBs, ...)
-// indexes its elements with a distinct StrongId instantiation so that an
-// index into one table cannot silently be used against another.
+/// \file
+/// Strongly-typed integer identifiers.
+///
+/// Every object table in the code base (cells, nets, RR nodes, PLBs, ...)
+/// indexes its elements with a distinct StrongId instantiation so that an
+/// index into one table cannot silently be used against another.
+///
+/// Threading: StrongId is a trivially-copyable value type; no shared state.
 #pragma once
 
 #include <cstddef>
@@ -20,23 +23,33 @@ namespace afpga::base {
 template <typename Tag>
 class StrongId {
 public:
-    using value_type = std::uint32_t;
+    using value_type = std::uint32_t;  ///< underlying index type
+    /// Sentinel raw value of an invalid id.
     static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
 
+    /// Invalid id.
     constexpr StrongId() noexcept = default;
+    /// Wrap a raw index.
     constexpr explicit StrongId(value_type v) noexcept : value_(v) {}
+    /// Wrap a size_t index (narrowing to 32 bits).
     constexpr explicit StrongId(std::size_t v) noexcept : value_(static_cast<value_type>(v)) {}
 
+    /// False for the sentinel value.
     [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+    /// The raw index.
     [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
     /// Convenience for indexing std::vector without casts at call sites.
     [[nodiscard]] constexpr std::size_t index() const noexcept { return value_; }
 
+    /// The sentinel id.
     [[nodiscard]] static constexpr StrongId invalid() noexcept { return StrongId{}; }
 
+    /// Value equality.
     friend constexpr bool operator==(StrongId a, StrongId b) noexcept = default;
+    /// Value ordering (ids are ordered by raw index).
     friend constexpr auto operator<=>(StrongId a, StrongId b) noexcept = default;
 
+    /// Stream as the raw index, or "<invalid>".
     friend std::ostream& operator<<(std::ostream& os, StrongId id) {
         if (!id.valid()) return os << "<invalid>";
         return os << id.value();
@@ -48,8 +61,10 @@ private:
 
 }  // namespace afpga::base
 
+/// std::hash support so StrongId keys unordered containers directly.
 template <typename Tag>
 struct std::hash<afpga::base::StrongId<Tag>> {
+    /// Hash of the raw index.
     std::size_t operator()(afpga::base::StrongId<Tag> id) const noexcept {
         return std::hash<std::uint32_t>{}(id.value());
     }

@@ -1,5 +1,9 @@
-// Minimal JSON emission for machine-readable reports (flow telemetry,
-// bench output). Writing only — nothing in the tool reads JSON back.
+/// \file
+/// Minimal JSON emission for machine-readable reports (flow telemetry,
+/// bench output). Writing only — nothing in the tool reads JSON back.
+///
+/// Threading: JsonWriter is single-owner mutable state; build a document on
+/// one thread (or one per worker) and combine the strings afterwards.
 #pragma once
 
 #include <cstdint>
@@ -25,20 +29,31 @@ namespace afpga::base {
 /// base::Error.
 class JsonWriter {
 public:
+    /// Open an object ("{").
     JsonWriter& begin_object();
+    /// Close the innermost object ("}").
     JsonWriter& end_object();
+    /// Open an array ("[").
     JsonWriter& begin_array();
+    /// Close the innermost array ("]").
     JsonWriter& end_array();
 
     /// Object member key; must be followed by exactly one value/container.
     JsonWriter& key(std::string_view k);
 
+    /// Emit a string value (escaped).
     JsonWriter& value(std::string_view v);
+    /// Emit a C-string value (escaped).
     JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    /// Emit a number (shortest round-trip formatting).
     JsonWriter& value(double v);
+    /// Emit a signed integer.
     JsonWriter& value(std::int64_t v);
+    /// Emit an unsigned integer.
     JsonWriter& value(std::uint64_t v);
+    /// Emit an int (as int64).
     JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+    /// Emit true/false.
     JsonWriter& value(bool v);
 
     /// Splice a pre-serialized JSON document in value position (e.g. a

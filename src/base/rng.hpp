@@ -1,7 +1,15 @@
-// Deterministic random number generation for CAD algorithms and test sweeps.
-//
-// All stochastic stages (placement, tie-breaking, workload generation) take an
-// explicit Rng so that a fixed seed reproduces the exact same bitstream.
+/// \file
+/// Deterministic random number generation for CAD algorithms and test
+/// sweeps.
+///
+/// All stochastic stages (placement, tie-breaking, workload generation)
+/// take an explicit Rng so that a fixed seed reproduces the exact same
+/// bitstream.
+///
+/// Threading: an Rng object is never shared between threads. Parallel work
+/// derives one independent stream per task up front — derive_seed for
+/// replica seeds, fork for child generators — which is the seed-derivation
+/// half of the determinism contract (docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cstdint>
@@ -17,8 +25,10 @@ namespace afpga::base {
 /// per flow and an out-of-line call per draw showed up in profiles.
 class Rng {
 public:
+    /// Seed the generator (splitmix64 expansion of `seed`).
     explicit Rng(std::uint64_t seed = 0xA5F0'12D3'55AA'9E37ULL) noexcept { reseed(seed); }
 
+    /// Reset the state as if freshly constructed with `seed`.
     void reseed(std::uint64_t seed) noexcept;
 
     /// Canonical seed of sub-stream `stream_id` under `base_seed`. Parallel

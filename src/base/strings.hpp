@@ -1,4 +1,7 @@
-// Small string utilities shared across modules.
+/// \file
+/// Small string utilities shared across modules.
+///
+/// Threading: pure functions over their arguments; safe from any thread.
 #pragma once
 
 #include <string>

@@ -1,4 +1,8 @@
-// Aligned text tables — the output format of every bench binary.
+/// \file
+/// Aligned text tables — the output format of every bench binary.
+///
+/// Threading: single-owner mutable state, like JsonWriter; build per
+/// thread, print once.
 #pragma once
 
 #include <string>
@@ -11,6 +15,7 @@ namespace afpga::base {
 /// tables/figure data as rows.
 class TextTable {
 public:
+    /// Start a table with the given column headers.
     explicit TextTable(std::vector<std::string> header);
 
     /// Append a data row; must have the same arity as the header.
@@ -19,6 +24,7 @@ public:
     /// Render with columns padded to the widest cell.
     [[nodiscard]] std::string render() const;
 
+    /// Number of data rows added so far.
     [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
 private:

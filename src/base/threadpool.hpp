@@ -1,17 +1,19 @@
-// Fixed-size thread pool with a work-stealing task queue.
-//
-// The CAD layer races independent annealing replicas and runs independent
-// flow jobs concurrently; both are coarse tasks (milliseconds to seconds), so
-// the pool optimizes for simplicity and predictable shutdown rather than
-// nanosecond dispatch. Each worker owns a deque: submissions are distributed
-// round-robin, a worker pops its own deque from the back and steals from the
-// front of a victim's deque when it runs dry, so a burst of uneven tasks
-// balances itself without a central bottleneck.
-//
-// Determinism contract: the pool never decides *what* is computed, only
-// *when*. Callers that need bit-reproducible results must make each task a
-// pure function of its inputs (see Rng::derive_seed) and combine task results
-// in task-index order, never completion order.
+/// \file
+/// Fixed-size thread pool with a work-stealing task queue.
+///
+/// The CAD layer races independent annealing replicas, routes partition
+/// bins, and runs independent flow jobs concurrently; all are coarse tasks
+/// (microseconds to seconds), so the pool optimizes for simplicity and
+/// predictable shutdown rather than nanosecond dispatch. Each worker owns a
+/// deque: submissions are distributed round-robin, a worker pops its own
+/// deque from the back and steals from the front of a victim's deque when
+/// it runs dry, so a burst of uneven tasks balances itself without a
+/// central bottleneck.
+///
+/// Determinism contract: the pool never decides *what* is computed, only
+/// *when*. Callers that need bit-reproducible results must make each task a
+/// pure function of its inputs (see Rng::derive_seed) and combine task
+/// results in task-index order, never completion order.
 #pragma once
 
 #include <condition_variable>
@@ -31,11 +33,13 @@ class ThreadPool {
 public:
     /// `workers == 0` means default_workers().
     explicit ThreadPool(std::size_t workers = 0);
+    /// Drains remaining tasks, then joins every worker.
     ~ThreadPool();
 
-    ThreadPool(const ThreadPool&) = delete;
-    ThreadPool& operator=(const ThreadPool&) = delete;
+    ThreadPool(const ThreadPool&) = delete;             ///< non-copyable
+    ThreadPool& operator=(const ThreadPool&) = delete;  ///< non-copyable
 
+    /// Number of worker threads (fixed at construction).
     [[nodiscard]] std::size_t num_workers() const noexcept { return queues_.size(); }
 
     /// Enqueue a nullary callable; the future carries its result or exception.

@@ -1,4 +1,9 @@
-// Monotonic wall-clock timing for the flow telemetry and benches.
+/// \file
+/// Monotonic wall-clock timing for the flow telemetry and benches.
+///
+/// Threading: a WallTimer is a single value; each worker/bin/stage times
+/// itself with its own instance. Timings feed telemetry only — never
+/// routing or placement decisions, which must stay schedule-independent.
 #pragma once
 
 #include <chrono>
@@ -8,10 +13,13 @@ namespace afpga::base {
 /// Stopwatch over std::chrono::steady_clock; starts on construction.
 class WallTimer {
 public:
+    /// Start timing now.
     WallTimer() noexcept : start_(Clock::now()) {}
 
+    /// Restart from now.
     void reset() noexcept { start_ = Clock::now(); }
 
+    /// Milliseconds since construction or the last reset().
     [[nodiscard]] double elapsed_ms() const noexcept {
         return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
     }

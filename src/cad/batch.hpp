@@ -1,11 +1,12 @@
-// Concurrent batch execution of independent CAD flows.
-//
-// Ownership model: the ArchSpec (copied into the runner) and the prebuilt
-// RRGraph are shared and strictly read-only across jobs; everything mutable —
-// FlowContext, FlowResult, every stage's scratch state — is created inside
-// run_flow per job, so jobs never contend on anything but the task queue.
-// Results are combined in job order, never completion order, so a batch is as
-// deterministic as its jobs.
+/// \file
+/// Concurrent batch execution of independent CAD flows.
+///
+/// Ownership model (threading): the ArchSpec (copied into the runner) and
+/// the prebuilt RRGraph are shared and strictly read-only across jobs;
+/// everything mutable — FlowContext, FlowResult, every stage's scratch
+/// state — is created inside run_flow per job, so jobs never contend on
+/// anything but the task queue. Results are combined in job order, never
+/// completion order, so a batch is as deterministic as its jobs.
 #pragma once
 
 #include <cstddef>
@@ -20,22 +21,24 @@ namespace afpga::cad {
 /// One design to compile. The netlist and hints are borrowed; they must stay
 /// alive until run() returns.
 struct BatchJob {
-    std::string name;
-    const netlist::Netlist* nl = nullptr;
-    const asynclib::MappingHints* hints = nullptr;
+    std::string name;                    ///< label used in results/reports
+    const netlist::Netlist* nl = nullptr;              ///< design (borrowed)
+    const asynclib::MappingHints* hints = nullptr;     ///< its hints (borrowed)
     /// Per-job options (seed, stage knobs). `prebuilt_rr` is overwritten by
     /// the runner when RR-graph sharing is enabled.
     FlowOptions opts;
 };
 
+/// Outcome of one job, ok or not.
 struct BatchJobResult {
-    std::string name;
+    std::string name;     ///< the job's label
     bool ok = false;
     std::string error;    ///< what() of the job's failure when !ok
     FlowResult result;    ///< valid when ok
     double wall_ms = 0.0; ///< this job's flow time (not queue wait)
 };
 
+/// Runner configuration.
 struct BatchOptions {
     unsigned threads = 0;  ///< pool size; 0 = base::ThreadPool::default_workers()
     /// Build the RRGraph once and share it read-only across all jobs instead

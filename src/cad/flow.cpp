@@ -5,7 +5,9 @@
 #include <functional>
 
 #include "base/check.hpp"
+#include "base/threadpool.hpp"
 #include "base/timer.hpp"
+#include "cad/route_parallel.hpp"
 
 namespace afpga::cad {
 
@@ -86,6 +88,14 @@ public:
 
     void run(FlowContext& ctx, StageReport& report) override {
         FlowResult& fr = ctx.result;
+        // RouterOptions::threads >= 1 turns on in-flow parallelism: the RR
+        // graph is built per-row on the pool and the nets are routed by the
+        // deterministic partitioned PathFinder. Both are bit-reproducible
+        // for any worker count, so `threads` is a pure wall-clock knob.
+        std::unique_ptr<base::ThreadPool> pool;
+        if (ctx.opts.route.threads >= 1)
+            pool = std::make_unique<base::ThreadPool>(ctx.opts.route.threads);
+
         if (ctx.opts.prebuilt_rr) {
             // Shared immutable graph (batch jobs). The graph keeps its own
             // ArchSpec copy; the parameter fingerprint proves it describes
@@ -96,14 +106,19 @@ public:
             report.add_metric("rr_shared", 1.0);
         } else {
             base::WallTimer rr_timer;
-            fr.rr = std::make_shared<core::RRGraph>(ctx.arch);
+            fr.rr = pool ? std::make_shared<core::RRGraph>(ctx.arch, *pool)
+                         : std::make_shared<core::RRGraph>(ctx.arch);
             report.add_metric("rr_build_ms", rr_timer.elapsed_ms());
+            if (pool)
+                report.add_metric("rr_build_threads",
+                                  static_cast<double>(pool->num_workers()));
         }
 
         build_requests(ctx);
         report.add_metric("nets", static_cast<double>(ctx.reqs.size()));
 
-        fr.routing = route(*fr.rr, ctx.reqs, ctx.opts.route);
+        fr.routing = pool ? route_parallel(*fr.rr, ctx.reqs, ctx.opts.route, *pool)
+                          : route(*fr.rr, ctx.reqs, ctx.opts.route);
         check(fr.routing.success,
               "flow: routing failed after " + std::to_string(fr.routing.iterations) +
                   " iterations (" + std::to_string(fr.routing.overused_nodes) +
@@ -114,6 +129,16 @@ public:
             report.cost_trajectory.push_back(static_cast<double>(o));
         report.add_metric("nets_rerouted", static_cast<double>(fr.routing.nets_rerouted));
         report.add_metric("wirelength", static_cast<double>(fr.routing.wirelength));
+        if (pool) {
+            report.add_metric("route_threads", static_cast<double>(pool->num_workers()));
+            report.add_metric("route_bins", static_cast<double>(fr.routing.num_bins));
+            report.add_metric("route_boundary_nets",
+                              static_cast<double>(fr.routing.boundary_nets));
+            report.add_metric("route_boundary_ms", fr.routing.boundary_wall_ms);
+            for (std::size_t b = 0; b < fr.routing.bin_wall_ms.size(); ++b)
+                report.add_metric("route_bin" + std::to_string(b) + "_ms",
+                                  fr.routing.bin_wall_ms[b]);
+        }
     }
 
 private:

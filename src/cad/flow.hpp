@@ -1,6 +1,14 @@
-// The end-to-end CAD flow: gates -> LEs -> PLBs -> placement -> routing ->
-// configuration bitstream, plus the delay annotations and PDE solving that
-// asynchronous styles need.
+/// \file
+/// The end-to-end CAD flow: gates -> LEs -> PLBs -> placement -> routing ->
+/// configuration bitstream, plus the delay annotations and PDE solving that
+/// asynchronous styles need.
+///
+/// Threading: run_flow itself is called from one thread, but may fan out
+/// internally (multi-seed placement racing via PlaceOptions, partitioned
+/// parallel routing + RR build via RouterOptions::threads); concurrent
+/// run_flow calls over one shared immutable prebuilt RR graph are the
+/// BatchFlowRunner pattern (cad/batch.hpp). Every parallel path is
+/// bit-reproducible for any worker count.
 #pragma once
 
 #include <cstdint>
@@ -21,12 +29,13 @@
 
 namespace afpga::cad {
 
+/// Every knob of the five-stage flow.
 struct FlowOptions {
-    std::uint64_t seed = 1;
-    TechmapOptions techmap;
-    PackOptions pack;
-    PlaceOptions place;
-    RouterOptions route;
+    std::uint64_t seed = 1;   ///< master seed (placement derives from it)
+    TechmapOptions techmap;   ///< stage 1 knobs
+    PackOptions pack;         ///< stage 2 knobs
+    PlaceOptions place;       ///< stage 3 knobs (seed is overridden by `seed`)
+    RouterOptions route;      ///< stage 4 knobs, incl. parallel-router threads
     /// Extra relative margin applied to every PDE's required delay on top of
     /// what the generator asked for, absorbing post-route wire delay
     /// (abl_pde_resolution sweeps this).
@@ -43,15 +52,16 @@ struct FlowOptions {
 
 /// Everything the flow produced; enough to elaborate, simulate and report.
 struct FlowResult {
-    core::ArchSpec arch;
-    MappedDesign mapped;
-    PackedDesign packed;
-    Placement placement;
-    RoutingResult routing;
+    core::ArchSpec arch;      ///< the architecture compiled against
+    MappedDesign mapped;      ///< techmap product
+    PackedDesign packed;      ///< pack product
+    Placement placement;      ///< place product (incl. replica telemetry)
+    RoutingResult routing;    ///< route product (incl. partition telemetry)
     /// Shared and immutable: benches reuse it, and concurrent batch jobs on
     /// the same architecture all point at one graph.
     std::shared_ptr<const core::RRGraph> rr;
-    std::shared_ptr<core::Bitstream> bits;
+    std::shared_ptr<core::Bitstream> bits;  ///< the programmed configuration
+    /// Pad index -> primary-I/O name, for simulation and reports.
     std::unordered_map<std::uint32_t, std::string> pad_names;
     /// Per-stage wall time, iterations and cost trajectories; serializable
     /// via FlowTelemetry::to_json().

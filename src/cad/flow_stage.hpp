@@ -1,7 +1,13 @@
-// The staged CAD pipeline: run_flow threads a FlowContext through five
-// FlowStage implementations (techmap -> pack -> place -> route -> bitstream),
-// timing each one into a StageReport and collecting the reports into a
-// machine-readable FlowTelemetry.
+/// \file
+/// The staged CAD pipeline: run_flow threads a FlowContext through five
+/// FlowStage implementations (techmap -> pack -> place -> route ->
+/// bitstream), timing each one into a StageReport and collecting the
+/// reports into a machine-readable FlowTelemetry (schema:
+/// docs/TELEMETRY.md).
+///
+/// Threading: one FlowContext belongs to one flow; stages run sequentially
+/// on the calling thread and fan out internally where their options ask
+/// for it.
 #pragma once
 
 #include <cstdint>
@@ -23,12 +29,13 @@ struct FlowResult;
 /// trajectory where the stage is iterative (annealer rounds, PathFinder
 /// iterations), plus free-form named metrics.
 struct StageReport {
-    std::string stage;
-    double wall_ms = 0.0;
-    int iterations = 0;
-    std::vector<double> cost_trajectory;
+    std::string stage;      ///< stage name (techmap/pack/place/route/bitstream)
+    double wall_ms = 0.0;   ///< stage wall time, stamped by the driver
+    int iterations = 0;     ///< anneal rounds / PathFinder iterations, else 0
+    std::vector<double> cost_trajectory;  ///< per-iteration cost (HPWL / overuse)
     std::vector<std::pair<std::string, double>> metrics;  ///< insertion-ordered
 
+    /// Append a named metric.
     void add_metric(std::string name, double v) {
         metrics.emplace_back(std::move(name), v);
     }
@@ -38,8 +45,8 @@ struct StageReport {
 
 /// Per-stage reports in pipeline order plus the end-to-end wall time.
 struct FlowTelemetry {
-    std::vector<StageReport> stages;
-    double total_ms = 0.0;
+    std::vector<StageReport> stages;  ///< one per stage, pipeline order
+    double total_ms = 0.0;            ///< end-to-end pipeline wall time
 
     /// nullptr when no stage has that name.
     [[nodiscard]] const StageReport* stage(std::string_view name) const;
@@ -51,11 +58,11 @@ struct FlowTelemetry {
 /// stages produced (mostly inside `result`) and leave their own products for
 /// the stages downstream.
 struct FlowContext {
-    const netlist::Netlist& nl;
-    const asynclib::MappingHints& hints;
-    const core::ArchSpec& arch;
-    const FlowOptions& opts;
-    FlowResult& result;
+    const netlist::Netlist& nl;           ///< the design being compiled
+    const asynclib::MappingHints& hints;  ///< generator hints for techmap
+    const core::ArchSpec& arch;           ///< target architecture
+    const FlowOptions& opts;              ///< all stage knobs
+    FlowResult& result;                   ///< accumulating products
 
     // Route-stage products the bitstream stage consumes: the flattened net
     // list, each net's consuming cluster per sink (SIZE_MAX = pad), and the

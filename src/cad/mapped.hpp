@@ -1,8 +1,12 @@
-// Data model of a technology-mapped design.
-//
-// Signals are identified by the NetIds of the SOURCE netlist throughout the
-// CAD flow (mapping never invents new logical signals; it only regroups the
-// logic that computes them).
+/// \file
+/// Data model of a technology-mapped design.
+///
+/// Signals are identified by the NetIds of the SOURCE netlist throughout
+/// the CAD flow (mapping never invents new logical signals; it only
+/// regroups the logic that computes them).
+///
+/// Threading: a MappedDesign is immutable once techmap returns; concurrent
+/// flow stages and batch jobs read it freely.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +20,8 @@
 
 namespace afpga::cad {
 
-using netlist::NetId;
-using netlist::TruthTable;
+using netlist::NetId;       ///< source-netlist signal id, used flow-wide
+using netlist::TruthTable;  ///< LUT function representation
 
 /// One LUT function destined for an LE half (<=6 inputs) or a whole LE
 /// (exactly 7 inputs through the O2 mux path).
@@ -48,25 +52,27 @@ struct LeInst {
 
 /// One Programmable Delay Element instance (from a DELAY cell).
 struct PdeInst {
-    NetId input;
-    NetId output;
-    std::int64_t required_delay_ps = 0;
+    NetId input;    ///< signal entering the delay line
+    NetId output;   ///< delayed signal
+    std::int64_t required_delay_ps = 0;  ///< minimum delay the PDE must realise
 };
 
 /// The mapped design.
 struct MappedDesign {
-    std::vector<LeInst> les;
-    std::vector<PdeInst> pdes;
+    std::vector<LeInst> les;    ///< all logic elements
+    std::vector<PdeInst> pdes;  ///< all delay elements
 
     /// Signals that are constants (folded CONST cells): signal -> value.
     std::unordered_map<NetId, bool> constant_signals;
     /// Canonical signal substitution produced by buffer folding.
     std::unordered_map<NetId, NetId> canonical;
 
-    /// Source-netlist primary I/O after canonicalisation.
-    std::vector<std::pair<std::string, NetId>> primary_inputs;   // name, signal
-    std::vector<std::pair<std::string, NetId>> primary_outputs;  // name, signal
+    /// Source-netlist primary inputs after canonicalisation (name, signal).
+    std::vector<std::pair<std::string, NetId>> primary_inputs;
+    /// Source-netlist primary outputs after canonicalisation (name, signal).
+    std::vector<std::pair<std::string, NetId>> primary_outputs;
 
+    /// Resolve a signal through the buffer-folding substitution map.
     [[nodiscard]] NetId canon(NetId n) const {
         auto it = canonical.find(n);
         return it == canonical.end() ? n : it->second;

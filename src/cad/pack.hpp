@@ -1,6 +1,11 @@
-// Packing: group LE instances (and at most one PDE) into PLB-sized clusters
-// under the PLB pin budget, maximising shared signals so the IM (not the
-// global routing network) carries as much connectivity as possible.
+/// \file
+/// Packing: group LE instances (and at most one PDE) into PLB-sized
+/// clusters under the PLB pin budget, maximising shared signals so the IM
+/// (not the global routing network) carries as much connectivity as
+/// possible.
+///
+/// Threading: pack runs single-threaded; its PackedDesign product is
+/// immutable afterwards and shared read-only by concurrent stages/jobs.
 #pragma once
 
 #include <cstdint>
@@ -29,8 +34,9 @@ struct Cluster {
     [[nodiscard]] std::vector<NetId> produced(const MappedDesign& md) const;
 };
 
+/// All clusters plus the reverse indices of their members.
 struct PackedDesign {
-    std::vector<Cluster> clusters;
+    std::vector<Cluster> clusters;  ///< one per occupied PLB-to-be
     std::vector<std::size_t> cluster_of_le;   ///< le index -> cluster index
     std::vector<std::size_t> cluster_of_pde;  ///< pde index -> cluster index
 
@@ -39,6 +45,7 @@ struct PackedDesign {
         const MappedDesign& md) const;
 };
 
+/// Packing knobs.
 struct PackOptions {
     bool affinity_clustering = true;  ///< ablation: false = first-fit order
 };

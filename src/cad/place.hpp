@@ -1,5 +1,12 @@
-// Placement: simulated annealing over PLB locations and I/O pad assignment
-// (VPR-style adaptive schedule, half-perimeter wirelength cost).
+/// \file
+/// Placement: simulated annealing over PLB locations and I/O pad
+/// assignment (VPR-style adaptive schedule, half-perimeter wirelength
+/// cost).
+///
+/// Threading: PlaceOptions::parallel_seeds races independently-seeded
+/// replicas on a base::ThreadPool; each replica owns its state/Rng/cost
+/// engine and the winner is chosen by (cost, replica index), so results
+/// are bit-identical for any pool size.
 #pragma once
 
 #include <cstdint>
@@ -16,28 +23,30 @@ namespace afpga::cad {
 /// winner's fields are also promoted into the Placement itself).
 struct PlaceReplica {
     std::uint64_t seed = 0;                ///< the replica's derived seed
-    double final_cost = 0.0;
-    double wall_ms = 0.0;
+    double final_cost = 0.0;               ///< HPWL at the replica's end
+    double wall_ms = 0.0;                  ///< replica wall time (telemetry)
     std::vector<double> cost_trajectory;   ///< HPWL after each temperature step
 };
 
+/// Where everything landed, plus annealer telemetry.
 struct Placement {
     std::vector<core::PlbCoord> cluster_loc;           ///< per cluster
     std::unordered_map<std::string, std::uint32_t> pi_pad;  ///< PI name -> pad
     std::unordered_map<std::string, std::uint32_t> po_pad;  ///< PO name -> pad
-    double final_cost = 0.0;
-    std::uint64_t moves_tried = 0;
-    std::uint64_t moves_accepted = 0;
+    double final_cost = 0.0;               ///< final HPWL cost
+    std::uint64_t moves_tried = 0;         ///< annealer move proposals
+    std::uint64_t moves_accepted = 0;      ///< accepted proposals
     int anneal_rounds = 0;                 ///< temperature steps executed
     std::vector<double> cost_trajectory;   ///< HPWL after each temperature step
     /// Multi-seed race only (parallel_seeds > 1): one entry per replica in
     /// replica order, plus which replica won. Empty for a single-seed run.
     std::vector<PlaceReplica> replicas;
-    std::size_t winner_replica = 0;
+    std::size_t winner_replica = 0;        ///< index into replicas
 };
 
+/// Annealer knobs.
 struct PlaceOptions {
-    std::uint64_t seed = 1;
+    std::uint64_t seed = 1;        ///< RNG seed (the flow injects its own)
     double alpha = 0.9;            ///< temperature decay
     double moves_scale = 10.0;     ///< moves per temperature ~ scale * n^(4/3)
     bool anneal = true;            ///< false: keep the seeded random placement

@@ -1,15 +1,19 @@
-// Incremental half-perimeter wirelength (HPWL) engine for the placer.
-//
-// The annealer proposes moves of one or two entities (a cluster relocation,
-// a cluster swap, a pad reassignment). Instead of rescanning every entity of
-// every affected net through a position lookup — the pre-refactor placer even
-// did a linear io_slot search per lookup — the engine caches every entity's
-// position and every net's bounding box with per-boundary occupancy counts
-// (how many entities sit on each box edge, VPR-style). A move then updates
-// each affected box in O(1); only when the last entity on a boundary retreats
-// inward does the net get rescanned. Every update path produces bit-identical
-// boxes to a from-scratch rescan, and evaluation never mutates state — commit
-// or discard, no rollback.
+/// \file
+/// Incremental half-perimeter wirelength (HPWL) engine for the placer.
+///
+/// The annealer proposes moves of one or two entities (a cluster
+/// relocation, a cluster swap, a pad reassignment). Instead of rescanning
+/// every entity of every affected net through a position lookup — the
+/// pre-refactor placer even did a linear io_slot search per lookup — the
+/// engine caches every entity's position and every net's bounding box with
+/// per-boundary occupancy counts (how many entities sit on each box edge,
+/// VPR-style). A move then updates each affected box in O(1); only when the
+/// last entity on a boundary retreats inward does the net get rescanned.
+/// Every update path produces bit-identical boxes to a from-scratch rescan,
+/// and evaluation never mutates state — commit or discard, no rollback.
+///
+/// Threading: one engine per annealing replica, never shared; replicas on
+/// the pool each own an engine (see cad/place.hpp).
 #pragma once
 
 #include <cstddef>
@@ -21,11 +25,12 @@ namespace afpga::cad {
 
 /// One tentative entity relocation inside a move proposal.
 struct EntityMove {
-    std::size_t entity;
-    double x;
-    double y;
+    std::size_t entity;  ///< entity id (from add_entity)
+    double x;            ///< proposed x
+    double y;            ///< proposed y
 };
 
+/// The incremental HPWL cost engine (see the file comment for the model).
 class PlaceCostEngine {
 public:
     // --- construction -------------------------------------------------------
@@ -43,7 +48,9 @@ public:
     [[nodiscard]] double total_cost() const;
     /// Validation-only: recompute every box from positions and sum.
     [[nodiscard]] double recompute_from_scratch() const;
+    /// Current committed x of an entity.
     [[nodiscard]] double entity_x(std::size_t eid) const { return xs_[eid]; }
+    /// Current committed y of an entity.
     [[nodiscard]] double entity_y(std::size_t eid) const { return ys_[eid]; }
 
     // --- move protocol ------------------------------------------------------

@@ -1,16 +1,23 @@
-// Routing: PathFinder negotiated-congestion routing over the RR graph with
-// an A* lookahead.
-//
-// Two architecture-specific twists:
-//  - sources are pin-equivalent: a net driven by a PLB may leave through ANY
-//    free output pin (the IM connects any LE output to any output pin), so
-//    the wavefront is seeded from all of the PLB's opins and the winning pin
-//    is reported back to the flow;
-//  - sinks are pin-equivalent per PLB: a net needs to reach ONE input pin of
-//    each consumer PLB (the IM fans it out internally).
+/// \file
+/// Routing: PathFinder negotiated-congestion routing over the RR graph with
+/// an A* lookahead.
+///
+/// Two architecture-specific twists:
+///  - sources are pin-equivalent: a net driven by a PLB may leave through ANY
+///    free output pin (the IM connects any LE output to any output pin), so
+///    the wavefront is seeded from all of the PLB's opins and the winning pin
+///    is reported back to the flow;
+///  - sinks are pin-equivalent per PLB: a net needs to reach ONE input pin of
+///    each consumer PLB (the IM fans it out internally).
+///
+/// Threading: route() is the single-threaded reference router. The
+/// deterministic in-flow parallel router lives in cad/route_parallel and
+/// shares this header's request/result/options types; RouterOptions::threads
+/// selects between them inside the flow (see cad/flow.cpp's route stage).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/rrgraph.hpp"
@@ -20,18 +27,19 @@ namespace afpga::cad {
 
 /// One net to route.
 struct RouteRequest {
-    netlist::NetId signal;  ///< for diagnostics
-    bool src_is_pad = false;
+    netlist::NetId signal;           ///< for diagnostics
+    bool src_is_pad = false;         ///< source is an input pad, not a PLB
     std::uint32_t src_pad = 0;       ///< if src_is_pad
     core::PlbCoord src_plb;          ///< else
     /// PLB output pins the net may leave through (empty = all). The flow
     /// restricts this when the IM topology cannot connect the signal's
     /// source to every output-pin sink.
     std::vector<std::uint32_t> allowed_src_pins;
+    /// One consumer of the net: an output pad or any free input pin of a PLB.
     struct Sink {
-        bool is_pad = false;
-        std::uint32_t pad = 0;
-        core::PlbCoord plb;
+        bool is_pad = false;      ///< deliver to an output pad
+        std::uint32_t pad = 0;    ///< if is_pad
+        core::PlbCoord plb;       ///< else: any free IPIN of this PLB
     };
     std::vector<Sink> sinks;  ///< deduplicated per PLB by the caller
 };
@@ -40,19 +48,22 @@ struct RouteRequest {
 struct RouteTree {
     std::uint32_t root_opin = UINT32_MAX;    ///< chosen source node
     std::vector<std::uint32_t> edges;        ///< RR edge ids in use
+    /// Where one sink of the request was delivered.
     struct SinkResult {
-        std::uint32_t ipin = UINT32_MAX;
+        std::uint32_t ipin = UINT32_MAX;     ///< chosen input pin (UINT32_MAX = unrouted)
         std::int64_t delay_ps = 0;           ///< node-delay sum root..ipin
     };
     std::vector<SinkResult> sinks;           ///< parallel to RouteRequest::sinks
 };
 
+/// Knobs of both the serial reference router and the partitioned parallel
+/// router (the partition-specific fields are ignored by cad::route).
 struct RouterOptions {
-    int max_iterations = 40;
-    double pres_fac_first = 0.6;
-    double pres_fac_mult = 1.7;
-    double hist_fac = 1.0;
-    double astar_fac = 1.0;  ///< 0 = pure Dijkstra
+    int max_iterations = 40;        ///< PathFinder iteration budget
+    double pres_fac_first = 0.6;    ///< present-congestion factor, iteration 1
+    double pres_fac_mult = 1.7;     ///< growth of pres_fac per iteration
+    double hist_fac = 1.0;          ///< history-cost weight
+    double astar_fac = 1.0;         ///< 0 = pure Dijkstra
     /// After the first iteration only rip up and reroute nets that touch an
     /// over-capacity node (or have unrouted sinks); legal nets keep their
     /// trees. false = classic PathFinder full rip-up every iteration.
@@ -63,12 +74,28 @@ struct RouterOptions {
     /// rip-up round to shake the whole configuration loose.
     int stall_full_reroute = 4;
     bool verbose = false;    ///< print per-iteration congestion to stderr
+
+    // --- partitioned parallel router (cad/route_parallel) -------------------
+    /// Flow-level router selection: 0 keeps the serial reference router;
+    /// any value >= 1 routes with the deterministic partitioned PathFinder on
+    /// a pool of that many workers. The partitioned result is bit-identical
+    /// for every worker count (1, 2, 4, 8, ... all agree), so `threads` only
+    /// changes wall-clock time, never the bitstream.
+    unsigned threads = 0;
+    /// Margin (in PLBs) added around a net's terminal bounding box to form
+    /// its search region. Grows automatically per net when a sink turns out
+    /// to be unreachable inside the region.
+    std::uint32_t bin_margin = 1;
+    /// Stop splitting a partition region when neither side of a cut would
+    /// keep at least this many PLB columns/rows.
+    std::uint32_t min_bin_dim = 4;
 };
 
+/// Everything the router decided plus its telemetry counters.
 struct RoutingResult {
     std::vector<RouteTree> trees;  ///< parallel to requests
-    int iterations = 0;
-    bool success = false;
+    int iterations = 0;            ///< PathFinder iterations executed
+    bool success = false;          ///< legal (no overuse, all sinks reached)
     std::size_t overused_nodes = 0;  ///< after the last iteration
     /// On failure: human-readable description of the conflicting resources.
     std::vector<std::string> overuse_report;
@@ -77,10 +104,23 @@ struct RoutingResult {
     std::vector<std::size_t> overuse_trajectory;  ///< overused nodes per iteration
     std::size_t nets_rerouted = 0;   ///< sum of per-iteration reroute counts
     std::size_t wirelength = 0;      ///< channel-wire nodes used (on success)
+
+    // --- partitioned parallel router only ------------------------------------
+    std::size_t num_bins = 0;        ///< leaf regions of the partition tree
+    std::size_t boundary_nets = 0;   ///< nets serialized because they cross a cut
+    /// Cumulative wall time each leaf bin's worker spent routing, indexed by
+    /// bin; scheduling-dependent (telemetry only, never feeds back into
+    /// routing decisions).
+    std::vector<double> bin_wall_ms;
+    /// Cumulative wall time spent routing boundary nets (the partition
+    /// tree's internal nodes — same-depth nodes run concurrently, but the
+    /// root's nets are inherently serial).
+    double boundary_wall_ms = 0.0;
 };
 
-/// Route all requests. Throws base::Error only on malformed requests;
-/// congestion failure is reported via RoutingResult::success.
+/// Route all requests with the serial reference router. Throws base::Error
+/// only on malformed requests; congestion failure is reported via
+/// RoutingResult::success.
 [[nodiscard]] RoutingResult route(const core::RRGraph& rr, const std::vector<RouteRequest>& reqs,
                                   const RouterOptions& opts = {});
 

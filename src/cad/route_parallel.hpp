@@ -1,0 +1,56 @@
+/// \file
+/// Deterministic in-flow parallel routing: a partitioned PathFinder that
+/// routes independent spatial bins of the fabric concurrently while keeping
+/// the routed result bit-identical for every worker count.
+///
+/// How it works, and why it is deterministic:
+///
+///  1. The PLB grid is recursively bisected into a partition tree. Every cut
+///     reserves one full separator column (or row) of PLBs for the parent,
+///     so the two children's regions — read as channel-space rectangles, see
+///     detail::RouteBBox — touch disjoint RR-node sets. The tree is a pure
+///     function of the fabric dimensions and RouterOptions::min_bin_dim,
+///     never of the worker count.
+///  2. Each net gets a search region: the bounding box of its terminals
+///     expanded by RouterOptions::bin_margin (growing deterministically when
+///     a sink proves unreachable inside it). A net whose region fits a leaf
+///     is binned there; a net whose region crosses a cut is a *boundary
+///     net* and stays at an internal tree node.
+///  3. Per PathFinder iteration the dirty-net set is computed serially in
+///     fixed request order (same rule as the serial router), then each leaf
+///     bin's dirty nets are routed by one pool task in fixed rotated order,
+///     wavefronts confined to each net's region. Bins never share RR nodes,
+///     so their occupancy reads/writes cannot interact: any interleaving of
+///     bin tasks produces the same occupancy state.
+///  4. Boundary nets are routed bottom-up through the partition tree, one
+///     depth level per barrier: same-depth internal nodes live in disjoint
+///     subtrees and run concurrently, while a parent (whose nets may use its
+///     separator channels and anything inside either child) runs strictly
+///     after its children's level. Only the root's nets are inherently
+///     serial.
+///  5. Congestion accounting (pres_fac growth, acc/history cost updates,
+///     overuse counting) runs serially at the end of the iteration, scanning
+///     nodes in fixed index order.
+///
+/// The pool therefore only ever decides *when* a bin is routed, never *what*
+/// any net sees — the base::ThreadPool determinism contract. The result is
+/// NOT bit-identical to cad::route (net order and search confinement
+/// differ); it is bit-identical to itself across AFPGA_THREADS, which is
+/// what the cross-thread determinism suite pins.
+#pragma once
+
+#include "base/threadpool.hpp"
+#include "cad/route.hpp"
+
+namespace afpga::cad {
+
+/// Route all requests with the partitioned parallel PathFinder on `pool`.
+/// Fills the partition telemetry fields of RoutingResult (num_bins,
+/// boundary_nets, bin_wall_ms) in addition to the common ones. Throws
+/// base::Error only on malformed requests; congestion failure is reported
+/// via RoutingResult::success.
+[[nodiscard]] RoutingResult route_parallel(const core::RRGraph& rr,
+                                           const std::vector<RouteRequest>& reqs,
+                                           const RouterOptions& opts, base::ThreadPool& pool);
+
+}  // namespace afpga::cad

@@ -1,0 +1,127 @@
+/// \file
+/// Internal single-net search core shared by the serial PathFinder
+/// (cad/route) and the deterministic partitioned parallel PathFinder
+/// (cad/route_parallel).
+///
+/// route_one_net() performs the multi-sink A* wavefront search of one net
+/// against the caller's congestion state (occupancy, history, present-cost
+/// factor) and commits the resulting tree's occupancy. It is a pure function
+/// of its inputs: the same (request, costs, scratch-reset) always yields the
+/// same tree, which is the property both routers' determinism rests on.
+///
+/// Threading: route_one_net itself is single-threaded. The parallel router
+/// calls it concurrently from several workers, one SearchScratch per worker
+/// and one RouteBBox per net; node-disjointness of the bounding boxes (see
+/// cad/route_parallel) is what makes the concurrent occupancy writes
+/// race-free. `hist` is read-only during a routing phase and only updated at
+/// the end-of-iteration barrier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cad/route.hpp"
+#include "core/rrgraph.hpp"
+
+namespace afpga::cad::detail {
+
+/// Inclusive PLB-space rectangle restricting a net's search region.
+///
+/// The channel-space reading (matching core/fabric.hpp's coordinate system):
+/// a net confined to PLB rect [x0,x1]x[y0,y1] may use CHANX wires with
+/// x in [x0,x1] and channel row ych in [y0,y1+1], and CHANY wires with
+/// channel column xch in [x0,x1+1] and y in [y0,y1]. Two boxes whose PLB
+/// rects are separated by at least one full column (or row) therefore touch
+/// disjoint RR-node sets — the invariant the parallel router's partition
+/// cuts enforce.
+struct RouteBBox {
+    std::uint32_t x0 = 0;  ///< leftmost PLB column, inclusive
+    std::uint32_t y0 = 0;  ///< bottom PLB row, inclusive
+    std::uint32_t x1 = 0;  ///< rightmost PLB column, inclusive
+    std::uint32_t y1 = 0;  ///< top PLB row, inclusive
+
+    /// True when `other` lies entirely inside this box.
+    [[nodiscard]] bool contains(const RouteBBox& other) const noexcept {
+        return other.x0 >= x0 && other.x1 <= x1 && other.y0 >= y0 && other.y1 <= y1;
+    }
+    /// Grow by `m` PLBs on every side, clamped to fabric [0,W)x[0,H).
+    [[nodiscard]] RouteBBox expanded(std::uint32_t m, std::uint32_t width,
+                                     std::uint32_t height) const noexcept {
+        RouteBBox r;
+        r.x0 = x0 > m ? x0 - m : 0;
+        r.y0 = y0 > m ? y0 - m : 0;
+        r.x1 = x1 + m < width ? x1 + m : width - 1;
+        r.y1 = y1 + m < height ? y1 + m : height - 1;
+        return r;
+    }
+    /// True when RR node `n` may be occupied by a net confined to this box.
+    /// Pad pin nodes always pass: they are endpoints only (a pad OPIN has no
+    /// in-edges and the search never expands through an IPIN), so they can
+    /// never leak occupancy outside the box.
+    [[nodiscard]] bool allows(const core::RRNode& n) const noexcept {
+        if (n.is_pad) return true;
+        switch (n.kind) {
+            case core::RRKind::ChanX:
+                return n.x >= x0 && n.x <= x1 && n.y >= y0 && n.y <= y1 + 1;
+            case core::RRKind::ChanY:
+                return n.x >= x0 && n.x <= x1 + 1 && n.y >= y0 && n.y <= y1;
+            default:  // Opin / Ipin of a PLB
+                return n.x >= x0 && n.x <= x1 && n.y >= y0 && n.y <= y1;
+        }
+    }
+};
+
+/// Per-searcher scratch arrays (one per routing thread): the label arrays of
+/// the A* search, recycled across nets via a visit-mark epoch instead of a
+/// clear. Never shared between concurrently-running searches.
+struct SearchScratch {
+    std::vector<double> best;                ///< cheapest backward cost found
+    std::vector<std::uint32_t> prev_edge;    ///< incoming edge of `best`
+    std::vector<std::uint32_t> visit_mark;   ///< epoch a node was last labelled
+    std::uint32_t mark = 0;                  ///< current epoch
+
+    explicit SearchScratch(std::size_t num_nodes)
+        : best(num_nodes, 0.0), prev_edge(num_nodes, UINT32_MAX),
+          visit_mark(num_nodes, 0) {}
+};
+
+/// Everything route_one_net decided about one net.
+struct NetRouteState {
+    RouteTree tree;                        ///< per-sink results + edge list
+    std::vector<std::uint32_t> nodes;      ///< RR nodes the tree occupies
+    bool all_sinks_found = true;           ///< false: some sink unreachable
+};
+
+/// Route one net from scratch under the current congestion costs and commit
+/// its occupancy (`++occ` on every tree node).
+///
+/// `bbox`, when non-null, confines the wavefront: nodes outside the box are
+/// never pushed (pad endpoints excepted, see RouteBBox::allows). A sink that
+/// cannot be reached inside the box is reported through all_sinks_found and
+/// its RouteTree::SinkResult stays UINT32_MAX — the caller's business to
+/// retry with a wider box on a later iteration.
+///
+/// Caller contract: the net's previous occupancy must already be ripped up,
+/// `hist` must not change during the call, and `scratch` must not be used by
+/// any concurrent search.
+[[nodiscard]] NetRouteState route_one_net(const core::RRGraph& rr, const RouteRequest& rq,
+                                          const RouterOptions& opts, double pres_fac,
+                                          const std::vector<double>& hist,
+                                          std::vector<std::uint16_t>& occ,
+                                          SearchScratch& scratch,
+                                          const RouteBBox* bbox);
+
+/// Shared post-success pass: total channel-wire count into
+/// RoutingResult::wirelength and root-to-sink delay accumulation into every
+/// RouteTree::SinkResult::delay_ps.
+void finalize_routing(const core::RRGraph& rr, const std::vector<RouteRequest>& reqs,
+                      const std::vector<std::vector<std::uint32_t>>& net_nodes,
+                      RoutingResult& result);
+
+/// Shared failure pass: per-overused-node conflict descriptions plus the
+/// unrouted-sink count into RoutingResult::overuse_report.
+void report_overuse(const core::RRGraph& rr, const std::vector<RouteRequest>& reqs,
+                    const std::vector<std::vector<std::uint32_t>>& net_nodes,
+                    const std::vector<std::uint16_t>& occ, RoutingResult& result);
+
+}  // namespace afpga::cad::detail

@@ -1,17 +1,21 @@
-// Technology mapping: cover a gate-level asynchronous netlist with LE
-// instances (fracturable LUT7-3 halves + LUT2 validity slots).
-//
-// Key moves, in order:
-//  1. constant propagation and buffer folding;
-//  2. every remaining gate becomes a LUT function; memory elements
-//     (C-elements, latches) get their own output appended as a feedback
-//     input — the looped-combinational-logic realisation of Section 3;
-//  3. pairing: the generator's rail-pair hints go first (the two rails of a
-//     dual-rail function share their support and fill one LE), then a greedy
-//     shared-support matcher pairs the rest under the union-support <= 6
-//     rule; 7-input functions take a whole LE via the O2 mux path;
-//  4. validity absorption: a hinted 2-input function whose inputs are
-//     exactly the two outputs of one LE moves into that LE's LUT2 slot.
+/// \file
+/// Technology mapping: cover a gate-level asynchronous netlist with LE
+/// instances (fracturable LUT7-3 halves + LUT2 validity slots).
+///
+/// Key moves, in order:
+///  1. constant propagation and buffer folding;
+///  2. every remaining gate becomes a LUT function; memory elements
+///     (C-elements, latches) get their own output appended as a feedback
+///     input — the looped-combinational-logic realisation of Section 3;
+///  3. pairing: the generator's rail-pair hints go first (the two rails of
+///     a dual-rail function share their support and fill one LE), then a
+///     greedy shared-support matcher pairs the rest under the
+///     union-support <= 6 rule; 7-input functions take a whole LE via the
+///     O2 mux path;
+///  4. validity absorption: a hinted 2-input function whose inputs are
+///     exactly the two outputs of one LE moves into that LE's LUT2 slot.
+///
+/// Threading: techmap runs single-threaded at the head of every flow.
 #pragma once
 
 #include "asynclib/styles.hpp"
@@ -20,6 +24,7 @@
 
 namespace afpga::cad {
 
+/// Mapping knobs (mostly ablation switches for the benches).
 struct TechmapOptions {
     bool use_rail_pair_hints = true;  ///< ablation: ignore generator hints
     bool absorb_validity = true;      ///< ablation: keep validity in plain halves

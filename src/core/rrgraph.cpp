@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "base/check.hpp"
+#include "base/threadpool.hpp"
 
 namespace afpga::core {
 
@@ -21,86 +23,120 @@ std::string to_string(RRKind k) {
 
 RRGraph::RRGraph(const ArchSpec& arch) : geom_(arch) {
     arch.validate();
-    build();
-    build_csr();
+    build(nullptr);
 }
 
-std::uint32_t RRGraph::add_node(const RRNode& n) {
-    nodes_.push_back(n);
-    out_edges_.emplace_back();
-    return static_cast<std::uint32_t>(nodes_.size() - 1);
+RRGraph::RRGraph(const ArchSpec& arch, base::ThreadPool& pool) : geom_(arch) {
+    arch.validate();
+    build(&pool);
 }
 
-void RRGraph::add_edge(std::uint32_t from, std::uint32_t to) {
-    const auto id = static_cast<std::uint32_t>(edge_to_.size());
-    edge_from_.push_back(from);
-    edge_to_.push_back(to);
-    out_edges_[from].push_back(id);
-}
-
-void RRGraph::add_biedge(std::uint32_t a, std::uint32_t b) {
-    add_edge(a, b);
-    add_edge(b, a);
-}
-
-void RRGraph::build() {
+// Node ids are pure functions of coordinates: fixed blocks laid out once,
+// so the fill order can be anything (including concurrent) without changing
+// the graph.
+void RRGraph::build_nodes() {
     const ArchSpec& a = geom_.arch();
     const std::uint32_t W = a.width;
     const std::uint32_t H = a.height;
     const std::uint32_t T = a.channel_width;
 
-    // --- nodes, in fixed blocks so lookups are O(1) -------------------------
     base_plb_opin_ = 0;
+    base_plb_ipin_ = W * H * a.plb_outputs;
+    base_pad_opin_ = base_plb_ipin_ + W * H * a.plb_inputs;
+    base_pad_ipin_ = base_pad_opin_ + geom_.num_pads();
+    base_chanx_ = base_pad_ipin_ + geom_.num_pads();
+    base_chany_ = base_chanx_ + (H + 1) * W * T;
+    nodes_.resize(std::size_t{base_chany_} + std::size_t{W + 1} * H * T);
+
     for (std::uint32_t y = 0; y < H; ++y)
         for (std::uint32_t x = 0; x < W; ++x)
             for (std::uint32_t p = 0; p < a.plb_outputs; ++p)
-                add_node({RRKind::Opin, static_cast<std::uint16_t>(x),
-                          static_cast<std::uint16_t>(y), static_cast<std::uint16_t>(p), false,
-                          a.pin_delay_ps});
-    base_plb_ipin_ = static_cast<std::uint32_t>(nodes_.size());
+                nodes_[base_plb_opin_ + (y * W + x) * a.plb_outputs + p] = {
+                    RRKind::Opin, static_cast<std::uint16_t>(x), static_cast<std::uint16_t>(y),
+                    static_cast<std::uint16_t>(p), false, a.pin_delay_ps};
     for (std::uint32_t y = 0; y < H; ++y)
         for (std::uint32_t x = 0; x < W; ++x)
             for (std::uint32_t p = 0; p < a.plb_inputs; ++p)
-                add_node({RRKind::Ipin, static_cast<std::uint16_t>(x),
-                          static_cast<std::uint16_t>(y), static_cast<std::uint16_t>(p), false,
-                          a.pin_delay_ps});
-    base_pad_opin_ = static_cast<std::uint32_t>(nodes_.size());
-    for (std::uint32_t p = 0; p < geom_.num_pads(); ++p)
-        add_node({RRKind::Opin, static_cast<std::uint16_t>(p & 0xFFFF),
-                  static_cast<std::uint16_t>(p >> 16), 0, true, a.pin_delay_ps});
-    base_pad_ipin_ = static_cast<std::uint32_t>(nodes_.size());
-    for (std::uint32_t p = 0; p < geom_.num_pads(); ++p)
-        add_node({RRKind::Ipin, static_cast<std::uint16_t>(p & 0xFFFF),
-                  static_cast<std::uint16_t>(p >> 16), 0, true, a.pin_delay_ps});
-    base_chanx_ = static_cast<std::uint32_t>(nodes_.size());
+                nodes_[base_plb_ipin_ + (y * W + x) * a.plb_inputs + p] = {
+                    RRKind::Ipin, static_cast<std::uint16_t>(x), static_cast<std::uint16_t>(y),
+                    static_cast<std::uint16_t>(p), false, a.pin_delay_ps};
+    for (std::uint32_t p = 0; p < geom_.num_pads(); ++p) {
+        nodes_[base_pad_opin_ + p] = {RRKind::Opin, static_cast<std::uint16_t>(p & 0xFFFF),
+                                      static_cast<std::uint16_t>(p >> 16), 0, true,
+                                      a.pin_delay_ps};
+        nodes_[base_pad_ipin_ + p] = {RRKind::Ipin, static_cast<std::uint16_t>(p & 0xFFFF),
+                                      static_cast<std::uint16_t>(p >> 16), 0, true,
+                                      a.pin_delay_ps};
+    }
     for (std::uint32_t ych = 0; ych <= H; ++ych)
         for (std::uint32_t x = 0; x < W; ++x)
             for (std::uint32_t t = 0; t < T; ++t)
-                add_node({RRKind::ChanX, static_cast<std::uint16_t>(x),
-                          static_cast<std::uint16_t>(ych), static_cast<std::uint16_t>(t), false,
-                          a.wire_delay_ps});
-    base_chany_ = static_cast<std::uint32_t>(nodes_.size());
+                nodes_[base_chanx_ + (ych * W + x) * T + t] = {
+                    RRKind::ChanX, static_cast<std::uint16_t>(x),
+                    static_cast<std::uint16_t>(ych), static_cast<std::uint16_t>(t), false,
+                    a.wire_delay_ps};
     for (std::uint32_t xch = 0; xch <= W; ++xch)
         for (std::uint32_t y = 0; y < H; ++y)
             for (std::uint32_t t = 0; t < T; ++t)
-                add_node({RRKind::ChanY, static_cast<std::uint16_t>(xch),
-                          static_cast<std::uint16_t>(y), static_cast<std::uint16_t>(t), false,
-                          a.wire_delay_ps});
+                nodes_[base_chany_ + (xch * H + y) * T + t] = {
+                    RRKind::ChanY, static_cast<std::uint16_t>(xch),
+                    static_cast<std::uint16_t>(y), static_cast<std::uint16_t>(t), false,
+                    a.wire_delay_ps};
     n_wires_ = (std::size_t{H + 1} * W + std::size_t{W + 1} * H) * T;
+}
 
-    // --- connection boxes: PLB pins <-> adjacent channels --------------------
-    for (std::uint32_t y = 0; y < H; ++y) {
-        for (std::uint32_t x = 0; x < W; ++x) {
-            const PlbCoord c{x, y};
-            for (std::uint32_t p = 0; p < a.plb_outputs; ++p)
-                connect_pin_to_channel(plb_opin(c, p), true, geom_.plb_pin_side(p), x, y, p);
-            for (std::uint32_t p = 0; p < a.plb_inputs; ++p)
-                connect_pin_to_channel(plb_ipin(c, p), false, geom_.plb_pin_side(p), x, y,
-                                       p + 3);
-        }
+namespace {
+/// Tracks a connection-box pin taps: max(1, round(fc * T)) — the exact
+/// number of edges connect_pin_to_channel emits per pin.
+std::uint32_t cb_tracks(double fc, std::uint32_t T) {
+    return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(fc * T)));
+}
+}  // namespace
+
+std::size_t RRGraph::count_conn_row() const {
+    const ArchSpec& a = geom_.arch();
+    return std::size_t{a.width} * (a.plb_outputs * cb_tracks(a.fc_out, a.channel_width) +
+                                   a.plb_inputs * cb_tracks(a.fc_in, a.channel_width));
+}
+
+std::size_t RRGraph::count_pads() const {
+    const ArchSpec& a = geom_.arch();
+    return std::size_t{geom_.num_pads()} *
+           (cb_tracks(a.fc_out, a.channel_width) + cb_tracks(a.fc_in, a.channel_width));
+}
+
+std::size_t RRGraph::count_switch_row(std::uint32_t jy) const {
+    const ArchSpec& a = geom_.arch();
+    std::size_t pairs = 0;
+    for (std::uint32_t jx = 0; jx <= a.width; ++jx) {
+        const bool has_left = jx > 0;
+        const bool has_right = jx < a.width;
+        const bool has_below = jy > 0;
+        const bool has_above = jy < a.height;
+        pairs += (has_left && has_right) + (has_below && has_above) +
+                 (has_left && has_below) + (has_left && has_above) +
+                 (has_right && has_below) + (has_right && has_above);
     }
+    return pairs * 2 * a.channel_width;  // each pair is a biedge, per track
+}
 
-    // --- pads <-> perimeter channels -----------------------------------------
+// --- connection boxes of one PLB row: pins <-> adjacent channels -------------
+void RRGraph::emit_conn_row(std::uint32_t y, EdgeSink& out) const {
+    const ArchSpec& a = geom_.arch();
+    for (std::uint32_t x = 0; x < a.width; ++x) {
+        const PlbCoord c{x, y};
+        for (std::uint32_t p = 0; p < a.plb_outputs; ++p)
+            connect_pin_to_channel(plb_opin(c, p), true, geom_.plb_pin_side(p), x, y, p, out);
+        for (std::uint32_t p = 0; p < a.plb_inputs; ++p)
+            connect_pin_to_channel(plb_ipin(c, p), false, geom_.plb_pin_side(p), x, y, p + 3,
+                                   out);
+    }
+}
+
+// --- pads <-> perimeter channels ---------------------------------------------
+void RRGraph::emit_pads(EdgeSink& out) const {
+    const std::uint32_t W = geom_.arch().width;
+    const std::uint32_t H = geom_.arch().height;
     for (std::uint32_t pad = 0; pad < geom_.num_pads(); ++pad) {
         const IobCoord io = geom_.pad_iob(pad);
         // The pad's adjacent channel expressed as the channel of a border PLB.
@@ -112,45 +148,93 @@ void RRGraph::build() {
             case Side::Left: cx = 0; cy = io.offset; break;
             case Side::Right: cx = W - 1; cy = io.offset; break;
         }
-        connect_pin_to_channel(pad_opin(pad), true, io.side == Side::Top      ? Side::Top
-                                                    : io.side == Side::Bottom ? Side::Bottom
-                                                    : io.side,
-                               cx, cy, pad);
-        connect_pin_to_channel(pad_ipin(pad), false, io.side, cx, cy, pad + 1);
+        connect_pin_to_channel(pad_opin(pad), true, io.side, cx, cy, pad, out);
+        connect_pin_to_channel(pad_ipin(pad), false, io.side, cx, cy, pad + 1, out);
     }
+}
 
-    // --- switch boxes: wire <-> wire at junctions ----------------------------
-    for (std::uint32_t jy = 0; jy <= H; ++jy) {
-        for (std::uint32_t jx = 0; jx <= W; ++jx) {
-            for (std::uint32_t t = 0; t < T; ++t) {
-                const bool has_left = jx > 0;
-                const bool has_right = jx < W;
-                const bool has_below = jy > 0;
-                const bool has_above = jy < H;
-                // Two turn permutations with opposite parity behaviour:
-                // twist_up flips track parity, twist_dn preserves it (for
-                // even T). Using one of each keeps the graph connected across
-                // parity classes — a parity-flipping pair would split it.
-                const std::uint32_t twist_up = (t + 1) % T;
-                const std::uint32_t twist_dn = (T - t) % T;
-                if (has_left && has_right)
-                    add_biedge(chanx(jy, jx - 1, t), chanx(jy, jx, t));
-                if (has_below && has_above)
-                    add_biedge(chany(jx, jy - 1, t), chany(jx, jy, t));
-                if (has_left && has_below)
-                    add_biedge(chanx(jy, jx - 1, t), chany(jx, jy - 1, twist_up));
-                if (has_left && has_above)
-                    add_biedge(chanx(jy, jx - 1, t), chany(jx, jy, twist_dn));
-                if (has_right && has_below)
-                    add_biedge(chanx(jy, jx, t), chany(jx, jy - 1, twist_dn));
-                if (has_right && has_above)
-                    add_biedge(chanx(jy, jx, t), chany(jx, jy, twist_up));
-            }
+// --- switch boxes of one junction row: wire <-> wire -------------------------
+void RRGraph::emit_switch_row(std::uint32_t jy, EdgeSink& out) const {
+    const ArchSpec& a = geom_.arch();
+    const std::uint32_t W = a.width;
+    const std::uint32_t H = a.height;
+    const std::uint32_t T = a.channel_width;
+    auto biedge = [&out](std::uint32_t m, std::uint32_t n) {
+        out.emit(m, n);
+        out.emit(n, m);
+    };
+    for (std::uint32_t jx = 0; jx <= W; ++jx) {
+        for (std::uint32_t t = 0; t < T; ++t) {
+            const bool has_left = jx > 0;
+            const bool has_right = jx < W;
+            const bool has_below = jy > 0;
+            const bool has_above = jy < H;
+            // Two turn permutations with opposite parity behaviour:
+            // twist_up flips track parity, twist_dn preserves it (for
+            // even T). Using one of each keeps the graph connected across
+            // parity classes — a parity-flipping pair would split it.
+            const std::uint32_t twist_up = (t + 1) % T;
+            const std::uint32_t twist_dn = (T - t) % T;
+            if (has_left && has_right)
+                biedge(chanx(jy, jx - 1, t), chanx(jy, jx, t));
+            if (has_below && has_above)
+                biedge(chany(jx, jy - 1, t), chany(jx, jy, t));
+            if (has_left && has_below)
+                biedge(chanx(jy, jx - 1, t), chany(jx, jy - 1, twist_up));
+            if (has_left && has_above)
+                biedge(chanx(jy, jx - 1, t), chany(jx, jy, twist_dn));
+            if (has_right && has_below)
+                biedge(chanx(jy, jx, t), chany(jx, jy - 1, twist_dn));
+            if (has_right && has_above)
+                biedge(chanx(jy, jx, t), chany(jx, jy, twist_up));
         }
     }
 }
 
-void RRGraph::build_csr() {
+void RRGraph::build(base::ThreadPool* pool) {
+    const std::uint32_t H = geom_.arch().height;
+    build_nodes();
+
+    // Edge generation is decomposed into independent units matching the
+    // serial emission order exactly: connection boxes per PLB row (0..H-1),
+    // then all pads, then switch boxes per junction row (0..H). The exact
+    // closed-form edge count of every unit pre-sizes the global edge
+    // arrays, each unit writes its own disjoint span, and edge ids come out
+    // identical however the units were scheduled.
+    const std::size_t num_units = std::size_t{H} + 1 + (std::size_t{H} + 1);
+    std::vector<std::size_t> first(num_units + 1, 0);
+    for (std::size_t u = 0; u < num_units; ++u) {
+        std::size_t cnt = 0;
+        if (u < H)
+            cnt = count_conn_row();
+        else if (u == H)
+            cnt = count_pads();
+        else
+            cnt = count_switch_row(static_cast<std::uint32_t>(u - H - 1));
+        first[u + 1] = first[u] + cnt;
+    }
+    edge_from_.resize(first[num_units]);
+    edge_to_.resize(first[num_units]);
+    auto emit_unit = [&](std::size_t u) {
+        EdgeSink sink{edge_from_.data(), edge_to_.data(), first[u]};
+        if (u < H)
+            emit_conn_row(static_cast<std::uint32_t>(u), sink);
+        else if (u == H)
+            emit_pads(sink);
+        else
+            emit_switch_row(static_cast<std::uint32_t>(u - H - 1), sink);
+        check(sink.at == first[u + 1], "rrgraph: unit edge count mismatch");
+    };
+    if (pool != nullptr && pool->num_workers() > 1) {
+        pool->parallel_for(num_units, emit_unit);
+    } else {
+        for (std::size_t u = 0; u < num_units; ++u) emit_unit(u);
+    }
+
+    build_csr(pool);
+}
+
+void RRGraph::build_csr(base::ThreadPool* pool) {
     // validate() bounds wire_capacity to 1..64, so the narrowing is safe.
     const auto cap_wire = static_cast<std::uint16_t>(geom_.arch().wire_capacity);
     capacity_.resize(nodes_.size());
@@ -159,25 +243,68 @@ void RRGraph::build_csr() {
         capacity_[n] = is_wire ? cap_wire : std::uint16_t{1};
     }
 
-    // Flatten the per-node edge-id vectors into one contiguous (edge, target)
-    // array, preserving each node's edge order.
-    csr_first_.assign(nodes_.size() + 1, 0);
-    for (std::size_t n = 0; n < nodes_.size(); ++n)
-        csr_first_[n + 1] = csr_first_[n] + static_cast<std::uint32_t>(out_edges_[n].size());
-    csr_adj_.resize(edge_to_.size());
-    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    // Group edges by source node, in ascending edge-id order per node (the
+    // order add_edge historically produced). Both passes are partitioned
+    // over edge ranges: each part histograms its range, a serial scan turns
+    // the per-part counts into absolute per-(part, node) start offsets, and
+    // each part then places its edges independently — the final layout is
+    // the same for any part count, so the CSR stays deterministic.
+    const std::size_t N = nodes_.size();
+    const std::size_t E = edge_to_.size();
+    const std::size_t parts =
+        pool != nullptr && pool->num_workers() > 1
+            ? std::min<std::size_t>(pool->num_workers(), 8)
+            : 1;
+    auto range_of = [&](std::size_t p) {
+        return std::pair<std::size_t, std::size_t>{E * p / parts, E * (p + 1) / parts};
+    };
+    std::vector<std::vector<std::uint32_t>> cnt(parts);
+    auto histogram = [&](std::size_t p) {
+        cnt[p].assign(N, 0);
+        const auto [b, e] = range_of(p);
+        for (std::size_t i = b; i < e; ++i) ++cnt[p][edge_from_[i]];
+    };
+    if (parts > 1) {
+        pool->parallel_for(parts, histogram);
+    } else {
+        histogram(0);
+    }
+
+    // Per-node prefix over parts: cnt[p][n] becomes the absolute CSR index
+    // where part p's first edge of node n lands.
+    csr_first_.assign(N + 1, 0);
+    for (std::size_t n = 0; n < N; ++n) {
         std::uint32_t at = csr_first_[n];
-        for (std::uint32_t e : out_edges_[n]) csr_adj_[at++] = {e, edge_to_[e]};
+        for (std::size_t p = 0; p < parts; ++p) {
+            const std::uint32_t c = cnt[p][n];
+            cnt[p][n] = at;
+            at += c;
+        }
+        csr_first_[n + 1] = at;
+    }
+
+    csr_adj_.resize(E);
+    auto place = [&](std::size_t p) {
+        const auto [b, e] = range_of(p);
+        for (std::size_t i = b; i < e; ++i) {
+            const std::uint32_t from = edge_from_[i];
+            csr_adj_[cnt[p][from]++] = {static_cast<std::uint32_t>(i), edge_to_[i]};
+        }
+    };
+    if (parts > 1) {
+        pool->parallel_for(parts, place);
+    } else {
+        place(0);
     }
 }
 
 void RRGraph::connect_pin_to_channel(std::uint32_t pin_node, bool pin_drives, Side side,
-                                     std::uint32_t cx, std::uint32_t cy, std::uint32_t seed) {
+                                     std::uint32_t cx, std::uint32_t cy, std::uint32_t seed,
+                                     EdgeSink& out) const {
     const ArchSpec& a = geom_.arch();
     const std::uint32_t T = a.channel_width;
     const double fc = pin_drives ? a.fc_out : a.fc_in;
-    const auto n_tracks =
-        std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(fc * T)));
+    const std::uint32_t n_tracks = cb_tracks(fc, T);
     const std::uint32_t stride = std::max<std::uint32_t>(1, T / n_tracks);
     for (std::uint32_t j = 0; j < n_tracks; ++j) {
         const std::uint32_t t = (seed + j * stride) % T;
@@ -189,9 +316,9 @@ void RRGraph::connect_pin_to_channel(std::uint32_t pin_node, bool pin_drives, Si
             case Side::Right: wire = chany(cx + 1, cy, t); break;
         }
         if (pin_drives)
-            add_edge(pin_node, wire);
+            out.emit(pin_node, wire);
         else
-            add_edge(wire, pin_node);
+            out.emit(wire, pin_node);
     }
 }
 
@@ -247,10 +374,30 @@ double RRGraph::avg_wire_fanout() const {
     for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
         if (nodes_[i].kind == RRKind::ChanX || nodes_[i].kind == RRKind::ChanY) {
             ++wires;
-            total += out_edges_[i].size();
+            total += csr_first_[i + 1] - csr_first_[i];
         }
     }
     return wires == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(wires);
+}
+
+std::uint64_t RRGraph::content_fingerprint() const noexcept {
+    // FNV-1a over every node field and both edge endpoint arrays.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    for (const RRNode& n : nodes_) {
+        mix(static_cast<std::uint64_t>(n.kind) | (std::uint64_t{n.x} << 8) |
+            (std::uint64_t{n.y} << 24) | (std::uint64_t{n.track} << 40) |
+            (std::uint64_t{n.is_pad} << 56));
+        mix(static_cast<std::uint64_t>(n.delay_ps));
+    }
+    for (std::size_t e = 0; e < edge_from_.size(); ++e) {
+        mix(edge_from_[e]);
+        mix(edge_to_[e]);
+    }
+    return h;
 }
 
 }  // namespace afpga::core

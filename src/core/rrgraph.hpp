@@ -10,14 +10,28 @@
 // PLB are logically equivalent: the router may deliver a net to ANY free
 // IPIN of the target PLB and the IM distributes it internally — this is the
 // architectural payoff of the IM and is exploited by cad::Router.
+//
+// Construction is deterministic and optionally parallel: node ids are pure
+// functions of their coordinates; each per-row edge-generation unit has an
+// exact closed-form edge count, so the units write directly into disjoint
+// pre-sized spans of the shared edge arrays, and a partitioned
+// histogram/placement pass then stitches the edges into the CSR adjacency —
+// every step is schedule-independent, so the serial build and the
+// pool-backed build produce byte-identical node/edge arrays
+// (content_fingerprint() pins this in the tests).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/fabric.hpp"
+
+namespace afpga::base {
+class ThreadPool;
+}
 
 namespace afpga::core {
 
@@ -36,7 +50,12 @@ struct RRNode {
 
 class RRGraph {
 public:
+    /// Serial build.
     explicit RRGraph(const ArchSpec& arch);
+    /// Parallel build on `pool`: per-row edge generation into pre-sized
+    /// disjoint spans plus a deterministic partitioned CSR stitch —
+    /// byte-identical to the serial build, only faster.
+    RRGraph(const ArchSpec& arch, base::ThreadPool& pool);
 
     [[nodiscard]] const ArchSpec& arch() const noexcept { return geom_.arch(); }
     [[nodiscard]] const FabricGeometry& geometry() const noexcept { return geom_; }
@@ -45,10 +64,6 @@ public:
     [[nodiscard]] std::size_t num_edges() const noexcept { return edge_to_.size(); }
     [[nodiscard]] const RRNode& node(std::uint32_t id) const { return nodes_.at(id); }
 
-    /// Outgoing edges of `node` as indices into the global edge array.
-    [[nodiscard]] const std::vector<std::uint32_t>& out_edges(std::uint32_t node) const {
-        return out_edges_.at(node);
-    }
     [[nodiscard]] std::uint32_t edge_target(std::uint32_t edge) const { return edge_to_.at(edge); }
     [[nodiscard]] std::uint32_t edge_source(std::uint32_t edge) const {
         return edge_from_.at(edge);
@@ -61,9 +76,41 @@ public:
         std::uint32_t to;
     };
     /// Outgoing adjacency of `node` as one contiguous span — the cache-dense
-    /// view the router iterates instead of the per-node edge-id vectors.
+    /// view the router iterates instead of per-node edge-id vectors.
     [[nodiscard]] std::span<const OutEdge> out(std::uint32_t node) const noexcept {
         return {csr_adj_.data() + csr_first_[node], csr_first_[node + 1] - csr_first_[node]};
+    }
+
+    /// Range of the outgoing edge *ids* of one node, in creation order — a
+    /// view over the CSR adjacency for callers (elaboration, stats) that only
+    /// need the ids.
+    class EdgeIdRange {
+    public:
+        class iterator {
+        public:
+            explicit iterator(const OutEdge* p) noexcept : p_(p) {}
+            std::uint32_t operator*() const noexcept { return p_->edge; }
+            iterator& operator++() noexcept {
+                ++p_;
+                return *this;
+            }
+            friend bool operator==(iterator a, iterator b) noexcept = default;
+
+        private:
+            const OutEdge* p_;
+        };
+        explicit EdgeIdRange(std::span<const OutEdge> s) noexcept : s_(s) {}
+        [[nodiscard]] iterator begin() const noexcept { return iterator{s_.data()}; }
+        [[nodiscard]] iterator end() const noexcept { return iterator{s_.data() + s_.size()}; }
+        [[nodiscard]] std::size_t size() const noexcept { return s_.size(); }
+
+    private:
+        std::span<const OutEdge> s_;
+    };
+    /// Outgoing edges of `node` as edge ids (bounds-checked).
+    [[nodiscard]] EdgeIdRange out_edges(std::uint32_t node) const {
+        (void)nodes_.at(node);  // preserve the historical at() bounds check
+        return EdgeIdRange{out(node)};
     }
 
     /// How many nets may legally occupy `node` (1 for pins; wire nodes carry
@@ -95,18 +142,41 @@ public:
     [[nodiscard]] std::size_t num_wires() const noexcept { return n_wires_; }
     [[nodiscard]] double avg_wire_fanout() const;
 
+    /// Stable hash over the full node and edge content (not the ArchSpec):
+    /// two graphs agree iff their arrays are byte-identical. Pins the
+    /// serial-vs-parallel build equivalence in tests and benches.
+    [[nodiscard]] std::uint64_t content_fingerprint() const noexcept;
+
 private:
-    void build();
-    void build_csr();
-    std::uint32_t add_node(const RRNode& n);
-    void add_edge(std::uint32_t from, std::uint32_t to);
-    void add_biedge(std::uint32_t a, std::uint32_t b);
+    /// Write cursor into the pre-sized edge arrays: each generation unit
+    /// owns the disjoint range [at, end of unit) computed by the exact
+    /// closed-form counts, so units can emit concurrently.
+    struct EdgeSink {
+        std::uint32_t* from;
+        std::uint32_t* to;
+        std::size_t at;
+        void emit(std::uint32_t f, std::uint32_t t) noexcept {
+            from[at] = f;
+            to[at] = t;
+            ++at;
+        }
+    };
+
+    void build(base::ThreadPool* pool);
+    void build_nodes();
+    [[nodiscard]] std::size_t count_conn_row() const;
+    [[nodiscard]] std::size_t count_pads() const;
+    [[nodiscard]] std::size_t count_switch_row(std::uint32_t jy) const;
+    void emit_conn_row(std::uint32_t y, EdgeSink& out) const;
+    void emit_pads(EdgeSink& out) const;
+    void emit_switch_row(std::uint32_t jy, EdgeSink& out) const;
+    void build_csr(base::ThreadPool* pool);
     void connect_pin_to_channel(std::uint32_t pin_node, bool pin_drives, Side side,
-                                std::uint32_t cx, std::uint32_t cy, std::uint32_t seed);
+                                std::uint32_t cx, std::uint32_t cy, std::uint32_t seed,
+                                EdgeSink& out) const;
 
     FabricGeometry geom_;
     std::vector<RRNode> nodes_;
-    std::vector<std::vector<std::uint32_t>> out_edges_;  // node -> edge ids
     std::vector<std::uint32_t> edge_from_;
     std::vector<std::uint32_t> edge_to_;
     std::vector<std::uint16_t> capacity_;   // node -> legal occupancy

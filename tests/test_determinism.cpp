@@ -59,6 +59,62 @@ TEST(Determinism, WchbFifoFlowSameSeedSameResult) {
     expect_identical_flow_decisions(a, b);
 }
 
+// --- cross-thread-count matrix ----------------------------------------------
+// RouterOptions::threads >= 1 switches the flow to the partitioned parallel
+// PathFinder (and the pool-built RR graph). The whole point of its design is
+// that the worker count is a pure wall-clock knob: every thread count must
+// produce the same bitstream, bit for bit.
+
+void expect_thread_matrix_identical(const netlist::Netlist& nl,
+                                    const asynclib::MappingHints& hints,
+                                    const core::ArchSpec& arch, cad::FlowOptions opts) {
+    std::string ref_fp;
+    base::BitVector ref_bits;
+    for (unsigned t : {1u, 2u, 4u, 8u}) {
+        opts.route.threads = t;
+        const auto fr = cad::run_flow(nl, hints, arch, opts);
+        const std::string fp = testsupport::flow_fingerprint(fr);
+        const base::BitVector bits = fr.bits->serialize();
+        if (t == 1) {
+            ref_fp = fp;
+            ref_bits = bits;
+            continue;
+        }
+        EXPECT_EQ(ref_fp, fp) << t << " threads changed the flow fingerprint";
+        EXPECT_TRUE(ref_bits == bits) << t << " threads changed the bitstream";
+    }
+}
+
+TEST(Determinism, QdiAdderBitstreamInvariantAcrossRouteThreads) {
+    auto adder = asynclib::make_qdi_adder(2);
+    cad::FlowOptions opts;
+    opts.seed = 424242;
+    // min_bin_dim=3 splits the default 8x8 fabric so the matrix exercises
+    // real concurrent bins, not the single-bin degenerate case.
+    opts.route.min_bin_dim = 3;
+    expect_thread_matrix_identical(adder.nl, adder.hints, core::ArchSpec{}, opts);
+}
+
+TEST(Determinism, WchbFifoBitstreamInvariantAcrossRouteThreads) {
+    auto fifo = asynclib::make_wchb_fifo(2, 2);
+    cad::FlowOptions opts;
+    opts.seed = 7;
+    opts.route.min_bin_dim = 3;
+    expect_thread_matrix_identical(fifo.nl, fifo.hints, core::ArchSpec{}, opts);
+}
+
+TEST(Determinism, LargerFabricBitstreamInvariantAcrossRouteThreads) {
+    // A 13x13 fabric partitions into four quadrants even at the default
+    // min_bin_dim, giving the matrix genuine multi-bin parallel routing.
+    auto adder = asynclib::make_qdi_adder(4);
+    core::ArchSpec arch;
+    arch.width = arch.height = 13;
+    arch.channel_width = 12;
+    cad::FlowOptions opts;
+    opts.seed = 99;
+    expect_thread_matrix_identical(adder.nl, adder.hints, arch, opts);
+}
+
 TEST(Determinism, FingerprintReflectsSeedChange) {
     // Not a promise that every seed differs — just that the fingerprint is
     // sensitive enough to notice when the annealer takes a different path.

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans README.md and docs/*.md for markdown links and inline references,
+resolves every relative target against the file's directory (anchors and
+external URLs are skipped), and exits non-zero listing any target that does
+not exist. Wired both as a ctest (docs_links) and as a CI step, so a page
+rename that orphans a link fails before it lands.
+
+Usage: check_doc_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root):
+    files = [os.path.join(root, "README.md")]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    dead = []
+    checked = 0
+    for path in doc_files(root):
+        base = os.path.dirname(path)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                for target in LINK_RE.findall(line):
+                    if target.startswith(SKIP_PREFIXES):
+                        continue
+                    resolved = os.path.normpath(
+                        os.path.join(base, target.split("#", 1)[0]))
+                    checked += 1
+                    if not os.path.exists(resolved):
+                        rel = os.path.relpath(path, root)
+                        dead.append(f"{rel}:{lineno}: dead link -> {target}")
+    for d in dead:
+        print(d, file=sys.stderr)
+    print(f"check_doc_links: {checked} relative links checked, "
+          f"{len(dead)} dead")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
