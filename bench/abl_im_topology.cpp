@@ -14,35 +14,32 @@
 #include "base/check.hpp"
 #include "base/strings.hpp"
 #include "base/table.hpp"
-#include "cad/flow.hpp"
+#include "cad/flow_service.hpp"
 #include "eval/metrics.hpp"
+#include "eval/sweep.hpp"
 
 using namespace afpga;
 
 namespace {
 
-std::string attempt(const netlist::Netlist& nl, const asynclib::MappingHints& hints,
-                    core::ImTopology topo, std::string* detail) {
-    core::ArchSpec arch = core::paper_arch();
-    arch.width = 12;
-    arch.height = 12;
-    arch.channel_width = 16;
-    arch.im_topology = topo;
-    // Try a few seeds: sparse IMs make pin matching placement-sensitive.
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        cad::FlowOptions opts;
-        opts.seed = seed;
-        try {
-            const auto fr = cad::run_flow(nl, hints, arch, opts);
-            const auto f = eval::filling_ratio(fr);
+constexpr std::uint64_t kSeeds = 5;  ///< sparse IMs are placement-sensitive
+
+/// Classify one (design, topology) cell from its per-seed results: the
+/// lowest OK seed wins (same pick order as a serial seed loop); when every
+/// seed fails, the last seed's error classifies the failure. `results`
+/// holds the kSeeds jobs of this cell in seed order.
+std::string classify(const std::vector<const cad::FlowJobResult*>& results,
+                     std::size_t first, std::string* detail) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const cad::FlowJobResult& r = *results[first + seed - 1];
+        if (r.ok()) {
+            const auto f = eval::filling_ratio(r.result);
             *detail = "filling " + base::format_percent(f.outputs) + ", seed " +
                       std::to_string(seed);
             return "OK";
-        } catch (const base::Error& e) {
-            *detail = e.what();
         }
+        *detail = r.error;
     }
-    // Classify the failure for the table.
     if (detail->find("cannot deliver") != std::string::npos ||
         detail->find("feedback") != std::string::npos)
         return "UNMAPPABLE";
@@ -75,14 +72,48 @@ int main() {
         designs.push_back({"wchb-fifo-2x2", std::move(d.nl), std::move(d.hints)});
     }
 
+    // The full ablation grid — designs x topologies x seeds — as one
+    // FlowJob set on one FlowService: all the seed retries of all the cells
+    // compile concurrently, and the shared artifact store reuses each
+    // design's techmap across every topology and seed (mapping is
+    // architecture-independent). Deliberate tradeoff vs the old serial
+    // loop: every seed compiles even when seed 1 succeeds (the serial loop
+    // stopped early), buying full machine-width parallelism and identical
+    // table output for a few discarded ms-scale flows per cell.
+    const core::ImTopology topologies[] = {
+        core::ImTopology::FullCrossbar, core::ImTopology::Sparse50,
+        core::ImTopology::Sparse25, core::ImTopology::NoFeedback};
+
+    cad::FlowService svc;
+    std::vector<cad::FlowJob> jobs;
     for (const Design& d : designs) {
-        for (core::ImTopology topo :
-             {core::ImTopology::FullCrossbar, core::ImTopology::Sparse50,
-              core::ImTopology::Sparse25, core::ImTopology::NoFeedback}) {
+        for (core::ImTopology topo : topologies) {
+            core::ArchSpec arch = core::paper_arch();
+            arch.width = 12;
+            arch.height = 12;
+            arch.channel_width = 16;
+            arch.im_topology = topo;
+            for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+                cad::FlowJob j;
+                j.name = d.name + "/" + to_string(topo) + "/s" + std::to_string(seed);
+                j.nl = &d.nl;
+                j.hints = &d.hints;
+                j.arch = arch;
+                j.opts.seed = seed;
+                jobs.push_back(std::move(j));
+            }
+        }
+    }
+    const auto results = eval::run_grid(svc, std::move(jobs));
+
+    std::size_t cell = 0;
+    for (const Design& d : designs) {
+        for (core::ImTopology topo : topologies) {
             std::string detail;
-            const std::string result = attempt(d.nl, d.hints, topo, &detail);
+            const std::string result = classify(results, cell * kSeeds, &detail);
             if (detail.size() > 60) detail = detail.substr(0, 57) + "...";
             t.add_row({d.name, to_string(topo), result, detail});
+            ++cell;
         }
     }
     std::printf("%s\n", t.render().c_str());

@@ -7,12 +7,14 @@
 // constraint post-route by simulation: a too-coarse PDE or too-thin margin
 // corrupts long-carry sums exactly as the theory predicts.
 #include <cstdio>
+#include <iterator>
 
 #include "asynclib/adders.hpp"
 #include "base/check.hpp"
 #include "base/strings.hpp"
 #include "base/table.hpp"
-#include "cad/flow.hpp"
+#include "cad/flow_service.hpp"
+#include "eval/sweep.hpp"
 #include "sim/monitors.hpp"
 #include "sim/simulator.hpp"
 #include "sim/testbench.hpp"
@@ -28,24 +30,19 @@ struct Outcome {
     std::int64_t pde_delay_ps = 0;
 };
 
-Outcome evaluate(std::int64_t quantum_ps, std::uint32_t taps, double margin) {
-    core::ArchSpec arch = core::paper_arch();
-    arch.pde_quantum_ps = quantum_ps;
-    arch.pde_taps = taps;
-    cad::FlowOptions opts;
-    opts.pde_extra_margin = margin;
-
-    auto adder = asynclib::make_micropipeline_adder(4);
+/// Post-route bundling verification of one already-compiled configuration
+/// (the flows themselves run as a grid on a FlowService in main; margin-only
+/// neighbours share every stage but the bitstream through the artifact
+/// cache).
+Outcome evaluate(const cad::FlowJobResult& job) {
     Outcome o;
-    cad::FlowResult fr;
-    try {
-        fr = cad::run_flow(adder.nl, {}, arch, opts);
-    } catch (const base::Error& e) {
-        o.status = std::string(e.what()).find("PDE range") != std::string::npos
-                       ? "PDE range exceeded"
-                       : "flow failed";
+    if (!job.ok()) {
+        o.status = job.error.find("PDE range") != std::string::npos ? "PDE range exceeded"
+                                                                    : "flow failed";
         return o;
     }
+    const cad::FlowResult& fr = job.result;
+    const core::ArchSpec& arch = fr.arch;  // the architecture the flow compiled against
     // Read back the programmed PDE delay from the bitstream.
     for (std::size_t ci = 0; ci < fr.packed.clusters.size(); ++ci) {
         if (!fr.packed.clusters[ci].pde_index) continue;
@@ -110,8 +107,31 @@ int main() {
         {250, 32, 1.0}, {250, 32, 0.5}, {250, 32, 0.0}, {500, 16, 1.0}, {500, 16, 0.0},
         {1000, 8, 1.0}, {2000, 4, 0.0}, {125, 64, 1.0}, {250, 4, 1.0},
     };
+
+    // One design, nine {resolution, margin} points: the sweep is a FlowJob
+    // grid on one FlowService. Margin-only variants reuse the cached
+    // techmap/pack/place/route artifacts (the margin is programmed by the
+    // bitstream stage alone); simulation stays serial below.
+    auto adder = asynclib::make_micropipeline_adder(4);
+    cad::FlowService svc;
+    std::vector<cad::FlowJob> jobs;
     for (const Cfg& c : cfgs) {
-        const Outcome o = evaluate(c.quantum, c.taps, c.margin);
+        core::ArchSpec arch = core::paper_arch();
+        arch.pde_quantum_ps = c.quantum;
+        arch.pde_taps = c.taps;
+        cad::FlowJob j;
+        j.name = "q" + std::to_string(c.quantum) + "_t" + std::to_string(c.taps) + "_m" +
+                 base::format_percent(c.margin, 0);
+        j.nl = &adder.nl;
+        j.arch = arch;
+        j.opts.pde_extra_margin = c.margin;
+        jobs.push_back(std::move(j));
+    }
+    const auto results = eval::run_grid(svc, std::move(jobs));
+
+    for (std::size_t i = 0; i < std::size(cfgs); ++i) {
+        const Cfg& c = cfgs[i];
+        const Outcome o = evaluate(*results[i]);
         t.add_row({std::to_string(c.quantum) + " ps", std::to_string(c.taps),
                    base::format_percent(c.margin, 0),
                    o.pde_delay_ps ? std::to_string(o.pde_delay_ps) + " ps" : "-",

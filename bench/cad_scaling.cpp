@@ -21,6 +21,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "asynclib/adders.hpp"
@@ -30,8 +31,10 @@
 #include "base/timer.hpp"
 #include "cad/batch.hpp"
 #include "cad/flow.hpp"
+#include "cad/flow_service.hpp"
 #include "cad/pack.hpp"
 #include "cad/techmap.hpp"
+#include "eval/sweep.hpp"
 
 using namespace afpga;
 
@@ -101,6 +104,15 @@ int main(int argc, char** argv) {
     w.begin_object();
     w.key("bench").value("cad_scaling");
     w.key("reps").value(reps);
+    // Machine-detectable parallelism context: every thread-sweep speedup in
+    // this file is only meaningful when the hardware actually has that many
+    // cores (the dev container famously has one). Consumers should compare
+    // each sweep's thread count against hardware_concurrency instead of
+    // trusting a prose footnote.
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    w.key("hardware_concurrency").value(std::uint64_t{hw_threads});
+    w.key("effective_workers")
+        .value(std::uint64_t{base::ThreadPool::default_workers()});
     w.key("designs").begin_array();
 
     for (const SweepPoint& pt : sweep) {
@@ -143,6 +155,12 @@ int main(int argc, char** argv) {
     // --- parallel subsystem sweep: thread counts 1/2/4/8 ----------------------
     std::vector<unsigned> thread_counts{1, 2, 4, 8};
     if (smoke) thread_counts = {1, 2};
+    if (hw_threads != 0 && thread_counts.back() > hw_threads)
+        std::fprintf(stderr,
+                     "cad_scaling: WARNING: sweeping up to %u threads on %u hardware "
+                     "threads — oversubscribed points only time-slice, treat their "
+                     "speedups as noise\n",
+                     thread_counts.back(), hw_threads);
 
     // Tier 1: multi-seed placement racing. Four replicas on a growing pool;
     // the winner must be bit-identical whatever the pool size, so the only
@@ -407,6 +425,88 @@ int main(int argc, char** argv) {
             w.end_object();
         }
         w.end_array();
+    }
+
+    // Tier 5: FlowService artifact reuse. A seed grid runs cold on a fresh
+    // service, then re-runs warm with ONLY a route-stage knob changed: the
+    // warm grid must restore techmap/pack/place from the artifact store
+    // (visible as cache_hit in the per-stage telemetry) and produce
+    // bitstreams bit-identical to a cold compile of the same options.
+    {
+        const std::size_t bits = smoke ? 4 : 8;
+        auto adder = asynclib::make_qdi_adder(bits);
+        core::ArchSpec arch;
+        arch.width = arch.height = smoke ? 10 : 14;
+        arch.channel_width = smoke ? 12 : 14;
+
+        const std::vector<std::uint64_t> seeds{1, 2, 3, 4};
+        auto make_jobs = [&](const cad::FlowOptions& opts) {
+            std::vector<cad::FlowJob> jobs;
+            for (std::uint64_t seed : seeds) {
+                cad::FlowJob j;
+                j.name = "qdi_adder_" + std::to_string(bits) + "_s" + std::to_string(seed);
+                j.nl = &adder.nl;
+                j.hints = &adder.hints;
+                j.arch = arch;
+                j.opts = opts;
+                j.opts.seed = seed;
+                jobs.push_back(std::move(j));
+            }
+            return jobs;
+        };
+        auto run_grid_ms = [](cad::FlowService& svc, std::vector<cad::FlowJob> jobs,
+                              std::vector<const cad::FlowJobResult*>* out_results) {
+            base::WallTimer t;
+            *out_results = eval::run_grid(svc, std::move(jobs));
+            return t.elapsed_ms();
+        };
+
+        cad::FlowOptions cold_opts;
+        cad::FlowOptions warm_opts;
+        warm_opts.route.astar_fac = 0.5;  // a route-stage knob, nothing upstream
+
+        cad::FlowService svc;
+        std::vector<const cad::FlowJobResult*> cold;
+        const double cold_ms = run_grid_ms(svc, make_jobs(cold_opts), &cold);
+        std::vector<const cad::FlowJobResult*> warm;
+        const double warm_ms = run_grid_ms(svc, make_jobs(warm_opts), &warm);
+
+        // Reference: the warm options compiled cold on a fresh service.
+        cad::FlowService ref_svc;
+        std::vector<const cad::FlowJobResult*> ref;
+        (void)run_grid_ms(ref_svc, make_jobs(warm_opts), &ref);
+
+        std::size_t upstream_hits = 0;
+        std::size_t upstream_stages = 0;
+        bool bit_identical = true;
+        for (std::size_t i = 0; i < warm.size(); ++i) {
+            for (const char* stage : {"techmap", "pack", "place"}) {
+                const cad::StageReport* s = warm[i]->result.telemetry.stage(stage);
+                ++upstream_stages;
+                upstream_hits += (s && s->cache_hit == 1) ? 1u : 0u;
+            }
+            bit_identical = bit_identical && warm[i]->ok() && ref[i]->ok() &&
+                            warm[i]->result.bits->serialize() ==
+                                ref[i]->result.bits->serialize();
+        }
+        std::printf("flow_service warm sweep (route knob only): cold %.1f ms, warm "
+                    "%.1f ms (%.2fx), upstream cache hits %zu/%zu, bit_identical=%d\n",
+                    cold_ms, warm_ms, warm_ms > 0 ? cold_ms / warm_ms : 0.0,
+                    upstream_hits, upstream_stages, bit_identical);
+
+        w.key("flow_service").begin_object();
+        w.key("jobs").value(std::uint64_t{seeds.size()});
+        w.key("threads").value(std::uint64_t{svc.threads()});
+        w.key("cold_grid_ms").value(cold_ms);
+        w.key("warm_grid_ms").value(warm_ms);
+        w.key("warm_speedup").value(warm_ms > 0 ? cold_ms / warm_ms : 0.0);
+        w.key("upstream_cache_hits").value(std::uint64_t{upstream_hits});
+        w.key("upstream_stages").value(std::uint64_t{upstream_stages});
+        w.key("store_hits").value(svc.store().hits());
+        w.key("store_misses").value(svc.store().misses());
+        w.key("store_entries").value(std::uint64_t{svc.store().num_artifacts()});
+        w.key("bit_identical_to_cold").value(bit_identical);
+        w.end_object();
     }
 
     w.end_object();

@@ -12,37 +12,10 @@
 #include "asynclib/fifos.hpp"
 #include "base/strings.hpp"
 #include "base/table.hpp"
-#include "cad/flow.hpp"
+#include "cad/flow_service.hpp"
 #include "eval/baseline.hpp"
-#include "eval/metrics.hpp"
 
 using namespace afpga;
-
-namespace {
-
-void row(base::TextTable& t, const std::string& name, const netlist::Netlist& nl,
-         const asynclib::MappingHints& hints) {
-    core::ArchSpec arch = core::paper_arch();
-    arch.width = 12;
-    arch.height = 12;
-    arch.channel_width = 16;
-    const auto fr = cad::run_flow(nl, hints, arch, {});
-    const auto f = eval::filling_ratio(fr);
-    const auto lut4 = eval::map_to_lut4(nl);
-    // An LE provides two LUT6 halves; a CLB of the baseline provides 2 LUT4s.
-    const double overhead = f.used_les
-                                ? static_cast<double>(lut4.luts) /
-                                      static_cast<double>(2 * f.used_les)
-                                : 0.0;
-    t.add_row({name, std::to_string(f.used_les), std::to_string(f.occupied_plbs),
-               std::to_string(lut4.luts), std::to_string(lut4.clbs),
-               std::to_string(lut4.luts_for_memory), std::to_string(lut4.luts_for_delay),
-               std::to_string(lut4.feedback_nets),
-               base::format_percent(lut4.bit_utilization),
-               base::format_double(overhead, 2) + "x"});
-}
-
-}  // namespace
 
 int main() {
     std::printf("=== ext-B: same circuits on a synchronous LUT4 island FPGA "
@@ -51,25 +24,36 @@ int main() {
                        "LUT4s for C-gates", "LUT4s for delays", "loops via routing",
                        "LUT4-bit util", "cells per LE-pair"});
 
-    {
-        auto d = asynclib::make_qdi_adder(1);
-        row(t, "qdi-adder-1b", d.nl, d.hints);
-    }
-    {
-        auto d = asynclib::make_qdi_adder(4);
-        row(t, "qdi-adder-4b", d.nl, d.hints);
-    }
-    {
-        auto d = asynclib::make_micropipeline_adder(4);
-        row(t, "mp-adder-4b", d.nl, {});
-    }
-    {
-        auto d = asynclib::make_wchb_fifo(4, 4);
-        row(t, "wchb-fifo-4x4", d.nl, d.hints);
-    }
-    {
-        auto d = asynclib::make_micropipeline_fifo(4, 4);
-        row(t, "mp-fifo-4x4", d.nl, {});
+    // Generate the design set, then hand the whole comparison grid to
+    // eval::compare_designs: one FlowService compiles every design
+    // concurrently against one shared RR graph.
+    auto qdi1 = asynclib::make_qdi_adder(1);
+    auto qdi4 = asynclib::make_qdi_adder(4);
+    auto mp4 = asynclib::make_micropipeline_adder(4);
+    auto wchb = asynclib::make_wchb_fifo(4, 4);
+    auto mpf = asynclib::make_micropipeline_fifo(4, 4);
+    const std::vector<eval::BaselineDesign> designs = {
+        {"qdi-adder-1b", &qdi1.nl, &qdi1.hints},
+        {"qdi-adder-4b", &qdi4.nl, &qdi4.hints},
+        {"mp-adder-4b", &mp4.nl, nullptr},
+        {"wchb-fifo-4x4", &wchb.nl, &wchb.hints},
+        {"mp-fifo-4x4", &mpf.nl, nullptr},
+    };
+
+    core::ArchSpec arch = core::paper_arch();
+    arch.width = 12;
+    arch.height = 12;
+    arch.channel_width = 16;
+
+    cad::FlowService svc;
+    for (const eval::BaselineComparison& c : eval::compare_designs(svc, designs, arch)) {
+        t.add_row({c.design, std::to_string(c.our_les), std::to_string(c.our_plbs),
+                   std::to_string(c.lut4.luts), std::to_string(c.lut4.clbs),
+                   std::to_string(c.lut4.luts_for_memory),
+                   std::to_string(c.lut4.luts_for_delay),
+                   std::to_string(c.lut4.feedback_nets),
+                   base::format_percent(c.lut4.bit_utilization),
+                   base::format_double(c.overhead_factor, 2) + "x"});
     }
     std::printf("%s\n", t.render().c_str());
 

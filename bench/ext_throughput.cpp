@@ -7,12 +7,15 @@
 // speed of their local handshakes, so the period should stay roughly flat
 // with depth in both styles, with the fabric adding IM/wire latency.
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "asynclib/fifos.hpp"
 #include "base/check.hpp"
 #include "base/strings.hpp"
 #include "base/table.hpp"
-#include "cad/flow.hpp"
+#include "cad/flow_service.hpp"
+#include "eval/sweep.hpp"
 #include "sim/channels.hpp"
 #include "sim/simulator.hpp"
 
@@ -67,16 +70,48 @@ int main() {
     arch.height = 12;
     arch.channel_width = 16;
 
-    for (std::size_t depth : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    // Compile the whole depth x style grid as one FlowJob set on a
+    // FlowService before any simulation: six concurrent flows over one
+    // shared RR graph. The token-streaming measurements below stay serial
+    // (the simulator is single-threaded by design).
+    const std::size_t depths[] = {2, 4, 8};
+    std::vector<asynclib::WchbFifo> wchb_fifos;
+    std::vector<asynclib::MpFifo> mp_fifos;
+    for (std::size_t depth : depths) {
+        wchb_fifos.push_back(asynclib::make_wchb_fifo(kBits, depth));
+        mp_fifos.push_back(asynclib::make_micropipeline_fifo(kBits, depth));
+    }
+    cad::FlowService svc;
+    std::vector<cad::FlowJob> jobs;
+    for (std::size_t i = 0; i < std::size(depths); ++i) {
+        cad::FlowJob q;
+        q.name = "wchb-x" + std::to_string(depths[i]);
+        q.nl = &wchb_fifos[i].nl;
+        q.hints = &wchb_fifos[i].hints;
+        q.arch = arch;
+        jobs.push_back(std::move(q));
+        cad::FlowJob m;
+        m.name = "mp-x" + std::to_string(depths[i]);
+        m.nl = &mp_fifos[i].nl;
+        m.arch = arch;
+        jobs.push_back(std::move(m));
+    }
+    const auto results = eval::run_grid(svc, std::move(jobs));
+
+    for (std::size_t di = 0; di < std::size(depths); ++di) {
+        const std::size_t depth = depths[di];
         // --- WCHB (QDI) -----------------------------------------------------
         {
-            auto fifo = asynclib::make_wchb_fifo(kBits, depth);
+            const auto& fifo = wchb_fifos[di];
             sim::Simulator pre(fifo.nl);
             pre.run();
             const double p_pre =
                 wchb_period(pre, fifo.in, fifo.ack_in, fifo.out, fifo.ack_out);
 
-            const auto fr = cad::run_flow(fifo.nl, fifo.hints, arch, {});
+            const cad::FlowJobResult& job = *results[2 * di];
+            base::check(job.ok(), "ext_throughput: flow failed for " + job.name + ": " +
+                                      job.error);
+            const auto& fr = job.result;
             const auto design = fr.elaborate();
             sim::Simulator post(design.nl);
             for (const auto& d : core::resolve_wire_delays(design))
@@ -98,13 +133,16 @@ int main() {
         }
         // --- micropipeline ----------------------------------------------------
         {
-            auto fifo = asynclib::make_micropipeline_fifo(kBits, depth);
+            const auto& fifo = mp_fifos[di];
             sim::Simulator pre(fifo.nl);
             pre.run();
             const double p_pre = mp_period(pre, fifo.in, fifo.req_in, fifo.ack_in, fifo.out,
                                            fifo.req_out, fifo.ack_out);
 
-            const auto fr = cad::run_flow(fifo.nl, {}, arch, {});
+            const cad::FlowJobResult& job = *results[2 * di + 1];
+            base::check(job.ok(), "ext_throughput: flow failed for " + job.name + ": " +
+                                      job.error);
+            const auto& fr = job.result;
             const auto design = fr.elaborate();
             sim::Simulator post(design.nl);
             for (const auto& d : core::resolve_wire_delays(design))

@@ -4,19 +4,30 @@
 // Filling ratio = used LE outputs / (4 outputs x occupied LEs): a QDI
 // dual-rail function fills an LE with two rails plus the LUT2 validity
 // (3/4), bundled-data logic fills 1-2 of 4. We sweep adder widths and FIFO
-// depths in both styles and print the paper's numbers alongside.
+// depths in both styles — the whole grid runs as one FlowJob set on a
+// FlowService (machine-width compiles, one shared RR graph) — and print
+// the paper's numbers alongside.
 #include <cstdio>
 
 #include "asynclib/adders.hpp"
 #include "asynclib/fifos.hpp"
+#include "base/check.hpp"
 #include "base/strings.hpp"
 #include "base/table.hpp"
-#include "cad/flow.hpp"
+#include "cad/flow_service.hpp"
 #include "eval/metrics.hpp"
+#include "eval/sweep.hpp"
 
 using namespace afpga;
 
 namespace {
+
+struct Entry {
+    std::string design;
+    std::string style;
+    netlist::Netlist nl;
+    asynclib::MappingHints hints;
+};
 
 struct Row {
     std::string design;
@@ -24,37 +35,57 @@ struct Row {
     eval::FillingRatio f;
 };
 
-Row run(const std::string& design, const std::string& style, const netlist::Netlist& nl,
-        const asynclib::MappingHints& hints) {
-    core::ArchSpec arch = core::paper_arch();
-    // The wide sweeps need more room than the default 8x8 array.
-    arch.width = 12;
-    arch.height = 12;
-    arch.channel_width = 16;
-    const auto fr = cad::run_flow(nl, hints, arch, {});
-    return {design, style, eval::filling_ratio(fr)};
-}
-
 }  // namespace
 
 int main() {
     std::printf("=== Filling ratio by style (paper: QDI 76%%, micropipeline 51%%) ===\n\n");
 
-    std::vector<Row> rows;
+    // Generate the whole design grid up front (jobs borrow the netlists).
+    std::vector<Entry> entries;
     for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
         auto q = asynclib::make_qdi_adder(n);
-        rows.push_back(run("adder-" + std::to_string(n) + "b", "QDI dual-rail", q.nl, q.hints));
+        entries.push_back({"adder-" + std::to_string(n) + "b", "QDI dual-rail",
+                           std::move(q.nl), std::move(q.hints)});
         auto m = asynclib::make_micropipeline_adder(n);
-        rows.push_back(run("adder-" + std::to_string(n) + "b", "micropipeline", m.nl, {}));
+        entries.push_back(
+            {"adder-" + std::to_string(n) + "b", "micropipeline", std::move(m.nl), {}});
     }
     for (std::size_t d : {std::size_t{2}, std::size_t{4}}) {
         auto q = asynclib::make_wchb_fifo(4, d);
-        rows.push_back(
-            run("fifo-4b-x" + std::to_string(d), "QDI dual-rail (WCHB)", q.nl, q.hints));
+        entries.push_back({"fifo-4b-x" + std::to_string(d), "QDI dual-rail (WCHB)",
+                           std::move(q.nl), std::move(q.hints)});
         auto m = asynclib::make_micropipeline_fifo(4, d);
-        rows.push_back(run("fifo-4b-x" + std::to_string(d), "micropipeline", m.nl, {}));
+        entries.push_back(
+            {"fifo-4b-x" + std::to_string(d), "micropipeline", std::move(m.nl), {}});
         auto t2 = asynclib::make_mousetrap_fifo(4, d);
-        rows.push_back(run("fifo-4b-x" + std::to_string(d), "2-ph mousetrap", t2.nl, {}));
+        entries.push_back(
+            {"fifo-4b-x" + std::to_string(d), "2-ph mousetrap", std::move(t2.nl), {}});
+    }
+
+    core::ArchSpec arch = core::paper_arch();
+    // The wide sweeps need more room than the default 8x8 array.
+    arch.width = 12;
+    arch.height = 12;
+    arch.channel_width = 16;
+
+    cad::FlowService svc;
+    std::vector<cad::FlowJob> jobs;
+    for (const Entry& e : entries) {
+        cad::FlowJob j;
+        j.name = e.design + " / " + e.style;
+        j.nl = &e.nl;
+        j.hints = &e.hints;
+        j.arch = arch;
+        jobs.push_back(std::move(j));
+    }
+    const auto results = eval::run_grid(svc, std::move(jobs));
+
+    std::vector<Row> rows;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        base::check(results[i]->ok(), "tab_filling_ratio: flow failed for " +
+                                          results[i]->name + ": " + results[i]->error);
+        rows.push_back(
+            {entries[i].design, entries[i].style, eval::filling_ratio(results[i]->result)});
     }
 
     base::TextTable t({"design", "style", "LEs", "PLBs", "filling (LE outputs)",

@@ -1,0 +1,102 @@
+#include "cad/artifact.hpp"
+
+#include "base/threadpool.hpp"
+
+namespace afpga::cad {
+
+std::shared_ptr<const core::RRGraph> ArtifactStore::rr_for(const core::ArchSpec& arch,
+                                                           base::ThreadPool* pool) const {
+    const std::uint64_t fp = arch.fingerprint();
+    std::promise<std::shared_ptr<const core::RRGraph>> promise;
+    std::shared_future<std::shared_ptr<const core::RRGraph>> fut;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(rr_mu_);
+        const auto it = rr_.find(fp);
+        if (it == rr_.end()) {
+            fut = promise.get_future().share();
+            rr_.emplace(fp, fut);
+            builder = true;
+        } else {
+            fut = it->second;
+        }
+    }
+    if (builder) {
+        // Build outside the lock: other architectures stay unblocked, and
+        // same-architecture callers wait on the future instead of racing.
+        try {
+            promise.set_value(pool ? std::make_shared<core::RRGraph>(arch, *pool)
+                                   : std::make_shared<core::RRGraph>(arch));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(rr_mu_);
+            rr_.erase(fp);  // let a later caller retry rather than cache the error
+        }
+    }
+    return fut.get();
+}
+
+bool ArtifactStore::begin_compute(ArtifactKey key) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        if (map_.count(key)) return false;  // published while we waited
+        const auto it = inflight_.find(key);
+        if (it == inflight_.end()) {
+            Inflight inf;
+            inf.done = std::make_shared<std::promise<void>>();
+            inf.wait = inf.done->get_future().share();
+            inflight_.emplace(key, std::move(inf));
+            return true;
+        }
+        std::shared_future<void> fut = it->second.wait;
+        lock.unlock();
+        fut.wait();
+        lock.lock();
+        // Loop: the computer either published (return false above) or
+        // failed without publishing (this caller may claim the key).
+    }
+}
+
+void ArtifactStore::finish_compute(ArtifactKey key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    it->second.done->set_value();
+    inflight_.erase(it);
+}
+
+void ArtifactStore::clear() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.clear();  // inflight_ stays: computers finish and re-publish
+    }
+    std::lock_guard<std::mutex> lock(rr_mu_);
+    rr_.clear();  // racing builders hold their own future copies
+}
+
+bool ArtifactStore::has_rr(const core::ArchSpec& arch) const {
+    std::lock_guard<std::mutex> lock(rr_mu_);
+    return rr_.count(arch.fingerprint()) != 0;
+}
+
+std::uint64_t ArtifactStore::hits() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::uint64_t ArtifactStore::misses() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+std::size_t ArtifactStore::num_artifacts() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+std::size_t ArtifactStore::num_rr_graphs() const noexcept {
+    std::lock_guard<std::mutex> lock(rr_mu_);
+    return rr_.size();
+}
+
+}  // namespace afpga::cad

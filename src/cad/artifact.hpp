@@ -1,0 +1,159 @@
+/// \file
+/// Content-addressed storage for CAD stage products.
+///
+/// The ArtifactStore maps ArtifactKeys (cad/fingerprint.hpp) to immutable
+/// stage products: a techmap's MappedDesign, a pack's PackedDesign, a
+/// placement, a routed net list, a programmed bitstream. A flow consults
+/// the store before running each stage (cad/flow.cpp) and publishes after,
+/// so a sweep that re-runs a design with only downstream knobs changed
+/// skips every unchanged upstream stage. The store also memoizes one
+/// RRGraph per architecture — the single biggest shared allocation of a
+/// multi-job grid.
+///
+/// Ownership/threading contract: entries are std::shared_ptr<const T>;
+/// once published an artifact is immutable and may be read by any number
+/// of concurrent flows (a cache hit copies the product into the flow's own
+/// FlowResult). All store operations are internally synchronized; two jobs
+/// racing to publish the same key is benign because equal keys imply
+/// bit-identical products (stages are pure functions of their keys). The
+/// RR cache hands racing builders of the *same* architecture one
+/// shared_future, so a graph is built exactly once per store.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cad/fingerprint.hpp"
+#include "cad/mapped.hpp"
+#include "cad/pack.hpp"
+#include "cad/place.hpp"
+#include "cad/route.hpp"
+#include "core/bitstream.hpp"
+#include "core/rrgraph.hpp"
+
+namespace afpga::base {
+class ThreadPool;
+}
+
+namespace afpga::cad {
+
+/// The route stage's cacheable product: the routing itself plus the
+/// flattened request list the bitstream stage programs from.
+struct RouteArtifact {
+    RoutingResult routing;                   ///< routed trees + telemetry counters
+    std::vector<RouteRequest> reqs;          ///< flattened per-signal requests
+    /// Per request, the consuming cluster of each sink (SIZE_MAX = pad sink).
+    std::vector<std::vector<std::size_t>> sink_cluster;
+    std::vector<netlist::NetId> req_signal;  ///< the signal each request carries
+};
+
+/// The bitstream stage's cacheable product.
+struct BitstreamArtifact {
+    core::Bitstream bits;  ///< the programmed configuration
+    /// Pad index -> primary-I/O name, for simulation and reports.
+    std::unordered_map<std::uint32_t, std::string> pad_names;
+};
+
+/// Thread-safe content-addressed artifact cache; see the file comment for
+/// the ownership contract.
+class ArtifactStore {
+public:
+    /// An empty store.
+    ArtifactStore() = default;
+    ArtifactStore(const ArtifactStore&) = delete;             ///< non-copyable
+    ArtifactStore& operator=(const ArtifactStore&) = delete;  ///< non-copyable
+
+    /// The artifact published under `key`, or nullptr (counted as a miss).
+    /// A type mismatch (possible only on a 64-bit key collision between
+    /// stages, which chain their stage name into the key) is also a miss.
+    template <typename T>
+    [[nodiscard]] std::shared_ptr<const T> get(ArtifactKey key) const {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            if (const auto* p = std::any_cast<std::shared_ptr<const T>>(&it->second)) {
+                ++hits_;
+                return *p;
+            }
+        }
+        ++misses_;
+        return nullptr;
+    }
+
+    /// Publish an artifact. First writer wins; a duplicate publish of the
+    /// same key is dropped (equal keys imply equal content).
+    template <typename T>
+    void put(ArtifactKey key, std::shared_ptr<const T> value) {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.emplace(key, std::move(value));
+    }
+
+    /// In-flight deduplication, so a concurrently submitted cold grid
+    /// computes each shared stage once instead of once per worker: true
+    /// means the caller owns the computation of `key` (it MUST call
+    /// finish_compute afterwards, on success or failure); false means the
+    /// key got published while we waited for another computer — re-get it.
+    /// If a computer fails without publishing, one blocked waiter inherits
+    /// ownership (true) and reproduces the failure for its own job.
+    [[nodiscard]] bool begin_compute(ArtifactKey key);
+    /// Release the computation claim on `key` and wake its waiters.
+    void finish_compute(ArtifactKey key);
+
+    /// Drop every published artifact and memoized RR graph. The store is
+    /// otherwise unbounded — it pins every product ever published — so a
+    /// long-lived FlowService should clear (or swap) its store between
+    /// unrelated sweeps; policy-based eviction is a roadmap item. In-flight
+    /// computations are unaffected: their results publish into the emptied
+    /// store. Hit/miss counters keep counting across clears.
+    void clear();
+
+    /// The routing-resource graph for `arch`, built on first request and
+    /// shared by every subsequent caller (keyed by ArchSpec::fingerprint).
+    /// Racing callers for one architecture block on a single build; `pool`
+    /// (when non-null) parallelizes that build. Marked const because it is
+    /// a cache: the returned graph is immutable either way.
+    [[nodiscard]] std::shared_ptr<const core::RRGraph> rr_for(const core::ArchSpec& arch,
+                                                              base::ThreadPool* pool = nullptr) const;
+    /// True when `arch`'s graph is memoized (or being built right now).
+    /// Lets callers skip creating a build pool they would not use; a stale
+    /// false only costs an idle pool, never correctness.
+    [[nodiscard]] bool has_rr(const core::ArchSpec& arch) const;
+
+    // --- statistics (telemetry; monotonically increasing) -------------------
+    /// Lookups that found a (correctly typed) artifact.
+    [[nodiscard]] std::uint64_t hits() const noexcept;
+    /// Lookups that found nothing.
+    [[nodiscard]] std::uint64_t misses() const noexcept;
+    /// Artifacts currently published.
+    [[nodiscard]] std::size_t num_artifacts() const noexcept;
+    /// Architectures with a memoized RR graph.
+    [[nodiscard]] std::size_t num_rr_graphs() const noexcept;
+
+private:
+    mutable std::mutex mu_;
+    std::unordered_map<ArtifactKey, std::any> map_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+
+    /// One entry per key currently being computed (begin_compute /
+    /// finish_compute); waiters block on the future outside the lock.
+    struct Inflight {
+        std::shared_ptr<std::promise<void>> done;
+        std::shared_future<void> wait;
+    };
+    std::unordered_map<ArtifactKey, Inflight> inflight_;
+
+    // RR memo: a future per architecture so concurrent first requests build
+    // once and everyone else waits for that build instead of duplicating it.
+    mutable std::mutex rr_mu_;
+    mutable std::unordered_map<std::uint64_t,
+                               std::shared_future<std::shared_ptr<const core::RRGraph>>>
+        rr_;
+};
+
+}  // namespace afpga::cad

@@ -1,7 +1,5 @@
 #include "cad/batch.hpp"
 
-#include <future>
-#include <memory>
 #include <utility>
 
 #include "base/check.hpp"
@@ -12,14 +10,22 @@ namespace afpga::cad {
 
 using base::check;
 
+namespace {
+
+FlowServiceOptions service_options(const BatchOptions& opts) {
+    FlowServiceOptions so;
+    so.threads = opts.threads;
+    so.share_artifacts = false;  // closed batches re-measure real work
+    so.share_rr = opts.share_rr;
+    return so;
+}
+
+}  // namespace
+
 BatchFlowRunner::BatchFlowRunner(const core::ArchSpec& arch, BatchOptions opts)
-    : arch_(arch),
-      opts_(opts),
-      threads_(opts.threads != 0 ? opts.threads
-                                 : static_cast<unsigned>(base::ThreadPool::default_workers())),
-      pool_(threads_) {
+    : arch_(arch), opts_(opts), service_(service_options(opts)) {
     arch_.validate();
-    if (opts_.share_rr) shared_rr_ = std::make_shared<core::RRGraph>(arch_);
+    if (opts_.share_rr) (void)service_.prewarm_rr(arch_);
 }
 
 std::vector<BatchJobResult> BatchFlowRunner::run(const std::vector<BatchJob>& jobs) {
@@ -27,30 +33,33 @@ std::vector<BatchJobResult> BatchFlowRunner::run(const std::vector<BatchJob>& jo
         check(j.nl != nullptr && j.hints != nullptr,
               "batch: job '" + j.name + "' has no netlist or hints");
 
-    std::vector<std::future<BatchJobResult>> futs;
-    futs.reserve(jobs.size());
-    base::WallTimer batch_timer;
+    std::vector<FlowJob> grid;
+    grid.reserve(jobs.size());
     for (const BatchJob& job : jobs) {
-        futs.push_back(pool_.submit([this, &job] {
-            BatchJobResult r;
-            r.name = job.name;
-            FlowOptions o = job.opts;
-            o.prebuilt_rr = shared_rr_;  // nullptr when sharing is off
-            base::WallTimer t;
-            try {
-                r.result = run_flow(*job.nl, *job.hints, arch_, o);
-                r.ok = true;
-            } catch (const std::exception& e) {
-                r.error = e.what();
-            }
-            r.wall_ms = t.elapsed_ms();
-            return r;
-        }));
+        FlowJob fj;
+        fj.name = job.name;
+        fj.nl = job.nl;
+        fj.hints = job.hints;
+        fj.arch = arch_;
+        fj.opts = job.opts;
+        fj.opts.prebuilt_rr = nullptr;  // the service injects its own when sharing
+        grid.push_back(std::move(fj));
     }
 
+    base::WallTimer batch_timer;
+    const std::vector<FlowJobId> ids = service_.submit_grid(std::move(grid));
     std::vector<BatchJobResult> out;
-    out.reserve(jobs.size());
-    for (auto& f : futs) out.push_back(f.get());
+    out.reserve(ids.size());
+    for (FlowJobId id : ids) {
+        FlowJobResult r = service_.take(id);
+        BatchJobResult b;
+        b.name = std::move(r.name);
+        b.ok = r.status == FlowJobStatus::Ok;
+        b.error = std::move(r.error);
+        b.result = std::move(r.result);
+        b.wall_ms = r.wall_ms;
+        out.push_back(std::move(b));
+    }
     last_batch_ms_ = batch_timer.elapsed_ms();
     return out;
 }
@@ -61,7 +70,7 @@ std::string BatchFlowRunner::report_json(const std::vector<BatchJobResult>& resu
 
     base::JsonWriter w;
     w.begin_object();
-    w.key("threads").value(std::uint64_t{threads_});
+    w.key("threads").value(std::uint64_t{threads()});
     w.key("share_rr").value(opts_.share_rr);
     w.key("jobs_total").value(std::uint64_t{results.size()});
     w.key("jobs_ok").value(std::uint64_t{ok});

@@ -1,6 +1,14 @@
 /// \file
 /// Concurrent batch execution of independent CAD flows.
 ///
+/// BatchFlowRunner is the closed-batch adapter over the persistent
+/// FlowService (cad/flow_service.hpp): one architecture, one job list, one
+/// blocking run(). It keeps the pre-service semantics exactly — no
+/// cross-job artifact caching (every rep of a bench re-measures real work);
+/// only the immutable RR graph is amortized, built once at construction
+/// when share_rr is on. Use a FlowService directly for long-lived queues,
+/// mixed-architecture grids and warm artifact reuse.
+///
 /// Ownership model (threading): the ArchSpec (copied into the runner) and
 /// the prebuilt RRGraph are shared and strictly read-only across jobs;
 /// everything mutable — FlowContext, FlowResult, every stage's scratch
@@ -13,8 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "base/threadpool.hpp"
-#include "cad/flow.hpp"
+#include "cad/flow_service.hpp"
 
 namespace afpga::cad {
 
@@ -61,7 +68,7 @@ public:
     [[nodiscard]] std::vector<BatchJobResult> run(const std::vector<BatchJob>& jobs);
 
     [[nodiscard]] const core::ArchSpec& arch() const noexcept { return arch_; }
-    [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+    [[nodiscard]] unsigned threads() const noexcept { return service_.threads(); }
     /// Wall time of the most recent run() (queue + compute, for throughput).
     [[nodiscard]] double last_batch_ms() const noexcept { return last_batch_ms_; }
 
@@ -72,11 +79,12 @@ public:
 private:
     core::ArchSpec arch_;
     BatchOptions opts_;
-    unsigned threads_ = 0;        ///< resolved pool size
-    /// Built once at construction (share_rr): every run()'s jobs reuse it,
-    /// the way a flow server amortizes its architecture state.
-    std::shared_ptr<const core::RRGraph> shared_rr_;
-    base::ThreadPool pool_;
+    /// The execution engine: jobs are submitted as one grid and collected
+    /// in submit order. Artifact sharing is off (see the file comment); the
+    /// runner prewarms the service's RR graph for `arch_` at construction
+    /// when share_rr is on, the way a flow server amortizes its
+    /// architecture state.
+    FlowService service_;
     double last_batch_ms_ = 0.0;
 };
 

@@ -1,0 +1,109 @@
+#include "cad/fingerprint.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace afpga::cad {
+
+Fingerprint& Fingerprint::mix_word(std::uint64_t v) noexcept {
+    // splitmix64 finalizer over (state ^ input): order-sensitive and
+    // avalanche-complete, so single-field edits flip the digest.
+    std::uint64_t z = h_ ^ (v + 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    h_ = z ^ (z >> 31);
+    return *this;
+}
+
+Fingerprint& Fingerprint::mix(double v) noexcept {
+    return mix_word(std::bit_cast<std::uint64_t>(v));
+}
+
+Fingerprint& Fingerprint::mix(std::string_view s) noexcept {
+    mix_word(s.size());
+    // Pack 8 bytes per word; the length prefix disambiguates the tail.
+    std::uint64_t word = 0;
+    int n = 0;
+    for (unsigned char c : s) {
+        word = (word << 8) | c;
+        if (++n == 8) {
+            mix_word(word);
+            word = 0;
+            n = 0;
+        }
+    }
+    if (n) mix_word(word);
+    return *this;
+}
+
+ArtifactKey chain_key(ArtifactKey upstream, std::string_view stage,
+                      std::uint64_t stage_fp) noexcept {
+    Fingerprint f;
+    f.mix(upstream).mix(stage).mix(stage_fp);
+    return f.digest();
+}
+
+std::string key_hex(ArtifactKey key) {
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(key));
+    return buf;
+}
+
+namespace {
+
+void mix_table(Fingerprint& f, const netlist::TruthTable& tt) {
+    f.mix(tt.arity());
+    // Row bits packed 64 per word (arity is bounded by kMaxArity = 16).
+    std::uint64_t word = 0;
+    int n = 0;
+    for (std::uint32_t m = 0; m < tt.rows(); ++m) {
+        word = (word << 1) | (tt.eval(m) ? 1u : 0u);
+        if (++n == 64) {
+            f.mix(word);
+            word = 0;
+            n = 0;
+        }
+    }
+    if (n) f.mix(word);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_netlist(const netlist::Netlist& nl) {
+    Fingerprint f;
+    f.mix(nl.name());
+    f.mix(nl.num_cells());
+    for (netlist::CellId id : nl.cell_ids()) {
+        const netlist::Cell& c = nl.cell(id);
+        f.mix(c.func).mix(c.name).mix(c.output.value());
+        f.mix(c.inputs.size());
+        for (netlist::NetId in : c.inputs) f.mix(in.value());
+        f.mix(c.table.has_value());
+        if (c.table) mix_table(f, *c.table);
+        f.mix(c.delay_ps.has_value());
+        if (c.delay_ps) f.mix(*c.delay_ps);
+    }
+    // Net names matter (pad assignment and testbench lookup are by name);
+    // driver/sink structure is implied by the cell list above.
+    f.mix(nl.num_nets());
+    for (netlist::NetId id : nl.net_ids()) {
+        const netlist::Net& net = nl.net(id);
+        f.mix(net.name).mix(net.is_primary_input);
+    }
+    f.mix(nl.primary_inputs().size());
+    for (netlist::NetId pi : nl.primary_inputs()) f.mix(pi.value());
+    f.mix(nl.primary_outputs().size());
+    for (const auto& [name, net] : nl.primary_outputs()) f.mix(name).mix(net.value());
+    return f.digest();
+}
+
+std::uint64_t fingerprint_hints(const asynclib::MappingHints& hints) {
+    Fingerprint f;
+    f.mix(hints.rail_pairs.size());
+    for (const auto& [t, fl] : hints.rail_pairs) f.mix(t.value()).mix(fl.value());
+    f.mix(hints.validity_nets.size());
+    for (netlist::NetId v : hints.validity_nets) f.mix(v.value());
+    return f.digest();
+}
+
+}  // namespace afpga::cad

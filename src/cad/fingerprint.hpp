@@ -1,0 +1,73 @@
+/// \file
+/// Deterministic fingerprints for content-addressed stage artifacts.
+///
+/// Every stage product in the CAD flow is cached under an ArtifactKey: a
+/// 64-bit digest of everything the stage's output is a function of — the
+/// source netlist, the mapping hints, the architecture, the stage's own
+/// option struct, the master seed, and (through key chaining) every
+/// upstream stage's key. Two flows that would compute bit-identical
+/// products therefore derive the same key, and a key match is safe to
+/// treat as "skip the stage": every flow stage is a pure function of the
+/// fingerprinted inputs.
+///
+/// Threading: Fingerprint is single-owner mutable state; the free
+/// fingerprint_* functions are pure and callable from any thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "asynclib/styles.hpp"
+#include "netlist/netlist.hpp"
+
+namespace afpga::cad {
+
+/// Content-address of one stage artifact (hex-printed in telemetry).
+using ArtifactKey = std::uint64_t;
+
+/// Order-sensitive 64-bit hash accumulator. The mixing function is fixed
+/// forever in spirit — keys are only compared within one process today, but
+/// tests pin digests so an accidental change fails loudly.
+class Fingerprint {
+public:
+    /// Mix one integral (or enum, or bool) value.
+    template <typename T>
+        requires(std::is_integral_v<T> || std::is_enum_v<T>)
+    Fingerprint& mix(T v) noexcept {
+        return mix_word(static_cast<std::uint64_t>(v));
+    }
+    /// Mix a double by exact bit pattern (so 0.5 != 0.25, -0.0 != 0.0).
+    Fingerprint& mix(double v) noexcept;
+    /// Mix a string: length then bytes (prefix-unambiguous).
+    Fingerprint& mix(std::string_view s) noexcept;
+
+    /// The accumulated digest.
+    [[nodiscard]] ArtifactKey digest() const noexcept { return h_; }
+
+private:
+    Fingerprint& mix_word(std::uint64_t v) noexcept;
+    std::uint64_t h_ = 0xC0FFEE'D15EA5E5ULL;
+};
+
+/// Derive a downstream stage's key from its upstream key, its stage name
+/// and its own option fingerprint — the dependency chaining that makes a
+/// change anywhere upstream invalidate everything below it.
+[[nodiscard]] ArtifactKey chain_key(ArtifactKey upstream, std::string_view stage,
+                                    std::uint64_t stage_fp) noexcept;
+
+/// "0x%016x" rendering used by telemetry and reports.
+[[nodiscard]] std::string key_hex(ArtifactKey key);
+
+/// Content hash of a gate-level netlist: cells (function, name, table,
+/// delay, connectivity), net names and the primary I/O lists. Everything
+/// the flow reads is covered, so equal fingerprints mean the flow cannot
+/// distinguish the two netlists.
+[[nodiscard]] std::uint64_t fingerprint_netlist(const netlist::Netlist& nl);
+
+/// Content hash of the generator's mapping hints (rail pairs + validity
+/// nets, order-sensitive — techmap consumes them in order).
+[[nodiscard]] std::uint64_t fingerprint_hints(const asynclib::MappingHints& hints);
+
+}  // namespace afpga::cad

@@ -29,6 +29,8 @@
 
 namespace afpga::cad {
 
+class ArtifactStore;
+
 /// Every knob of the five-stage flow.
 struct FlowOptions {
     std::uint64_t seed = 1;   ///< master seed (placement derives from it)
@@ -48,6 +50,20 @@ struct FlowOptions {
     /// shares it across all concurrent jobs. Its ArchSpec fingerprint must
     /// match the arch passed to run_flow.
     std::shared_ptr<const core::RRGraph> prebuilt_rr;
+    /// Content-addressed stage cache (cad/artifact.hpp). When set, every
+    /// stage consults the store before running and publishes after, so a
+    /// re-run that changes only downstream knobs skips the unchanged
+    /// upstream stages; telemetry records the per-stage key and hit/miss.
+    /// nullptr (the default) disables caching — behaviour and results are
+    /// identical either way, caching only skips redundant recomputation.
+    std::shared_ptr<ArtifactStore> artifact_store;
+
+    /// Canonical content hash over every SEMANTIC field: the master seed and
+    /// all stage option structs. `prebuilt_rr` and `artifact_store` are
+    /// excluded — they change where products come from, never what they
+    /// are. The implementation pins the struct size so new fields fail
+    /// loudly.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
 /// Everything the flow produced; enough to elaborate, simulate and report.

@@ -1,0 +1,255 @@
+#include "cad/flow_service.hpp"
+
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "base/check.hpp"
+#include "base/json.hpp"
+
+namespace afpga::cad {
+
+using base::check;
+
+std::string to_string(FlowJobStatus s) {
+    switch (s) {
+        case FlowJobStatus::Queued: return "queued";
+        case FlowJobStatus::Running: return "running";
+        case FlowJobStatus::Ok: return "ok";
+        case FlowJobStatus::Failed: return "failed";
+        case FlowJobStatus::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+FlowService::FlowService(FlowServiceOptions opts)
+    : opts_(opts),
+      threads_(opts.threads != 0 ? opts.threads
+                                 : static_cast<unsigned>(base::ThreadPool::default_workers())),
+      store_(std::make_shared<ArtifactStore>()),
+      pool_(threads_) {
+    // Make the single-core-container caveat machine-detectable: a pool wider
+    // than the hardware can only time-slice, so wall-clock "speedups"
+    // measured that way are noise.
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw != 0 && threads_ > hw)
+        std::fprintf(stderr,
+                     "flow_service: WARNING: %u workers on %u hardware threads — "
+                     "oversubscribed, wall-clock scaling numbers are unreliable\n",
+                     threads_, hw);
+}
+
+FlowService::~FlowService() = default;
+
+FlowJobId FlowService::submit(FlowJob job) {
+    check(job.nl != nullptr, "flow_service: job '" + job.name + "' has no netlist");
+    job.arch.validate();
+    Job* slot = nullptr;
+    FlowJobId id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        id = jobs_.size();
+        jobs_.push_back(std::make_unique<Job>());
+        slot = jobs_.back().get();
+        slot->spec = std::move(job);
+        slot->result.name = slot->spec.name;
+        slot->queued.reset();
+    }
+    pool_.submit([this, slot] { execute(*slot); });
+    return id;
+}
+
+std::vector<FlowJobId> FlowService::submit_grid(std::vector<FlowJob> jobs) {
+    // Validate the whole grid before enqueueing any of it: a mid-loop throw
+    // would discard the handles of already-running jobs, stranding their
+    // borrowed netlists.
+    for (const FlowJob& j : jobs) {
+        check(j.nl != nullptr, "flow_service: job '" + j.name + "' has no netlist");
+        j.arch.validate();
+    }
+    std::vector<FlowJobId> ids;
+    ids.reserve(jobs.size());
+    for (FlowJob& j : jobs) ids.push_back(submit(std::move(j)));
+    return ids;
+}
+
+void FlowService::execute(Job& job) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (job.result.status == FlowJobStatus::Cancelled) {
+            cv_.notify_all();
+            return;
+        }
+        job.result.status = FlowJobStatus::Running;
+        job.result.queue_ms = job.queued.elapsed_ms();
+    }
+
+    static const asynclib::MappingHints kNoHints;
+    const asynclib::MappingHints& hints = job.spec.hints ? *job.spec.hints : kNoHints;
+
+    FlowJobStatus status = FlowJobStatus::Ok;
+    std::string error;
+    FlowResult fr;
+    base::WallTimer t;
+    try {
+        // Wire the service's shared state into the job's options. Jobs that
+        // brought their own store/graph keep them. This sits inside the try
+        // because rr_for propagates RR-build failures — they must land in
+        // the Failed path, never escape into the pool (a swallowed escape
+        // would leave the job Running and wait() blocked forever).
+        FlowOptions o = job.spec.opts;
+        if (opts_.share_artifacts && !o.artifact_store) o.artifact_store = store_;
+        if (opts_.share_rr && !o.prebuilt_rr) {
+            // First flow of a new architecture builds the shared graph; give
+            // that build the pool width the job's route stage would use.
+            // Jobs whose graph is already memoized skip the pool entirely.
+            std::unique_ptr<base::ThreadPool> rr_pool;
+            if (o.route.threads >= 1 && !store_->has_rr(job.spec.arch))
+                rr_pool = std::make_unique<base::ThreadPool>(o.route.threads);
+            o.prebuilt_rr = store_->rr_for(job.spec.arch, rr_pool.get());
+        }
+        fr = run_flow(*job.spec.nl, hints, job.spec.arch, o);
+    } catch (const std::exception& e) {
+        status = FlowJobStatus::Failed;
+        error = e.what();
+    } catch (...) {
+        // Anything non-std must still land in the Failed path: the pool
+        // future is discarded, so an escape would strand the job in
+        // Running and hang every waiter.
+        status = FlowJobStatus::Failed;
+        error = "non-standard exception";
+    }
+    const double wall_ms = t.elapsed_ms();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job.result.status = status;
+        job.result.error = std::move(error);
+        job.result.result = std::move(fr);
+        job.result.wall_ms = wall_ms;
+    }
+    cv_.notify_all();
+}
+
+namespace {
+
+bool finished(FlowJobStatus s) noexcept {
+    return s == FlowJobStatus::Ok || s == FlowJobStatus::Failed ||
+           s == FlowJobStatus::Cancelled;
+}
+
+}  // namespace
+
+const FlowJobResult& FlowService::wait(FlowJobId id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    check(id < jobs_.size(), "flow_service: unknown job id");
+    Job& job = *jobs_[id];
+    cv_.wait(lock, [&] { return finished(job.result.status); });
+    return job.result;
+}
+
+FlowJobResult FlowService::take(FlowJobId id) {
+    (void)wait(id);
+    std::lock_guard<std::mutex> lock(mu_);
+    Job& job = *jobs_[id];
+    FlowJobResult out = std::move(job.result);
+    // Keep the slot honest for report_json(): label, status, timings and
+    // error text survive; only the heavy FlowResult/telemetry is gone
+    // (reported as "taken"). Drop the borrowed spec too — the job can
+    // never run again, so the slot stops pinning netlist/arch data.
+    job.result.name = out.name;
+    job.result.status = out.status;
+    job.result.error = out.error;
+    job.result.wall_ms = out.wall_ms;
+    job.result.queue_ms = out.queue_ms;
+    job.taken = true;
+    job.spec = FlowJob{};
+    return out;
+}
+
+void FlowService::wait_all() {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Snapshot: wait only for jobs that existed when the call began, so a
+    // producer thread that keeps submitting cannot starve this waiter.
+    const std::size_t upto = jobs_.size();
+    cv_.wait(lock, [&] {
+        for (std::size_t i = 0; i < upto; ++i)
+            if (!finished(jobs_[i]->result.status)) return false;
+        return true;
+    });
+}
+
+bool FlowService::cancel(FlowJobId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    check(id < jobs_.size(), "flow_service: unknown job id");
+    Job& job = *jobs_[id];
+    if (job.result.status != FlowJobStatus::Queued) return false;
+    job.result.status = FlowJobStatus::Cancelled;
+    cv_.notify_all();
+    return true;
+}
+
+std::shared_ptr<const core::RRGraph> FlowService::prewarm_rr(const core::ArchSpec& arch) {
+    return store_->rr_for(arch);
+}
+
+std::size_t FlowService::num_jobs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+}
+
+std::string FlowService::report_json() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    std::size_t pending = 0;
+    for (const auto& j : jobs_) {
+        switch (j->result.status) {
+            case FlowJobStatus::Ok: ++ok; break;
+            case FlowJobStatus::Failed: ++failed; break;
+            case FlowJobStatus::Cancelled: ++cancelled; break;
+            default: ++pending; break;
+        }
+    }
+
+    base::JsonWriter w;
+    w.begin_object();
+    w.key("threads").value(std::uint64_t{threads_});
+    w.key("hardware_concurrency")
+        .value(std::uint64_t{std::thread::hardware_concurrency()});
+    w.key("share_artifacts").value(opts_.share_artifacts);
+    w.key("share_rr").value(opts_.share_rr);
+    w.key("jobs_total").value(std::uint64_t{jobs_.size()});
+    w.key("jobs_ok").value(std::uint64_t{ok});
+    w.key("jobs_failed").value(std::uint64_t{failed});
+    w.key("jobs_cancelled").value(std::uint64_t{cancelled});
+    w.key("jobs_pending").value(std::uint64_t{pending});
+    w.key("artifacts").begin_object();
+    w.key("entries").value(std::uint64_t{store_->num_artifacts()});
+    w.key("rr_graphs").value(std::uint64_t{store_->num_rr_graphs()});
+    w.key("hits").value(store_->hits());
+    w.key("misses").value(store_->misses());
+    w.end_object();
+    w.key("jobs").begin_array();
+    for (const auto& j : jobs_) {
+        const FlowJobResult& r = j->result;
+        w.begin_object();
+        w.key("name").value(r.name);
+        w.key("status").value(to_string(r.status));
+        w.key("wall_ms").value(r.wall_ms);
+        w.key("queue_ms").value(r.queue_ms);
+        if (j->taken) {
+            w.key("taken").value(true);  // result moved out; no telemetry left
+        } else if (r.status == FlowJobStatus::Ok) {
+            w.key("telemetry").raw(r.result.telemetry.to_json());
+        }
+        if (r.status == FlowJobStatus::Failed) w.key("error").value(r.error);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+}
+
+}  // namespace afpga::cad

@@ -1,0 +1,167 @@
+/// \file
+/// FlowService: the persistent flow server.
+///
+/// Where BatchFlowRunner (cad/batch.hpp) executes one closed batch over one
+/// architecture, the FlowService is long-lived: it owns a ThreadPool, a
+/// shared content-addressed ArtifactStore (cad/artifact.hpp) and a memo of
+/// prebuilt RR graphs per architecture, and accepts FlowJobs through a
+/// thread-safe queue for as long as it exists. Experiment grids — many
+/// designs x architectures x seeds x stage knobs — are expressed as job
+/// sets on one service; jobs that share upstream inputs share the cached
+/// techmap/pack/place products, so a warm sweep that varies only downstream
+/// knobs runs at a fraction of the cold cost while producing bit-identical
+/// results.
+///
+/// Ownership/threading contract:
+///  - submit/wait/cancel/report may be called from any thread;
+///  - a job's netlist and hints are borrowed and must stay alive until the
+///    job finishes (wait() or wait_all() returns, or the service dies);
+///  - results are owned by the service; wait() hands out a stable reference,
+///    take() moves the result out;
+///  - destroying the service drains the queue (every non-cancelled job
+///    still runs); cancel first to drop queued work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/threadpool.hpp"
+#include "base/timer.hpp"
+#include "cad/artifact.hpp"
+#include "cad/flow.hpp"
+
+namespace afpga::cad {
+
+/// Service configuration.
+struct FlowServiceOptions {
+    unsigned threads = 0;  ///< pool size; 0 = base::ThreadPool::default_workers()
+    /// Hand every job the service's ArtifactStore so stage products are
+    /// cached and shared across jobs (jobs that set their own store keep it).
+    bool share_artifacts = true;
+    /// Give every job a per-architecture prebuilt RR graph (jobs that set
+    /// their own prebuilt_rr keep it).
+    bool share_rr = true;
+};
+
+/// One design-compile request. The netlist and hints are borrowed.
+struct FlowJob {
+    std::string name;                               ///< label used in results/reports
+    const netlist::Netlist* nl = nullptr;           ///< design (borrowed)
+    const asynclib::MappingHints* hints = nullptr;  ///< optional hints (borrowed)
+    core::ArchSpec arch;                            ///< per-job target architecture
+    FlowOptions opts;                               ///< per-job knobs (seed, stages)
+};
+
+/// Lifecycle of a job inside the service.
+enum class FlowJobStatus : std::uint8_t {
+    Queued,     ///< accepted, not started
+    Running,    ///< a worker is executing it
+    Ok,         ///< finished, result valid
+    Failed,     ///< flow threw; error holds what()
+    Cancelled,  ///< cancelled while still queued; never ran
+};
+
+/// Lower-case status name, as used in report_json().
+[[nodiscard]] std::string to_string(FlowJobStatus s);
+
+/// Outcome of one job.
+struct FlowJobResult {
+    std::string name;                              ///< the job's label
+    FlowJobStatus status = FlowJobStatus::Queued;  ///< where the job is / how it ended
+    std::string error;     ///< what() of the flow's failure when Failed
+    FlowResult result;     ///< valid when Ok
+    double wall_ms = 0.0;  ///< flow execution time (not queue wait)
+    double queue_ms = 0.0; ///< time spent waiting for a worker
+
+    [[nodiscard]] bool ok() const noexcept { return status == FlowJobStatus::Ok; }
+};
+
+/// Handle to a submitted job (dense, in submission order).
+using FlowJobId = std::size_t;
+
+/// The persistent flow server; see the file comment for the contract.
+class FlowService {
+public:
+    /// Start the service: resolves the worker count, creates the shared
+    /// store and spins up the pool. Warns on stderr when the pool is wider
+    /// than the hardware (wall-clock scaling is then time-slicing noise).
+    explicit FlowService(FlowServiceOptions opts = {});
+    /// Drains every non-cancelled job, then joins the pool.
+    ~FlowService();
+
+    FlowService(const FlowService&) = delete;             ///< non-copyable
+    FlowService& operator=(const FlowService&) = delete;  ///< non-copyable
+
+    /// Enqueue one job; returns immediately with its handle.
+    FlowJobId submit(FlowJob job);
+    /// Enqueue a whole grid; handles are in `jobs` order.
+    std::vector<FlowJobId> submit_grid(std::vector<FlowJob> jobs);
+
+    /// Block until the job leaves the queue machinery (Ok/Failed/Cancelled).
+    /// The reference stays valid for the service's lifetime — unless the
+    /// job is later take()n, which hollows the slot out.
+    const FlowJobResult& wait(FlowJobId id);
+    /// wait(), then move the result out (used by adapters that hand results
+    /// to their own callers). The slot keeps its label/status/timings/error
+    /// for report_json() — which marks it `"taken": true` and omits the
+    /// telemetry — and releases the borrowed netlist/arch; a second take()
+    /// returns that hollow shell.
+    [[nodiscard]] FlowJobResult take(FlowJobId id);
+    /// Block until every job submitted BEFORE this call is finished (a
+    /// snapshot — concurrent submitters cannot starve the waiter).
+    void wait_all();
+
+    /// Cancel a job that has not started. True if it was still queued (it
+    /// will never run); false if it is already running or done.
+    bool cancel(FlowJobId id);
+
+    /// Build (or fetch) the shared RR graph of `arch` now instead of inside
+    /// the first job that needs it; returns it for callers that want to
+    /// hand the same graph elsewhere.
+    std::shared_ptr<const core::RRGraph> prewarm_rr(const core::ArchSpec& arch);
+
+    /// The shared artifact cache (always present; jobs only use it when
+    /// share_artifacts is on or their options carry it explicitly).
+    [[nodiscard]] ArtifactStore& store() noexcept { return *store_; }
+    /// Read-only view of the shared artifact cache.
+    [[nodiscard]] const ArtifactStore& store() const noexcept { return *store_; }
+
+    /// Resolved worker-pool size.
+    [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+    /// Jobs submitted so far (any status).
+    [[nodiscard]] std::size_t num_jobs() const;
+
+    /// Aggregated JSON report over every job submitted so far: service
+    /// configuration, hardware vs effective parallelism, job status
+    /// counters, artifact-store statistics and the per-job telemetry
+    /// (schema: docs/TELEMETRY.md).
+    [[nodiscard]] std::string report_json() const;
+
+private:
+    struct Job {
+        FlowJob spec;
+        FlowJobResult result;
+        base::WallTimer queued;  ///< started at submit; read once at start
+        bool taken = false;      ///< result moved out via take()
+    };
+
+    void execute(Job& job);
+
+    FlowServiceOptions opts_;
+    unsigned threads_ = 0;  ///< resolved pool size
+    std::shared_ptr<ArtifactStore> store_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::unique_ptr<Job>> jobs_;  ///< id = index; slots never move
+
+    /// Last member: its destructor drains the queue while everything above
+    /// (store, job slots) is still alive.
+    base::ThreadPool pool_;
+};
+
+}  // namespace afpga::cad

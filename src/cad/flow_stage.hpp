@@ -22,6 +22,7 @@
 
 namespace afpga::cad {
 
+class ArtifactStore;
 struct FlowOptions;
 struct FlowResult;
 
@@ -34,6 +35,11 @@ struct StageReport {
     int iterations = 0;     ///< anneal rounds / PathFinder iterations, else 0
     std::vector<double> cost_trajectory;  ///< per-iteration cost (HPWL / overuse)
     std::vector<std::pair<std::string, double>> metrics;  ///< insertion-ordered
+
+    // Artifact caching (set only when the flow runs with an ArtifactStore;
+    // see docs/TELEMETRY.md).
+    std::string cache_key;  ///< hex artifact key of this stage; empty = caching off
+    int cache_hit = -1;     ///< 1 = restored from the store, 0 = computed, -1 = off
 
     /// Append a named metric.
     void add_metric(std::string name, double v) {
@@ -74,7 +80,16 @@ struct FlowContext {
 
 /// One pipeline stage. The five concrete stages are internal to flow.cpp;
 /// the interface is public so the driver's contract (name + timed run over
-/// a shared context) is visible alongside StageReport/FlowTelemetry.
+/// a shared context, plus the artifact-cache hooks) is visible alongside
+/// StageReport/FlowTelemetry.
+///
+/// Caching contract: when the flow carries an ArtifactStore, the driver
+/// derives this stage's key by chaining the upstream stage's key with
+/// `name()` and `options_fingerprint()`, then calls `try_restore`; only on
+/// a miss does it `run` and `publish`. A stage must therefore be a pure
+/// function of its fingerprinted inputs, and restore must leave the
+/// context exactly as a run would have (cold and warm flows are
+/// bit-identical).
 class FlowStage {
 public:
     virtual ~FlowStage() = default;
@@ -82,6 +97,17 @@ public:
     /// Do the work; fill iteration counts/trajectory/metrics into `report`
     /// (wall_ms is stamped by the pipeline driver).
     virtual void run(FlowContext& ctx, StageReport& report) = 0;
+
+    /// Hash of every stage input that is NOT covered by the upstream key
+    /// chain (the stage's option struct, plus the master seed / arch for
+    /// the first stage that consumes them). Default: no extra inputs.
+    [[nodiscard]] virtual std::uint64_t options_fingerprint(const FlowContext& ctx) const;
+    /// Restore this stage's products from the store into the context;
+    /// false = not cached (the default for stages without cache support).
+    [[nodiscard]] virtual bool try_restore(FlowContext& ctx, const ArtifactStore& store,
+                                           std::uint64_t key, StageReport& report);
+    /// Publish this stage's products under `key` after a successful run.
+    virtual void publish(const FlowContext& ctx, ArtifactStore& store, std::uint64_t key) const;
 };
 
 }  // namespace afpga::cad

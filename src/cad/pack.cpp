@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "base/check.hpp"
+#include "cad/fingerprint.hpp"
 
 namespace afpga::cad {
 
@@ -189,6 +190,14 @@ PackedDesign pack(const MappedDesign& md, const core::ArchSpec& arch, const Pack
         pd.cluster_of_pde[pi] = chosen;
     }
     return pd;
+}
+
+std::uint64_t PackOptions::fingerprint() const noexcept {
+    static_assert(sizeof(PackOptions) == 1,
+                  "PackOptions changed: update fingerprint() and this assert");
+    Fingerprint f;
+    f.mix(affinity_clustering);
+    return f.digest();
 }
 
 }  // namespace afpga::cad

@@ -7,6 +7,7 @@
 #include "base/rng.hpp"
 #include "base/threadpool.hpp"
 #include "base/timer.hpp"
+#include "cad/fingerprint.hpp"
 #include "cad/place_cost.hpp"
 
 namespace afpga::cad {
@@ -491,6 +492,20 @@ double placement_wirelength(const PackedDesign& pd, const MappedDesign& md,
         total += (xmax - xmin) + (ymax - ymin);
     }
     return total;
+}
+
+std::uint64_t PlaceOptions::fingerprint() const noexcept {
+    static_assert(sizeof(PlaceOptions) == 40,
+                  "PlaceOptions changed: update fingerprint() and this assert");
+    Fingerprint f;
+    f.mix(seed)
+        .mix(alpha)
+        .mix(moves_scale)
+        .mix(anneal)
+        .mix(incremental)
+        .mix(parallel_seeds)
+        .mix(threads);
+    return f.digest();
 }
 
 }  // namespace afpga::cad

@@ -62,6 +62,12 @@ struct PlaceOptions {
     int parallel_seeds = 1;
     /// Pool size for the race; 0 = base::ThreadPool::default_workers().
     unsigned threads = 0;
+
+    /// Canonical content hash over EVERY field (artifact-key material); the
+    /// implementation pins the struct size so new fields fail loudly.
+    /// `threads` never changes the winner but is included anyway — the
+    /// canonical rule is "every field", and a spurious miss is always safe.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
 /// Throws base::Error if the design does not fit (clusters > W*H or I/Os >

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "cad/fingerprint.hpp"
 #include "cad/route_search.hpp"
 
 namespace afpga::cad {
@@ -134,6 +135,24 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
 
     detail::finalize_routing(rr, reqs, net_nodes, result);
     return result;
+}
+
+std::uint64_t RouterOptions::fingerprint() const noexcept {
+    static_assert(sizeof(RouterOptions) == 64,
+                  "RouterOptions changed: update fingerprint() and this assert");
+    Fingerprint f;
+    f.mix(max_iterations)
+        .mix(pres_fac_first)
+        .mix(pres_fac_mult)
+        .mix(hist_fac)
+        .mix(astar_fac)
+        .mix(incremental)
+        .mix(stall_full_reroute)
+        .mix(verbose)
+        .mix(threads)
+        .mix(bin_margin)
+        .mix(min_bin_dim);
+    return f.digest();
 }
 
 }  // namespace afpga::cad

@@ -89,6 +89,13 @@ struct RouterOptions {
     /// Stop splitting a partition region when neither side of a cut would
     /// keep at least this many PLB columns/rows.
     std::uint32_t min_bin_dim = 4;
+
+    /// Canonical content hash over EVERY field (artifact-key material); the
+    /// implementation pins the struct size so new fields fail loudly.
+    /// `threads`/`verbose` never change the routing (bit-identical for any
+    /// worker count) but are included anyway — the canonical rule is "every
+    /// field", and a spurious miss is always safe.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
 /// Everything the router decided plus its telemetry counters.

@@ -4,6 +4,14 @@
 
 namespace afpga::cad {
 
+// Cache-transparent defaults: a stage that does not override the hooks has
+// no extra key material, is never restored, and publishes nothing.
+std::uint64_t FlowStage::options_fingerprint(const FlowContext&) const { return 0; }
+bool FlowStage::try_restore(FlowContext&, const ArtifactStore&, std::uint64_t, StageReport&) {
+    return false;
+}
+void FlowStage::publish(const FlowContext&, ArtifactStore&, std::uint64_t) const {}
+
 const double* StageReport::metric(std::string_view name) const {
     for (const auto& [k, v] : metrics)
         if (k == name) return &v;
@@ -26,6 +34,10 @@ std::string FlowTelemetry::to_json() const {
         w.key("stage").value(s.stage);
         w.key("wall_ms").value(s.wall_ms);
         w.key("iterations").value(s.iterations);
+        if (!s.cache_key.empty()) {
+            w.key("key").value(s.cache_key);
+            w.key("cache_hit").value(s.cache_hit == 1);
+        }
         if (!s.cost_trajectory.empty()) {
             w.key("cost_trajectory").begin_array();
             for (double c : s.cost_trajectory) w.value(c);

@@ -2,6 +2,8 @@
 
 #include "base/check.hpp"
 #include "cad/techmap.hpp"
+#include "eval/metrics.hpp"
+#include "eval/sweep.hpp"
 
 namespace afpga::eval {
 
@@ -66,6 +68,44 @@ Lut4MapResult map_to_lut4(const netlist::Netlist& nl, std::int64_t lut4_delay_ps
                             : 0.0;
     r.clbs = (r.luts + 1) / 2;
     return r;
+}
+
+std::vector<BaselineComparison> compare_designs(cad::FlowService& svc,
+                                                const std::vector<BaselineDesign>& designs,
+                                                const core::ArchSpec& arch,
+                                                const cad::FlowOptions& opts) {
+    std::vector<cad::FlowJob> jobs;
+    jobs.reserve(designs.size());
+    for (const BaselineDesign& d : designs) {
+        cad::FlowJob j;
+        j.name = d.name;
+        j.nl = d.nl;
+        j.hints = d.hints;
+        j.arch = arch;
+        j.opts = opts;
+        jobs.push_back(std::move(j));
+    }
+    const auto results = run_grid(svc, std::move(jobs));
+
+    std::vector<BaselineComparison> rows;
+    rows.reserve(designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        base::check(results[i]->ok(), "compare_designs: flow failed for '" +
+                                          designs[i].name + "': " + results[i]->error);
+        const FillingRatio f = filling_ratio(results[i]->result);
+        BaselineComparison row;
+        row.design = designs[i].name;
+        row.our_les = f.used_les;
+        row.our_plbs = f.occupied_plbs;
+        row.lut4 = map_to_lut4(*designs[i].nl);
+        // An LE provides two LUT6 halves; a CLB of the baseline provides
+        // two LUT4s.
+        row.overhead_factor = row.our_les ? static_cast<double>(row.lut4.luts) /
+                                                static_cast<double>(2 * row.our_les)
+                                          : 0.0;
+        rows.push_back(std::move(row));
+    }
+    return rows;
 }
 
 }  // namespace afpga::eval

@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "asynclib/styles.hpp"
+#include "cad/flow_service.hpp"
 #include "netlist/netlist.hpp"
 
 namespace afpga::eval {
@@ -45,5 +47,23 @@ struct BaselineComparison {
     /// LUT4 cells per LE-equivalent (an LE is two LUT6 halves + LUT2).
     double overhead_factor = 0.0;
 };
+
+/// One design of a baseline-comparison grid. Netlist and hints are
+/// borrowed; they must stay alive until compare_designs returns.
+struct BaselineDesign {
+    std::string name;
+    const netlist::Netlist* nl = nullptr;
+    const asynclib::MappingHints* hints = nullptr;  ///< optional
+};
+
+/// Build the paper's our-fabric-vs-LUT4 comparison for a whole design set:
+/// every design is compiled on `arch` as one FlowJob on `svc` (so the grid
+/// runs at machine width and shares cached stage products), then mapped to
+/// the LUT4 baseline. Rows come back in `designs` order. Throws
+/// base::Error when any flow fails — the comparison needs every design
+/// implemented.
+[[nodiscard]] std::vector<BaselineComparison> compare_designs(
+    cad::FlowService& svc, const std::vector<BaselineDesign>& designs,
+    const core::ArchSpec& arch, const cad::FlowOptions& opts = {});
 
 }  // namespace afpga::eval

@@ -1,0 +1,16 @@
+#include "eval/sweep.hpp"
+
+#include <utility>
+
+namespace afpga::eval {
+
+std::vector<const cad::FlowJobResult*> run_grid(cad::FlowService& svc,
+                                                std::vector<cad::FlowJob> jobs) {
+    const std::vector<cad::FlowJobId> ids = svc.submit_grid(std::move(jobs));
+    std::vector<const cad::FlowJobResult*> out;
+    out.reserve(ids.size());
+    for (cad::FlowJobId id : ids) out.push_back(&svc.wait(id));
+    return out;
+}
+
+}  // namespace afpga::eval

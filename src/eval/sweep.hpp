@@ -1,0 +1,28 @@
+/// \file
+/// Experiment-grid execution over the FlowService.
+///
+/// The paper's tables are grids — designs x architectures x styles x seeds.
+/// Benches express each grid as a FlowJob set, push it through one shared
+/// FlowService (machine-width parallelism, per-arch RR reuse, cross-job
+/// artifact caching) and read the results back in submit order, so the
+/// table-building code stays a simple loop while the compiles saturate the
+/// hardware.
+///
+/// Threading: run_grid blocks until the whole grid is finished; the
+/// returned pointers alias the service's result slots and stay valid for
+/// the service's lifetime.
+#pragma once
+
+#include <vector>
+
+#include "cad/flow_service.hpp"
+
+namespace afpga::eval {
+
+/// Submit `jobs` to `svc`, block until all finish, and return the results
+/// in job order. Failures are reported per job (FlowJobStatus::Failed),
+/// never thrown.
+[[nodiscard]] std::vector<const cad::FlowJobResult*> run_grid(cad::FlowService& svc,
+                                                              std::vector<cad::FlowJob> jobs);
+
+}  // namespace afpga::eval

@@ -1,0 +1,259 @@
+// The content-addressing layer: Fingerprint/key hygiene, netlist and
+// option-struct fingerprints (the exhaustive-field regression the artifact
+// cache's soundness rests on), and ArtifactStore semantics including the
+// per-architecture RR memo.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "asynclib/adders.hpp"
+#include "cad/artifact.hpp"
+#include "cad/fingerprint.hpp"
+#include "cad/flow.hpp"
+#include "core/archspec.hpp"
+
+namespace {
+
+using namespace afpga;
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, OrderAndValueSensitive) {
+    auto digest = [](auto... vs) {
+        cad::Fingerprint f;
+        (f.mix(vs), ...);
+        return f.digest();
+    };
+    EXPECT_NE(digest(1, 2), digest(2, 1));
+    EXPECT_NE(digest(1), digest(1, 0));
+    EXPECT_NE(digest(0.5), digest(0.25));
+    EXPECT_NE(digest(-0.0), digest(0.0));  // exact bit patterns
+    EXPECT_EQ(digest(std::uint64_t{7}, true), digest(std::uint64_t{7}, true));
+}
+
+TEST(Fingerprint, StringsArePrefixUnambiguous) {
+    auto digest = [](std::string_view a, std::string_view b) {
+        cad::Fingerprint f;
+        f.mix(a).mix(b);
+        return f.digest();
+    };
+    EXPECT_NE(digest("ab", "c"), digest("a", "bc"));
+    EXPECT_NE(digest("", "x"), digest("x", ""));
+    EXPECT_EQ(digest("route", "x"), digest("route", "x"));
+}
+
+TEST(Fingerprint, ChainKeyDependsOnEveryPart) {
+    const cad::ArtifactKey base = 0x1234;
+    const cad::ArtifactKey k = cad::chain_key(base, "pack", 7);
+    EXPECT_NE(k, cad::chain_key(base + 1, "pack", 7));
+    EXPECT_NE(k, cad::chain_key(base, "place", 7));
+    EXPECT_NE(k, cad::chain_key(base, "pack", 8));
+    EXPECT_EQ(k, cad::chain_key(0x1234, "pack", 7));
+}
+
+// ---------------------------------------------------------------------------
+// Netlist / hints fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(NetlistFingerprint, DeterministicAcrossGeneratorRuns) {
+    const auto a = asynclib::make_qdi_adder(2);
+    const auto b = asynclib::make_qdi_adder(2);
+    EXPECT_EQ(cad::fingerprint_netlist(a.nl), cad::fingerprint_netlist(b.nl));
+    EXPECT_EQ(cad::fingerprint_hints(a.hints), cad::fingerprint_hints(b.hints));
+}
+
+TEST(NetlistFingerprint, DistinguishesDesignsAndHints) {
+    const auto a2 = asynclib::make_qdi_adder(2);
+    const auto a3 = asynclib::make_qdi_adder(3);
+    EXPECT_NE(cad::fingerprint_netlist(a2.nl), cad::fingerprint_netlist(a3.nl));
+    EXPECT_NE(cad::fingerprint_hints(a2.hints), cad::fingerprint_hints(a3.hints));
+    EXPECT_NE(cad::fingerprint_hints(a2.hints), cad::fingerprint_hints({}));
+}
+
+TEST(NetlistFingerprint, SensitiveToNamesAndStructure) {
+    netlist::Netlist a("t");
+    const auto ia = a.add_input("x");
+    a.add_output("y", a.add_cell(netlist::CellFunc::Inv, "g", {ia}));
+
+    netlist::Netlist b("t");
+    const auto ib = b.add_input("x");
+    b.add_output("z", b.add_cell(netlist::CellFunc::Inv, "g", {ib}));  // PO renamed
+
+    netlist::Netlist c("t");
+    const auto ic = c.add_input("x");
+    c.add_output("y", c.add_cell(netlist::CellFunc::Buf, "g", {ic}));  // function changed
+
+    const auto fa = cad::fingerprint_netlist(a);
+    EXPECT_NE(fa, cad::fingerprint_netlist(b));
+    EXPECT_NE(fa, cad::fingerprint_netlist(c));
+}
+
+// ---------------------------------------------------------------------------
+// Option-struct fingerprints: every field must feed the digest. Each case
+// lists one mutation per field; all resulting fingerprints (plus the
+// default's) must be pairwise distinct. The struct-size static_asserts in
+// the implementations catch NEW fields at compile time; these tests catch
+// a field that exists but was never mixed.
+// ---------------------------------------------------------------------------
+
+template <typename Opts, typename... Mutators>
+void expect_every_field_counts(Mutators... mutators) {
+    std::set<std::uint64_t> seen;
+    seen.insert(Opts{}.fingerprint());
+    auto apply = [&](auto&& m) {
+        Opts o;
+        m(o);
+        EXPECT_TRUE(seen.insert(o.fingerprint()).second)
+            << "a field mutation did not change the fingerprint";
+    };
+    (apply(mutators), ...);
+}
+
+TEST(OptionFingerprint, TechmapEveryFieldCounts) {
+    expect_every_field_counts<cad::TechmapOptions>(
+        [](auto& o) { o.use_rail_pair_hints = false; },
+        [](auto& o) { o.absorb_validity = false; },
+        [](auto& o) { o.greedy_pairing = false; },
+        [](auto& o) { o.pairing_window = 65; });
+}
+
+TEST(OptionFingerprint, PackEveryFieldCounts) {
+    expect_every_field_counts<cad::PackOptions>(
+        [](auto& o) { o.affinity_clustering = false; });
+}
+
+TEST(OptionFingerprint, PlaceEveryFieldCounts) {
+    expect_every_field_counts<cad::PlaceOptions>(
+        [](auto& o) { o.seed = 2; }, [](auto& o) { o.alpha = 0.8; },
+        [](auto& o) { o.moves_scale = 11.0; }, [](auto& o) { o.anneal = false; },
+        [](auto& o) { o.incremental = false; }, [](auto& o) { o.parallel_seeds = 2; },
+        [](auto& o) { o.threads = 3; });
+}
+
+TEST(OptionFingerprint, RouterEveryFieldCounts) {
+    expect_every_field_counts<cad::RouterOptions>(
+        [](auto& o) { o.max_iterations = 41; }, [](auto& o) { o.pres_fac_first = 0.7; },
+        [](auto& o) { o.pres_fac_mult = 1.8; }, [](auto& o) { o.hist_fac = 1.5; },
+        [](auto& o) { o.astar_fac = 0.5; }, [](auto& o) { o.incremental = false; },
+        [](auto& o) { o.stall_full_reroute = 5; }, [](auto& o) { o.verbose = true; },
+        [](auto& o) { o.threads = 2; }, [](auto& o) { o.bin_margin = 2; },
+        [](auto& o) { o.min_bin_dim = 5; });
+}
+
+TEST(OptionFingerprint, FlowEverySemanticFieldCounts) {
+    expect_every_field_counts<cad::FlowOptions>(
+        [](auto& o) { o.seed = 2; },
+        [](auto& o) { o.techmap.pairing_window = 65; },
+        [](auto& o) { o.pack.affinity_clustering = false; },
+        [](auto& o) { o.place.alpha = 0.8; },
+        [](auto& o) { o.route.max_iterations = 41; },
+        [](auto& o) { o.pde_extra_margin = 0.5; },
+        [](auto& o) { o.verify_mapping = false; });
+}
+
+TEST(OptionFingerprint, FlowIgnoresPlumbingFields) {
+    const core::ArchSpec arch;
+    cad::FlowOptions o;
+    const std::uint64_t base = o.fingerprint();
+    o.prebuilt_rr = std::make_shared<core::RRGraph>(arch);
+    o.artifact_store = std::make_shared<cad::ArtifactStore>();
+    EXPECT_EQ(base, o.fingerprint())
+        << "prebuilt_rr/artifact_store change where products come from, not what "
+           "they are — they must not invalidate artifacts";
+}
+
+// ---------------------------------------------------------------------------
+// ArtifactStore
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactStore, PutGetRoundtripAndStats) {
+    cad::ArtifactStore store;
+    EXPECT_EQ(store.get<cad::Placement>(1), nullptr);  // miss
+    auto pl = std::make_shared<const cad::Placement>();
+    store.put(1, pl);
+    EXPECT_EQ(store.get<cad::Placement>(1), pl);  // hit
+    EXPECT_EQ(store.num_artifacts(), 1u);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(ArtifactStore, TypeMismatchIsAMiss) {
+    cad::ArtifactStore store;
+    store.put(7, std::make_shared<const cad::Placement>());
+    EXPECT_EQ(store.get<cad::MappedDesign>(7), nullptr);
+    EXPECT_EQ(store.get<cad::Placement>(7) != nullptr, true);
+}
+
+TEST(ArtifactStore, FirstPublishWins) {
+    cad::ArtifactStore store;
+    auto first = std::make_shared<const cad::Placement>();
+    store.put(3, first);
+    store.put(3, std::make_shared<const cad::Placement>());
+    EXPECT_EQ(store.get<cad::Placement>(3), first);
+    EXPECT_EQ(store.num_artifacts(), 1u);
+}
+
+TEST(ArtifactStore, InflightDedupHandsOffToWaiters) {
+    cad::ArtifactStore store;
+    ASSERT_TRUE(store.begin_compute(9));  // first claimant owns the key
+
+    // A second claimant blocks until the computer publishes + finishes,
+    // then sees the published key (false = re-get it).
+    std::promise<bool> waiter_saw;
+    std::thread waiter(
+        [&] { waiter_saw.set_value(store.begin_compute(9)); });
+    store.put(9, std::make_shared<const cad::Placement>());
+    store.finish_compute(9);
+    auto fut = waiter_saw.get_future();
+    EXPECT_FALSE(fut.get());
+    waiter.join();
+
+    // Published keys are never claimable again.
+    EXPECT_FALSE(store.begin_compute(9));
+}
+
+TEST(ArtifactStore, FailedComputerPassesOwnershipOn) {
+    cad::ArtifactStore store;
+    ASSERT_TRUE(store.begin_compute(5));
+    store.finish_compute(5);  // computer "failed": finished without put()
+    EXPECT_TRUE(store.begin_compute(5));  // the key is claimable again
+    store.finish_compute(5);
+}
+
+TEST(ArtifactStore, ClearDropsArtifactsAndRrMemo) {
+    cad::ArtifactStore store;
+    store.put(1, std::make_shared<const cad::Placement>());
+    (void)store.rr_for(core::ArchSpec{});
+    EXPECT_EQ(store.num_artifacts(), 1u);
+    EXPECT_EQ(store.num_rr_graphs(), 1u);
+    store.clear();
+    EXPECT_EQ(store.num_artifacts(), 0u);
+    EXPECT_EQ(store.num_rr_graphs(), 0u);
+    EXPECT_EQ(store.get<cad::Placement>(1), nullptr);
+    // The store keeps working after a clear.
+    store.put(1, std::make_shared<const cad::Placement>());
+    EXPECT_NE(store.get<cad::Placement>(1), nullptr);
+}
+
+TEST(ArtifactStore, RrMemoSharesPerArchitecture) {
+    cad::ArtifactStore store;
+    core::ArchSpec a;
+    core::ArchSpec b;
+    b.channel_width = a.channel_width + 2;
+
+    const auto rra1 = store.rr_for(a);
+    const auto rra2 = store.rr_for(a);
+    const auto rrb = store.rr_for(b);
+    EXPECT_EQ(rra1.get(), rra2.get());  // one graph per architecture
+    EXPECT_NE(rra1.get(), rrb.get());
+    EXPECT_EQ(rra1->arch().fingerprint(), a.fingerprint());
+    EXPECT_EQ(store.num_rr_graphs(), 2u);
+}
+
+}  // namespace

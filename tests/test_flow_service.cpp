@@ -1,0 +1,343 @@
+// The persistent FlowService and the content-addressed stage cache it
+// shares across jobs: warm-vs-cold bit identity, the invalidation matrix
+// ({seed, per-stage option, arch, netlist} each hitting exactly the stages
+// they should), concurrent jobs over one store (the CI TSan leg executes
+// this binary), submit/wait/cancel semantics, and the mixed-grid smoke that
+// pins service results byte-for-byte to the serial run_flow loop.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "asynclib/adders.hpp"
+#include "asynclib/fifos.hpp"
+#include "base/check.hpp"
+#include "cad/artifact.hpp"
+#include "cad/flow.hpp"
+#include "cad/flow_service.hpp"
+#include "support/flow_fixtures.hpp"
+
+namespace {
+
+using namespace afpga;
+
+/// Expected cache outcome of the five stages, in pipeline order.
+struct HitPattern {
+    bool techmap, pack, place, route, bitstream;
+};
+
+void expect_hits(const cad::FlowTelemetry& t, const HitPattern& want,
+                 const std::string& what) {
+    const std::pair<const char*, bool> stages[] = {{"techmap", want.techmap},
+                                                   {"pack", want.pack},
+                                                   {"place", want.place},
+                                                   {"route", want.route},
+                                                   {"bitstream", want.bitstream}};
+    for (const auto& [name, hit] : stages) {
+        const cad::StageReport* s = t.stage(name);
+        ASSERT_NE(s, nullptr) << what << ": missing stage " << name;
+        EXPECT_EQ(s->cache_hit, hit ? 1 : 0) << what << ": stage " << name;
+        EXPECT_FALSE(s->cache_key.empty()) << what << ": stage " << name;
+    }
+}
+
+cad::FlowOptions with_store(const std::shared_ptr<cad::ArtifactStore>& store,
+                            cad::FlowOptions opts = {}) {
+    opts.artifact_store = store;
+    return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Cache semantics through run_flow
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactCache, WarmRerunIsBitIdenticalAndAllHits) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    auto store = std::make_shared<cad::ArtifactStore>();
+
+    const auto cold = cad::run_flow(adder.nl, adder.hints, arch, with_store(store));
+    expect_hits(cold.telemetry, {false, false, false, false, false}, "cold");
+
+    const auto warm = cad::run_flow(adder.nl, adder.hints, arch, with_store(store));
+    expect_hits(warm.telemetry, {true, true, true, true, true}, "warm");
+
+    // Identical keys stage by stage, and an identical flow outcome.
+    for (std::size_t i = 0; i < cold.telemetry.stages.size(); ++i)
+        EXPECT_EQ(cold.telemetry.stages[i].cache_key, warm.telemetry.stages[i].cache_key);
+    EXPECT_EQ(testsupport::flow_fingerprint(cold), testsupport::flow_fingerprint(warm));
+}
+
+TEST(ArtifactCache, CachingItselfNeverChangesTheResult) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    const auto plain = cad::run_flow(adder.nl, adder.hints, arch, {});
+    EXPECT_EQ(plain.telemetry.stages.front().cache_hit, -1);  // caching off
+    EXPECT_TRUE(plain.telemetry.stages.front().cache_key.empty());
+
+    auto store = std::make_shared<cad::ArtifactStore>();
+    const auto cold = cad::run_flow(adder.nl, adder.hints, arch, with_store(store));
+    const auto warm = cad::run_flow(adder.nl, adder.hints, arch, with_store(store));
+    EXPECT_EQ(testsupport::flow_fingerprint(plain), testsupport::flow_fingerprint(cold));
+    EXPECT_EQ(testsupport::flow_fingerprint(plain), testsupport::flow_fingerprint(warm));
+}
+
+TEST(ArtifactCache, RouteKnobChangeReusesUpstreamOnly) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    auto store = std::make_shared<cad::ArtifactStore>();
+    (void)cad::run_flow(adder.nl, adder.hints, arch, with_store(store));
+
+    cad::FlowOptions tweaked;
+    tweaked.route.astar_fac = 0.0;  // pure Dijkstra: a route-stage-only knob
+    const auto warm = cad::run_flow(adder.nl, adder.hints, arch, with_store(store, tweaked));
+    expect_hits(warm.telemetry, {true, true, true, false, false}, "route knob");
+
+    // Bit-identical to compiling the tweaked options cold.
+    const auto cold = cad::run_flow(adder.nl, adder.hints, arch, tweaked);
+    EXPECT_EQ(testsupport::flow_fingerprint(cold), testsupport::flow_fingerprint(warm));
+}
+
+TEST(ArtifactCache, PdeMarginChangeReprogramsBitstreamOnly) {
+    auto adder = asynclib::make_micropipeline_adder(2);
+    const core::ArchSpec arch;
+    auto store = std::make_shared<cad::ArtifactStore>();
+    (void)cad::run_flow(adder.nl, {}, arch, with_store(store));
+
+    cad::FlowOptions tweaked;
+    tweaked.pde_extra_margin = 0.5;  // programmed by the bitstream stage alone
+    const auto warm = cad::run_flow(adder.nl, {}, arch, with_store(store, tweaked));
+    expect_hits(warm.telemetry, {true, true, true, true, false}, "pde margin");
+
+    const auto cold = cad::run_flow(adder.nl, {}, arch, tweaked);
+    EXPECT_EQ(testsupport::flow_fingerprint(cold), testsupport::flow_fingerprint(warm));
+}
+
+TEST(ArtifactCache, SeedChangeInvalidatesFromPlaceDown) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    auto store = std::make_shared<cad::ArtifactStore>();
+    (void)cad::run_flow(adder.nl, adder.hints, arch, with_store(store));
+
+    cad::FlowOptions reseeded;
+    reseeded.seed = 2;
+    const auto warm = cad::run_flow(adder.nl, adder.hints, arch, with_store(store, reseeded));
+    expect_hits(warm.telemetry, {true, true, false, false, false}, "seed");
+
+    const auto cold = cad::run_flow(adder.nl, adder.hints, arch, reseeded);
+    EXPECT_EQ(testsupport::flow_fingerprint(cold), testsupport::flow_fingerprint(warm));
+}
+
+TEST(ArtifactCache, ArchChangeInvalidatesFromPackDown) {
+    auto adder = asynclib::make_qdi_adder(2);
+    core::ArchSpec arch;
+    auto store = std::make_shared<cad::ArtifactStore>();
+    (void)cad::run_flow(adder.nl, adder.hints, arch, with_store(store));
+
+    arch.channel_width += 2;  // techmap never reads the architecture
+    const auto warm = cad::run_flow(adder.nl, adder.hints, arch, with_store(store));
+    expect_hits(warm.telemetry, {true, false, false, false, false}, "arch");
+}
+
+TEST(ArtifactCache, NetlistChangeInvalidatesEverything) {
+    auto a2 = asynclib::make_qdi_adder(2);
+    auto a3 = asynclib::make_qdi_adder(3);
+    const core::ArchSpec arch;
+    auto store = std::make_shared<cad::ArtifactStore>();
+    (void)cad::run_flow(a2.nl, a2.hints, arch, with_store(store));
+
+    const auto warm = cad::run_flow(a3.nl, a3.hints, arch, with_store(store));
+    expect_hits(warm.telemetry, {false, false, false, false, false}, "netlist");
+}
+
+TEST(ArtifactCache, TelemetryJsonCarriesKeyAndHit) {
+    auto adder = asynclib::make_qdi_adder(2);
+    auto store = std::make_shared<cad::ArtifactStore>();
+    const auto warm = [&] {
+        (void)cad::run_flow(adder.nl, adder.hints, core::ArchSpec{}, with_store(store));
+        return cad::run_flow(adder.nl, adder.hints, core::ArchSpec{}, with_store(store));
+    }();
+    const std::string json = warm.telemetry.to_json();
+    EXPECT_NE(json.find("\"key\":\"0x"), std::string::npos);
+    EXPECT_NE(json.find("\"cache_hit\":true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FlowService
+// ---------------------------------------------------------------------------
+
+TEST(FlowService, MixedGridMatchesSerialLoopByteForByte) {
+    // The CI smoke: a small mixed grid — two designs x two seeds x two
+    // route-knob settings — through one warm-cached service must equal the
+    // plain serial run_flow loop on every job.
+    auto adder = asynclib::make_qdi_adder(2);
+    auto fifo = asynclib::make_wchb_fifo(2, 2);
+    const core::ArchSpec arch;
+
+    std::vector<cad::FlowJob> jobs;
+    std::vector<cad::FlowOptions> ref_opts;
+    std::vector<const netlist::Netlist*> ref_nl;
+    std::vector<const asynclib::MappingHints*> ref_hints;
+    for (const bool is_fifo : {false, true}) {
+        for (const std::uint64_t seed : {1, 2}) {
+            for (const double astar : {1.0, 0.0}) {
+                cad::FlowJob j;
+                j.name = (is_fifo ? std::string("fifo") : std::string("adder")) + "_s" +
+                         std::to_string(seed) + "_a" + std::to_string(astar);
+                j.nl = is_fifo ? &fifo.nl : &adder.nl;
+                j.hints = is_fifo ? &fifo.hints : &adder.hints;
+                j.arch = arch;
+                j.opts.seed = seed;
+                j.opts.route.astar_fac = astar;
+                ref_opts.push_back(j.opts);
+                ref_nl.push_back(j.nl);
+                ref_hints.push_back(j.hints);
+                jobs.push_back(std::move(j));
+            }
+        }
+    }
+
+    cad::FlowService svc;
+    const auto ids = svc.submit_grid(std::move(jobs));
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const cad::FlowJobResult& r = svc.wait(ids[i]);
+        ASSERT_TRUE(r.ok()) << r.name << ": " << r.error;
+        const auto serial = cad::run_flow(*ref_nl[i], *ref_hints[i], arch, ref_opts[i]);
+        EXPECT_EQ(testsupport::flow_fingerprint(serial),
+                  testsupport::flow_fingerprint(r.result))
+            << r.name;
+    }
+    // The grid repeats upstream work across seeds/knobs, so the shared
+    // store must have produced real hits.
+    EXPECT_GT(svc.store().hits(), 0u);
+}
+
+TEST(FlowService, ConcurrentJobsShareOneStore) {
+    // Many concurrent copies of the same compile: whoever wins the race
+    // publishes, everyone agrees on the result (also the TSan workout for
+    // concurrent get/put/rr_for on one store).
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    const auto solo = cad::run_flow(adder.nl, adder.hints, arch, {});
+
+    cad::FlowServiceOptions so;
+    so.threads = 4;
+    cad::FlowService svc(so);
+    std::vector<cad::FlowJobId> ids;
+    for (int i = 0; i < 12; ++i) {
+        cad::FlowJob j;
+        j.name = "copy" + std::to_string(i);
+        j.nl = &adder.nl;
+        j.hints = &adder.hints;
+        j.arch = arch;
+        ids.push_back(svc.submit(std::move(j)));
+    }
+    svc.wait_all();
+    for (cad::FlowJobId id : ids) {
+        const cad::FlowJobResult& r = svc.wait(id);
+        ASSERT_TRUE(r.ok()) << r.error;
+        EXPECT_EQ(testsupport::flow_fingerprint(solo),
+                  testsupport::flow_fingerprint(r.result));
+    }
+    EXPECT_EQ(svc.store().num_rr_graphs(), 1u);
+    // Identical jobs share one key chain: five stage artifacts total, and
+    // in-flight dedup means concurrent cold jobs waited on the computer
+    // instead of publishing duplicates.
+    EXPECT_EQ(svc.store().num_artifacts(), 5u);
+}
+
+TEST(FlowService, FailuresAreIsolatedPerJob) {
+    auto big = asynclib::make_qdi_adder(16);
+    auto small = asynclib::make_qdi_adder(2);
+    core::ArchSpec tiny;  // 8x8 cannot hold the 16-bit adder
+
+    cad::FlowService svc;
+    cad::FlowJob jb;
+    jb.name = "too_big";
+    jb.nl = &big.nl;
+    jb.hints = &big.hints;
+    jb.arch = tiny;
+    cad::FlowJob js;
+    js.name = "fits";
+    js.nl = &small.nl;
+    js.hints = &small.hints;
+    js.arch = tiny;
+    const auto id_big = svc.submit(std::move(jb));
+    const auto id_small = svc.submit(std::move(js));
+
+    EXPECT_EQ(svc.wait(id_big).status, cad::FlowJobStatus::Failed);
+    EXPECT_FALSE(svc.wait(id_big).error.empty());
+    EXPECT_TRUE(svc.wait(id_small).ok()) << svc.wait(id_small).error;
+}
+
+TEST(FlowService, CancelDropsQueuedJobs) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    cad::FlowServiceOptions so;
+    so.threads = 1;  // one worker: later submissions are very likely queued
+    cad::FlowService svc(so);
+
+    std::vector<cad::FlowJobId> ids;
+    for (int i = 0; i < 4; ++i) {
+        cad::FlowJob j;
+        j.name = "job" + std::to_string(i);
+        j.nl = &adder.nl;
+        j.hints = &adder.hints;
+        j.arch = arch;
+        ids.push_back(svc.submit(std::move(j)));
+    }
+    // Cancellation races the worker by design: cancel() returning true must
+    // mean the job never runs; false must mean it ran (or already finished)
+    // normally.
+    const bool cancelled = svc.cancel(ids.back());
+    const cad::FlowJobResult& last = svc.wait(ids.back());
+    if (cancelled) {
+        EXPECT_EQ(last.status, cad::FlowJobStatus::Cancelled);
+        EXPECT_EQ(last.wall_ms, 0.0);
+    } else {
+        EXPECT_TRUE(last.ok()) << last.error;
+    }
+    // A finished job can never be cancelled.
+    (void)svc.wait(ids.front());
+    EXPECT_FALSE(svc.cancel(ids.front()));
+    svc.wait_all();
+}
+
+TEST(FlowService, ReportJsonAggregates) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    cad::FlowService svc;
+    for (int i = 0; i < 2; ++i) {
+        cad::FlowJob j;
+        j.name = "r" + std::to_string(i);
+        j.nl = &adder.nl;
+        j.hints = &adder.hints;
+        j.arch = arch;
+        (void)svc.submit(std::move(j));
+    }
+    svc.wait_all();
+    const std::string json = svc.report_json();
+    for (const char* field :
+         {"\"threads\"", "\"hardware_concurrency\"", "\"jobs_total\":2", "\"jobs_ok\":2",
+          "\"jobs_cancelled\":0", "\"artifacts\"", "\"rr_graphs\":1", "\"hits\"",
+          "\"misses\"", "\"telemetry\"", "\"queue_ms\""})
+        EXPECT_NE(json.find(field), std::string::npos) << field << " missing in " << json;
+}
+
+TEST(FlowService, PrewarmedRrIsSharedIntoResults) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    cad::FlowService svc;
+    const auto rr = svc.prewarm_rr(arch);
+    cad::FlowJob j;
+    j.name = "warm_rr";
+    j.nl = &adder.nl;
+    j.hints = &adder.hints;
+    j.arch = arch;
+    const auto id = svc.submit(std::move(j));
+    const cad::FlowJobResult& r = svc.wait(id);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.result.rr.get(), rr.get());  // one graph end to end
+}
+
+}  // namespace
