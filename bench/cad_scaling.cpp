@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -509,6 +510,141 @@ int main(int argc, char** argv) {
         w.end_object();
     }
 
+    // Tier 6: the two-tier artifact cache. Two checks, both CI gates (a
+    // violation makes the bench exit non-zero):
+    //  (a) disk-warm restart — a service populates a cache directory, dies,
+    //      and a fresh service over the same directory must restore every
+    //      stage from disk and produce bit-identical bitstreams;
+    //  (b) cache soak — the same grid under a tiny memory budget must never
+    //      let the resident tier exceed its cap, must actually evict, and
+    //      must still be bit-identical.
+    bool cache_gate_ok = true;
+    {
+        const std::size_t bits = smoke ? 4 : 8;
+        auto adder = asynclib::make_qdi_adder(bits);
+        core::ArchSpec arch;
+        arch.width = arch.height = smoke ? 10 : 14;
+        arch.channel_width = smoke ? 12 : 14;
+
+        namespace fs = std::filesystem;
+        const fs::path cache_dir = "bench_artifact_cache";
+        fs::remove_all(cache_dir);
+
+        const std::vector<std::uint64_t> seeds{1, 2, 3};
+        auto make_jobs = [&]() {
+            std::vector<cad::FlowJob> jobs;
+            for (std::uint64_t seed : seeds) {
+                cad::FlowJob j;
+                j.name = "qdi_adder_" + std::to_string(bits) + "_s" + std::to_string(seed);
+                j.nl = &adder.nl;
+                j.hints = &adder.hints;
+                j.arch = arch;
+                j.opts.seed = seed;
+                jobs.push_back(std::move(j));
+            }
+            return jobs;
+        };
+
+        // (a) Cold service populates the directory...
+        std::vector<base::BitVector> cold_bits;
+        double cold_ms = 0.0;
+        std::uint64_t disk_writes = 0;
+        {
+            cad::FlowServiceOptions so;
+            so.artifact_cache_dir = cache_dir.string();
+            cad::FlowService svc(so);
+            base::WallTimer t;
+            const auto results = eval::run_grid(svc, make_jobs());
+            cold_ms = t.elapsed_ms();
+            for (const auto* r : results) cold_bits.push_back(r->result.bits->serialize());
+            disk_writes = svc.store().stats().disk_writes;
+        }  // ...and dies here: only the blobs survive the "restart".
+
+        double disk_warm_ms = 0.0;
+        std::uint64_t disk_hits = 0;
+        bool warm_bit_identical = true;
+        bool nothing_recomputed = true;
+        std::uint64_t stages_from_disk = 0;
+        {
+            cad::FlowServiceOptions so;
+            so.artifact_cache_dir = cache_dir.string();
+            cad::FlowService svc(so);
+            base::WallTimer t;
+            const auto results = eval::run_grid(svc, make_jobs());
+            disk_warm_ms = t.elapsed_ms();
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                warm_bit_identical = warm_bit_identical && results[i]->ok() &&
+                                     results[i]->result.bits->serialize() == cold_bits[i];
+                // Every stage must be a cache hit. Which tier served it is
+                // schedule-dependent (an artifact one job restored from disk
+                // serves its sibling jobs from memory), but with a fresh
+                // service nothing can be a memory hit that was not first a
+                // disk restore — so all-hits + disk_hits > 0 proves the
+                // restart path.
+                for (const auto& s : results[i]->result.telemetry.stages) {
+                    nothing_recomputed = nothing_recomputed && s.cache_hit == 1;
+                    if (s.metric("restored_from_disk")) ++stages_from_disk;
+                }
+            }
+            disk_hits = svc.store().stats().disk_hits;
+        }
+
+        // (b) Cache soak: jobs run one at a time under a tight budget, the
+        // resident tier is sampled after every job.
+        const std::size_t budget = 16 * 1024;
+        std::size_t max_resident = 0;
+        std::uint64_t evictions = 0;
+        bool soak_bit_identical = true;
+        {
+            cad::FlowServiceOptions so;
+            so.artifact_memory_budget_bytes = budget;
+            so.artifact_cache_dir = cache_dir.string();
+            cad::FlowService svc(so);
+            auto jobs = make_jobs();
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                const auto id = svc.submit(std::move(jobs[i]));
+                const cad::FlowJobResult& r = svc.wait(id);
+                soak_bit_identical = soak_bit_identical && r.ok() &&
+                                     r.result.bits->serialize() == cold_bits[i];
+                max_resident = std::max(max_resident, svc.store().stats().resident_bytes);
+            }
+            evictions = svc.store().stats().evictions;
+        }
+        fs::remove_all(cache_dir);
+
+        const bool cap_ok = max_resident <= budget;
+        cache_gate_ok = warm_bit_identical && nothing_recomputed && disk_hits > 0 &&
+                        soak_bit_identical && cap_ok && evictions > 0;
+        std::printf("artifact_cache: cold %.1f ms, disk-warm restart %.1f ms (%.2fx), "
+                    "%llu blobs written, %llu disk hits, warm_identical=%d "
+                    "nothing_recomputed=%d; soak: budget %zu B, max resident %zu B, "
+                    "%llu evictions, soak_identical=%d -> gate %s\n",
+                    cold_ms, disk_warm_ms, disk_warm_ms > 0 ? cold_ms / disk_warm_ms : 0.0,
+                    static_cast<unsigned long long>(disk_writes),
+                    static_cast<unsigned long long>(disk_hits), warm_bit_identical,
+                    nothing_recomputed, budget, max_resident,
+                    static_cast<unsigned long long>(evictions), soak_bit_identical,
+                    cache_gate_ok ? "ok" : "VIOLATED");
+
+        w.key("artifact_cache").begin_object();
+        w.key("jobs").value(std::uint64_t{seeds.size()});
+        w.key("cold_grid_ms").value(cold_ms);
+        w.key("disk_warm_grid_ms").value(disk_warm_ms);
+        w.key("disk_warm_speedup").value(disk_warm_ms > 0 ? cold_ms / disk_warm_ms : 0.0);
+        w.key("disk_writes").value(disk_writes);
+        w.key("disk_hits").value(disk_hits);
+        w.key("disk_warm_bit_identical").value(warm_bit_identical);
+        w.key("nothing_recomputed").value(nothing_recomputed);
+        w.key("stages_restored_from_disk").value(stages_from_disk);
+        w.key("soak_budget_bytes").value(std::uint64_t{budget});
+        w.key("soak_max_resident_bytes").value(std::uint64_t{max_resident});
+        w.key("soak_cap_ok").value(cap_ok);
+        w.key("soak_evictions").value(evictions);
+        w.key("soak_bit_identical").value(soak_bit_identical);
+        w.key("gate_ok").value(cache_gate_ok);
+        w.end_object();
+    }
+
     w.end_object();
 
     std::ofstream out(out_path);
@@ -518,5 +654,9 @@ int main(int argc, char** argv) {
     }
     out << w.str() << "\n";
     std::printf("wrote %s\n", out_path.c_str());
+    if (!cache_gate_ok) {
+        std::fprintf(stderr, "cad_scaling: artifact-cache gate violated (see above)\n");
+        return 1;
+    }
     return 0;
 }

@@ -10,6 +10,7 @@
 #include "cad/artifact.hpp"
 #include "cad/fingerprint.hpp"
 #include "cad/route_parallel.hpp"
+#include "cad/serialize.hpp"
 
 namespace afpga::cad {
 
@@ -22,6 +23,13 @@ core::ElaboratedDesign FlowResult::elaborate() const {
 }
 
 namespace {
+
+/// Mark a restore that came off the disk tier (docs/TELEMETRY.md): the
+/// product is bit-identical either way, but benches and the CI disk-warm
+/// gate distinguish a resident hit from a deserialized one.
+void note_restore_tier(ArtifactTier tier, StageReport& report) {
+    if (tier == ArtifactTier::Disk) report.add_metric("restored_from_disk", 1.0);
+}
 
 // ---------------------------------------------------------------------------
 // Stage 1: technology mapping
@@ -46,10 +54,12 @@ public:
     }
     [[nodiscard]] bool try_restore(FlowContext& ctx, const ArtifactStore& store,
                                    std::uint64_t key, StageReport& report) override {
-        const auto cached = store.get<MappedDesign>(key);
+        ArtifactTier tier = ArtifactTier::Memory;
+        const auto cached = store.get<MappedDesign>(key, &tier);
         if (!cached) return false;
         ctx.result.mapped = *cached;  // verification already passed when published
         report_metrics(ctx.result.mapped, report);
+        note_restore_tier(tier, report);
         return true;
     }
     void publish(const FlowContext& ctx, ArtifactStore& store, std::uint64_t key) const override {
@@ -84,10 +94,12 @@ public:
     }
     [[nodiscard]] bool try_restore(FlowContext& ctx, const ArtifactStore& store,
                                    std::uint64_t key, StageReport& report) override {
-        const auto cached = store.get<PackedDesign>(key);
+        ArtifactTier tier = ArtifactTier::Memory;
+        const auto cached = store.get<PackedDesign>(key, &tier);
         if (!cached) return false;
         ctx.result.packed = *cached;
         report.add_metric("clusters", static_cast<double>(cached->clusters.size()));
+        note_restore_tier(tier, report);
         return true;
     }
     void publish(const FlowContext& ctx, ArtifactStore& store, std::uint64_t key) const override {
@@ -116,10 +128,12 @@ public:
     }
     [[nodiscard]] bool try_restore(FlowContext& ctx, const ArtifactStore& store,
                                    std::uint64_t key, StageReport& report) override {
-        const auto cached = store.get<Placement>(key);
+        ArtifactTier tier = ArtifactTier::Memory;
+        const auto cached = store.get<Placement>(key, &tier);
         if (!cached) return false;
         ctx.result.placement = *cached;
         report_metrics(ctx.result.placement, report, /*restored=*/true);
+        note_restore_tier(tier, report);
         return true;
     }
     void publish(const FlowContext& ctx, ArtifactStore& store, std::uint64_t key) const override {
@@ -199,7 +213,8 @@ public:
     }
     [[nodiscard]] bool try_restore(FlowContext& ctx, const ArtifactStore& store,
                                    std::uint64_t key, StageReport& report) override {
-        const auto cached = store.get<RouteArtifact>(key);
+        ArtifactTier tier = ArtifactTier::Memory;
+        const auto cached = store.get<RouteArtifact>(key, &tier);
         if (!cached) return false;
         // The graph itself is not part of the artifact (it is a pure
         // function of the architecture); reattach it from wherever this
@@ -218,6 +233,7 @@ public:
         ctx.result.routing = cached->routing;
         report.add_metric("nets", static_cast<double>(ctx.reqs.size()));
         report_metrics(ctx.result.routing, report);
+        note_restore_tier(tier, report);
         return true;
     }
     void publish(const FlowContext& ctx, ArtifactStore& store, std::uint64_t key) const override {
@@ -579,13 +595,15 @@ public:
     }
     [[nodiscard]] bool try_restore(FlowContext& ctx, const ArtifactStore& store,
                                    std::uint64_t key, StageReport& report) override {
-        const auto cached = store.get<BitstreamArtifact>(key);
+        ArtifactTier tier = ArtifactTier::Memory;
+        const auto cached = store.get<BitstreamArtifact>(key, &tier);
         if (!cached) return false;
         // Copy: FlowResult::bits is mutable and callers may edit their own.
         ctx.result.bits = std::make_shared<core::Bitstream>(cached->bits);
         ctx.result.pad_names = cached->pad_names;
         report.add_metric("switches_on",
                           static_cast<double>(cached->bits.num_enabled_edges()));
+        note_restore_tier(tier, report);
         return true;
     }
     void publish(const FlowContext& ctx, ArtifactStore& store, std::uint64_t key) const override {
@@ -669,7 +687,11 @@ FlowResult run_flow(const netlist::Netlist& nl, const asynclib::MappingHints& hi
             } else if (!hit) {
                 // Published while we waited for the concurrent computer.
                 hit = stage->try_restore(ctx, *store, chain, report);
-                if (!hit) {  // unreachable short of a cross-type key collision
+                if (!hit) {
+                    // Reachable when a tight byte budget evicted the fresh
+                    // product before we re-got it (and no disk tier holds
+                    // it): recompute locally rather than re-enter the
+                    // begin_compute queue.
                     stage->run(ctx, report);
                     stage->publish(ctx, *store, chain);
                 }

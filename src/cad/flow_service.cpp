@@ -26,7 +26,8 @@ FlowService::FlowService(FlowServiceOptions opts)
     : opts_(opts),
       threads_(opts.threads != 0 ? opts.threads
                                  : static_cast<unsigned>(base::ThreadPool::default_workers())),
-      store_(std::make_shared<ArtifactStore>()),
+      store_(std::make_shared<ArtifactStore>(
+          ArtifactStoreConfig{opts.artifact_memory_budget_bytes, opts.artifact_cache_dir})),
       pool_(threads_) {
     // Make the single-core-container caveat machine-detectable: a pool wider
     // than the hardware can only time-slice, so wall-clock "speedups"
@@ -220,16 +221,28 @@ std::string FlowService::report_json() const {
         .value(std::uint64_t{std::thread::hardware_concurrency()});
     w.key("share_artifacts").value(opts_.share_artifacts);
     w.key("share_rr").value(opts_.share_rr);
+    w.key("artifact_cache_dir").value(opts_.artifact_cache_dir);
     w.key("jobs_total").value(std::uint64_t{jobs_.size()});
     w.key("jobs_ok").value(std::uint64_t{ok});
     w.key("jobs_failed").value(std::uint64_t{failed});
     w.key("jobs_cancelled").value(std::uint64_t{cancelled});
     w.key("jobs_pending").value(std::uint64_t{pending});
+    const ArtifactStoreStats st = store_->stats();
     w.key("artifacts").begin_object();
-    w.key("entries").value(std::uint64_t{store_->num_artifacts()});
-    w.key("rr_graphs").value(std::uint64_t{store_->num_rr_graphs()});
-    w.key("hits").value(store_->hits());
-    w.key("misses").value(store_->misses());
+    w.key("entries").value(std::uint64_t{st.num_artifacts});
+    w.key("rr_graphs").value(std::uint64_t{st.num_rr_graphs});
+    w.key("hits").value(st.hits);
+    w.key("disk_hits").value(st.disk_hits);
+    w.key("misses").value(st.misses);
+    w.key("evictions").value(st.evictions);
+    w.key("collisions").value(st.collisions);
+    w.key("resident_bytes").value(std::uint64_t{st.resident_bytes});
+    w.key("memory_budget_bytes").value(std::uint64_t{st.memory_budget_bytes});
+    w.key("disk_writes").value(st.disk_writes);
+    w.key("disk_write_failures").value(st.disk_write_failures);
+    w.key("disk_bad_blobs").value(st.disk_bad_blobs);
+    w.key("rr_hits").value(st.rr_hits);
+    w.key("rr_misses").value(st.rr_misses);
     w.end_object();
     w.key("jobs").begin_array();
     for (const auto& j : jobs_) {

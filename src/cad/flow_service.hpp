@@ -45,6 +45,14 @@ struct FlowServiceOptions {
     /// Give every job a per-architecture prebuilt RR graph (jobs that set
     /// their own prebuilt_rr keep it).
     bool share_rr = true;
+    /// Byte budget of the store's in-memory tier (0 = unbounded); see
+    /// ArtifactStoreConfig::memory_budget_bytes.
+    std::size_t artifact_memory_budget_bytes = 0;
+    /// Directory of the store's on-disk tier (empty = memory only). A
+    /// service restarted over the same directory warm-starts from it, and
+    /// concurrent services/processes may share one; see
+    /// ArtifactStoreConfig::disk_dir.
+    std::string artifact_cache_dir;
 };
 
 /// One design-compile request. The netlist and hints are borrowed.

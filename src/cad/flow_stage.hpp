@@ -89,7 +89,12 @@ struct FlowContext {
 /// a miss does it `run` and `publish`. A stage must therefore be a pure
 /// function of its fingerprinted inputs, and restore must leave the
 /// context exactly as a run would have (cold and warm flows are
-/// bit-identical).
+/// bit-identical). The store is two-tier: a restore may be served by the
+/// resident memory tier or deserialized from the store's disk tier
+/// (cad/serialize.hpp) — the latter is flagged with a
+/// `restored_from_disk` metric but is otherwise indistinguishable, and a
+/// publish feeds both tiers. Stages never see eviction: a product evicted
+/// between publish and restore simply misses and is recomputed.
 class FlowStage {
 public:
     virtual ~FlowStage() = default;

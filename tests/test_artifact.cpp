@@ -1,9 +1,14 @@
 // The content-addressing layer: Fingerprint/key hygiene, netlist and
 // option-struct fingerprints (the exhaustive-field regression the artifact
-// cache's soundness rests on), and ArtifactStore semantics including the
-// per-architecture RR memo.
+// cache's soundness rests on), and ArtifactStore semantics: the two cache
+// tiers (LRU byte budget, disk blobs), the per-architecture RR memo and
+// their concurrency contracts (this file runs under the TSan CI leg).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <set>
@@ -11,14 +16,47 @@
 #include <vector>
 
 #include "asynclib/adders.hpp"
+#include "base/check.hpp"
 #include "cad/artifact.hpp"
 #include "cad/fingerprint.hpp"
 #include "cad/flow.hpp"
+#include "cad/serialize.hpp"
 #include "core/archspec.hpp"
 
 namespace {
 
 using namespace afpga;
+namespace fs = std::filesystem;
+
+/// A fresh per-test scratch directory for disk-tier tests, removed on exit.
+class ScratchDir {
+public:
+    ScratchDir() {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        path_ = fs::temp_directory_path() /
+                (std::string("afpga_artifact_") + info->test_suite_name() + "_" + info->name());
+        fs::remove_all(path_);
+    }
+    ~ScratchDir() {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    [[nodiscard]] std::string str() const { return path_.string(); }
+    [[nodiscard]] const fs::path& path() const { return path_; }
+
+private:
+    fs::path path_;
+};
+
+/// A Placement whose budget cost and identity are easy to control: the
+/// trajectory payload dominates approx_bytes and `final_cost` tags which
+/// artifact this is.
+std::shared_ptr<const cad::Placement> make_placement(double tag, std::size_t traj_len = 0) {
+    cad::Placement pl;
+    pl.final_cost = tag;
+    pl.cost_trajectory.assign(traj_len, tag);
+    return std::make_shared<const cad::Placement>(std::move(pl));
+}
 
 // ---------------------------------------------------------------------------
 // Fingerprint
@@ -239,6 +277,347 @@ TEST(ArtifactStore, ClearDropsArtifactsAndRrMemo) {
     // The store keeps working after a clear.
     store.put(1, std::make_shared<const cad::Placement>());
     EXPECT_NE(store.get<cad::Placement>(1), nullptr);
+}
+
+// Regression (cross-type key collision): put() used to map_.emplace, so a
+// 64-bit key collision with a differently-typed entry silently dropped the
+// recomputed product — every later get() missed, every later put() was
+// dropped again: a permanent recompute wedge. The new product must replace
+// the colliding entry (and be counted).
+TEST(ArtifactStore, PutCollisionAcrossTypesReplaces) {
+    cad::ArtifactStore store;
+    store.put(7, make_placement(1.0));
+    store.put(7, std::make_shared<const cad::MappedDesign>());
+    EXPECT_NE(store.get<cad::MappedDesign>(7), nullptr)
+        << "colliding publish was dropped: the key is wedged for this type";
+    EXPECT_EQ(store.stats().collisions, 1u);
+    // Latest writer wins across types; the displaced product is gone.
+    EXPECT_EQ(store.get<cad::Placement>(7), nullptr);
+    EXPECT_EQ(store.num_artifacts(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Memory tier: byte budget + LRU eviction
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactStore, LruEvictsLeastRecentlyUsedUnderByteBudget) {
+    const std::size_t one = cad::ArtifactCodec<cad::Placement>::approx_bytes(
+        *make_placement(0.0, 1000));
+    const std::size_t budget = 2 * one + one / 2;  // room for two, not three
+    cad::ArtifactStore store(cad::ArtifactStoreConfig{budget, ""});
+
+    store.put(1, make_placement(1.0, 1000));
+    store.put(2, make_placement(2.0, 1000));
+    EXPECT_NE(store.get<cad::Placement>(1), nullptr);  // 1 is now more recent than 2
+    store.put(3, make_placement(3.0, 1000));           // over budget: evict 2
+
+    EXPECT_EQ(store.get<cad::Placement>(2), nullptr) << "LRU entry should be evicted";
+    EXPECT_NE(store.get<cad::Placement>(1), nullptr);
+    EXPECT_NE(store.get<cad::Placement>(3), nullptr);
+    const auto st = store.stats();
+    EXPECT_EQ(st.evictions, 1u);
+    EXPECT_EQ(st.num_artifacts, 2u);
+    EXPECT_LE(st.resident_bytes, budget);
+
+    // The cap is strict: an artifact larger than the whole budget is
+    // admitted-and-evicted immediately. The caller's shared_ptr keeps the
+    // product alive; only the cache reference is dropped.
+    auto huge = make_placement(9.0, 50000);
+    store.put(99, huge);
+    EXPECT_EQ(store.get<cad::Placement>(99), nullptr);
+    EXPECT_LE(store.stats().resident_bytes, budget);
+    EXPECT_EQ(huge->cost_trajectory.size(), 50000u);
+}
+
+TEST(ArtifactStore, EvictionNeverInvalidatesReaders) {
+    const std::size_t one = cad::ArtifactCodec<cad::Placement>::approx_bytes(
+        *make_placement(0.0, 1000));
+    cad::ArtifactStore store(cad::ArtifactStoreConfig{3 * one, ""});
+    constexpr std::uint64_t kKeys = 200;
+
+    // One writer churns the tiny tier (constant eviction); readers hold the
+    // shared_ptrs they win across further churn and verify the content
+    // never changes underneath them.
+    std::thread writer([&] {
+        for (std::uint64_t k = 1; k <= kKeys; ++k)
+            store.put(k, make_placement(static_cast<double>(k), 1000));
+    });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&] {
+            std::vector<std::shared_ptr<const cad::Placement>> held;
+            for (std::uint64_t k = 1; k <= kKeys; ++k) {
+                if (auto p = store.get<cad::Placement>(k)) {
+                    EXPECT_EQ(p->final_cost, static_cast<double>(k));
+                    EXPECT_EQ(p->cost_trajectory.size(), 1000u);
+                    held.push_back(std::move(p));
+                }
+            }
+            for (std::size_t i = 0; i < held.size(); ++i)
+                EXPECT_EQ(held[i]->cost_trajectory.size(), 1000u);
+        });
+    }
+    writer.join();
+    for (auto& t : readers) t.join();
+    EXPECT_GT(store.stats().evictions, 0u);
+    EXPECT_LE(store.stats().resident_bytes, 3 * one);
+}
+
+TEST(ArtifactStore, InflightComputeSpansEvictionAndClear) {
+    const std::size_t one = cad::ArtifactCodec<cad::Placement>::approx_bytes(
+        *make_placement(0.0, 1000));
+    cad::ArtifactStore store(cad::ArtifactStoreConfig{2 * one, ""});
+    ASSERT_TRUE(store.begin_compute(42));
+
+    std::promise<bool> waiter_claimed;
+    std::thread waiter([&] { waiter_claimed.set_value(store.begin_compute(42)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    // While the compute is in flight: a clear() and enough churn to force
+    // evictions. Neither may disturb the claim or the waiter.
+    store.clear();
+    for (std::uint64_t k = 100; k < 108; ++k)
+        store.put(k, make_placement(static_cast<double>(k), 1000));
+
+    store.put(42, make_placement(42.0, 10));
+    store.finish_compute(42);
+    const bool claimed = waiter_claimed.get_future().get();
+    waiter.join();
+    if (claimed) {
+        // Legal under a tiny budget: the fresh product was evicted before
+        // the waiter woke, so ownership passed on. Honor the contract.
+        store.finish_compute(42);
+    } else {
+        const auto got = store.get<cad::Placement>(42);
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(got->final_cost, 42.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactStore, DiskTierRestoresAcrossStores) {
+    ScratchDir dir;
+    {
+        cad::ArtifactStore writer(cad::ArtifactStoreConfig{0, dir.str()});
+        writer.put(77, make_placement(3.5, 16));
+        EXPECT_EQ(writer.stats().disk_writes, 1u);
+    }  // "process restart": the first store is gone, only the blobs remain
+
+    cad::ArtifactStore reader(cad::ArtifactStoreConfig{0, dir.str()});
+    cad::ArtifactTier tier = cad::ArtifactTier::Memory;
+    const auto got = reader.get<cad::Placement>(77, &tier);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(tier, cad::ArtifactTier::Disk);
+    EXPECT_EQ(got->final_cost, 3.5);
+    EXPECT_EQ(got->cost_trajectory.size(), 16u);
+    EXPECT_EQ(reader.stats().disk_hits, 1u);
+
+    // The restore was re-admitted: the next get is a memory hit on the
+    // exact same object.
+    EXPECT_EQ(reader.get<cad::Placement>(77, &tier), got);
+    EXPECT_EQ(tier, cad::ArtifactTier::Memory);
+}
+
+TEST(ArtifactStore, ClearKeepsDiskTier) {
+    ScratchDir dir;
+    cad::ArtifactStore store(cad::ArtifactStoreConfig{0, dir.str()});
+    store.put(3, make_placement(8.0));
+    store.clear();
+    EXPECT_EQ(store.num_artifacts(), 0u);
+    const auto got = store.get<cad::Placement>(3);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->final_cost, 8.0);
+    EXPECT_EQ(store.stats().disk_hits, 1u);
+}
+
+TEST(ArtifactStore, DiskBlobTypeMismatchIsAMissNotCorruption) {
+    ScratchDir dir;
+    {
+        cad::ArtifactStore writer(cad::ArtifactStoreConfig{0, dir.str()});
+        writer.put(5, make_placement(1.0));
+    }
+    cad::ArtifactStore reader(cad::ArtifactStoreConfig{0, dir.str()});
+    EXPECT_EQ(reader.get<cad::MappedDesign>(5), nullptr);
+    const auto st = reader.stats();
+    EXPECT_EQ(st.disk_bad_blobs, 0u);  // a foreign type is a miss, not damage
+    EXPECT_EQ(st.misses, 1u);
+}
+
+TEST(ArtifactStore, CorruptDiskBlobIsAMissNeverACrash) {
+    ScratchDir dir;
+    {
+        cad::ArtifactStore writer(cad::ArtifactStoreConfig{0, dir.str()});
+        writer.put(9, make_placement(4.0, 32));
+    }
+    const fs::path blob = dir.path() / cad::key_hex(9);
+    ASSERT_TRUE(fs::exists(blob));
+    std::vector<char> original;
+    {
+        std::ifstream in(blob, std::ios::binary);
+        original.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(original.size(), 48u);
+
+    auto write_blob = [&](const std::vector<char>& bytes) {
+        std::ofstream out(blob, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    };
+    auto expect_miss = [&](std::uint64_t min_bad) {
+        cad::ArtifactStore reader(cad::ArtifactStoreConfig{0, dir.str()});
+        EXPECT_EQ(reader.get<cad::Placement>(9), nullptr);
+        EXPECT_GE(reader.stats().disk_bad_blobs, min_bad);
+    };
+
+    // Truncated header.
+    write_blob(std::vector<char>(original.begin(), original.begin() + 10));
+    expect_miss(1);
+    // Truncated payload.
+    write_blob(std::vector<char>(original.begin(), original.end() - 8));
+    expect_miss(1);
+    // Flipped payload byte (checksum catches it).
+    {
+        std::vector<char> flipped = original;
+        const std::size_t last = flipped.size() - 1;
+        flipped.at(last) = static_cast<char>(flipped.at(last) ^ 0x5a);
+        write_blob(flipped);
+        expect_miss(1);
+    }
+    // Not a blob at all / empty file.
+    write_blob({'j', 'u', 'n', 'k'});
+    expect_miss(1);
+    write_blob({});
+    expect_miss(1);
+
+    // The pristine blob still restores.
+    write_blob(original);
+    cad::ArtifactStore reader(cad::ArtifactStoreConfig{0, dir.str()});
+    const auto got = reader.get<cad::Placement>(9);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->final_cost, 4.0);
+}
+
+TEST(ArtifactStore, TwoStoresShareOneCacheDirectory) {
+    ScratchDir dir;
+    cad::ArtifactStore a(cad::ArtifactStoreConfig{0, dir.str()});
+    cad::ArtifactStore b(cad::ArtifactStoreConfig{0, dir.str()});
+    constexpr std::uint64_t kKeys = 24;
+
+    // Two stores (stand-ins for two processes) publish disjoint halves of a
+    // keyspace into one directory, concurrently with cross-reads. Temp-file
+    // + rename means a reader sees a complete blob or nothing — never a
+    // torn one.
+    std::thread ta([&] {
+        for (std::uint64_t k = 1; k <= kKeys; k += 2) {
+            a.put(k, make_placement(static_cast<double>(k)));
+            if (auto p = a.get<cad::Placement>(k + 1)) {
+                EXPECT_EQ(p->final_cost, static_cast<double>(k + 1));
+            }
+        }
+    });
+    std::thread tb([&] {
+        for (std::uint64_t k = 2; k <= kKeys; k += 2) {
+            b.put(k, make_placement(static_cast<double>(k)));
+            if (auto p = b.get<cad::Placement>(k - 1)) {
+                EXPECT_EQ(p->final_cost, static_cast<double>(k - 1));
+            }
+        }
+    });
+    ta.join();
+    tb.join();
+
+    // After the dust settles every key is readable from BOTH stores.
+    for (std::uint64_t k = 1; k <= kKeys; ++k) {
+        const auto pa = a.get<cad::Placement>(k);
+        const auto pb = b.get<cad::Placement>(k);
+        ASSERT_NE(pa, nullptr) << "key " << k;
+        ASSERT_NE(pb, nullptr) << "key " << k;
+        EXPECT_EQ(pa->final_cost, static_cast<double>(k));
+        EXPECT_EQ(pb->final_cost, static_cast<double>(k));
+    }
+    EXPECT_EQ(a.stats().disk_bad_blobs, 0u);
+    EXPECT_EQ(b.stats().disk_bad_blobs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RR memo: failure handling + statistics
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactStore, RrMemoCountsHitsAndMisses) {
+    cad::ArtifactStore store;
+    core::ArchSpec a;
+    core::ArchSpec b;
+    b.channel_width = a.channel_width + 2;
+    (void)store.rr_for(a);
+    (void)store.rr_for(a);
+    (void)store.rr_for(b);
+    const auto st = store.stats();
+    EXPECT_EQ(st.rr_misses, 2u);  // one build per architecture
+    EXPECT_EQ(st.rr_hits, 1u);    // the repeat
+    // RR lookups must not leak into the artifact-tier counters.
+    EXPECT_EQ(st.hits, 0u);
+    EXPECT_EQ(st.misses, 0u);
+}
+
+// Regression: a failed RR build used to leave its errored future visible —
+// has_rr() said true (so flows skipped creating the build pool they would
+// need) and callers in the set_exception..erase window inherited the cached
+// error instead of retrying.
+TEST(ArtifactStore, RrForFailedBuildIsRetriableAndInvisible) {
+    cad::ArtifactStore store;
+    core::ArchSpec bad;
+    bad.channel_width = 0;  // RRGraph validates the arch and throws
+
+    EXPECT_THROW((void)store.rr_for(bad), base::Error);
+    EXPECT_FALSE(store.has_rr(bad)) << "a failed build must not look memoized";
+    EXPECT_EQ(store.num_rr_graphs(), 0u);
+    // Every retry reproduces the failure freshly (no poisoned memo)...
+    EXPECT_THROW((void)store.rr_for(bad), base::Error);
+    // ...and an unrelated architecture is unaffected.
+    EXPECT_NE(store.rr_for(core::ArchSpec{}), nullptr);
+}
+
+// Regression for the failure window itself: a caller already waiting on a
+// build that fails must RETRY (and possibly become the next builder), not
+// adopt the error. Old code published the exception before erasing the
+// memo entry, handing waiters (and new arrivals in the window) the cached
+// error; this choreography fails there and passes now.
+TEST(ArtifactStore, RrForFailureWindowWaiterRetries) {
+    cad::ArtifactStore store;
+    const core::ArchSpec arch;
+    const std::uint64_t fp = arch.fingerprint();
+
+    std::atomic<int> calls{0};
+    std::promise<void> t1_building_p;
+    std::promise<void> t2_started_p;
+    std::shared_future<void> t2_started = t2_started_p.get_future().share();
+    const auto builder = [&]() -> std::shared_ptr<const core::RRGraph> {
+        if (calls.fetch_add(1) == 0) {
+            // Hold the first build open until T2 is (almost surely) parked
+            // on the memo future, then fail.
+            t1_building_p.set_value();
+            t2_started.wait();
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            base::fail("injected RR build failure");
+        }
+        return std::make_shared<core::RRGraph>(arch);
+    };
+
+    std::thread t1([&] { EXPECT_THROW((void)store.rr_for_keyed(fp, builder), base::Error); });
+    t1_building_p.get_future().wait();  // T1 owns the first (failing) build
+    std::shared_ptr<const core::RRGraph> got;
+    std::thread t2([&] {
+        t2_started_p.set_value();
+        got = store.rr_for_keyed(fp, builder);
+    });
+    t1.join();
+    t2.join();
+
+    ASSERT_NE(got, nullptr) << "waiter adopted the builder's error instead of retrying";
+    EXPECT_EQ(calls.load(), 2);
+    EXPECT_TRUE(store.has_rr(arch));
 }
 
 TEST(ArtifactStore, RrMemoSharesPerArchitecture) {

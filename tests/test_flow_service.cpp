@@ -6,6 +6,7 @@
 // pins service results byte-for-byte to the serial run_flow loop.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -321,6 +322,126 @@ TEST(FlowService, ReportJsonAggregates) {
          {"\"threads\"", "\"hardware_concurrency\"", "\"jobs_total\":2", "\"jobs_ok\":2",
           "\"jobs_cancelled\":0", "\"artifacts\"", "\"rr_graphs\":1", "\"hits\"",
           "\"misses\"", "\"telemetry\"", "\"queue_ms\""})
+        EXPECT_NE(json.find(field), std::string::npos) << field << " missing in " << json;
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier cache through the service
+// ---------------------------------------------------------------------------
+
+/// A unique temp directory wiped on construction and destruction.
+class ScratchDir {
+public:
+    explicit ScratchDir(const std::string& name)
+        : path_(std::filesystem::temp_directory_path() / ("afpga_flowsvc_" + name)) {
+        std::filesystem::remove_all(path_);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(path_); }
+    [[nodiscard]] std::string str() const { return path_.string(); }
+
+private:
+    std::filesystem::path path_;
+};
+
+cad::FlowJob adder_job(const std::string& name, const asynclib::QdiAdder& d,
+                       const core::ArchSpec& arch, std::uint64_t seed = 1) {
+    cad::FlowJob j;
+    j.name = name;
+    j.nl = &d.nl;
+    j.hints = &d.hints;
+    j.arch = arch;
+    j.opts.seed = seed;
+    return j;
+}
+
+TEST(FlowServiceDiskCache, RestartOverOneCacheDirIsBitIdenticalAllFromDisk) {
+    // A service restarted over the same cache directory must restore every
+    // stage from disk — no recompute — and produce a byte-identical flow.
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    ScratchDir dir("restart");
+
+    std::string cold_fp;
+    {
+        cad::FlowServiceOptions so;
+        so.artifact_cache_dir = dir.str();
+        cad::FlowService svc(so);
+        const auto id = svc.submit(adder_job("cold", adder, arch));
+        const cad::FlowJobResult& r = svc.wait(id);
+        ASSERT_TRUE(r.ok()) << r.error;
+        expect_hits(r.result.telemetry, {false, false, false, false, false}, "cold");
+        cold_fp = testsupport::flow_fingerprint(r.result);
+        EXPECT_GE(svc.store().stats().disk_writes, 5u);
+    }  // service destroyed: only the disk blobs survive
+
+    cad::FlowServiceOptions so;
+    so.artifact_cache_dir = dir.str();
+    cad::FlowService svc(so);
+    const auto id = svc.submit(adder_job("warm", adder, arch));
+    const cad::FlowJobResult& r = svc.wait(id);
+    ASSERT_TRUE(r.ok()) << r.error;
+    expect_hits(r.result.telemetry, {true, true, true, true, true}, "disk warm");
+    for (const auto& s : r.result.telemetry.stages) {
+        const double* from_disk = s.metric("restored_from_disk");
+        ASSERT_NE(from_disk, nullptr) << s.stage << " was not restored from disk";
+        EXPECT_EQ(*from_disk, 1.0) << s.stage;
+    }
+    EXPECT_EQ(testsupport::flow_fingerprint(r.result), cold_fp);
+    const cad::ArtifactStoreStats st = svc.store().stats();
+    EXPECT_GE(st.disk_hits, 5u);
+    EXPECT_EQ(st.disk_bad_blobs, 0u);
+}
+
+TEST(FlowServiceDiskCache, MemoryBudgetHoldsWhileDiskKeepsResultsIdentical) {
+    // A tight memory budget forces evictions mid-grid; the disk tier absorbs
+    // them, the cap is never exceeded, and every job still matches the
+    // serial uncached compile byte for byte.
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    ScratchDir dir("budget");
+
+    cad::FlowServiceOptions so;
+    so.threads = 2;
+    so.artifact_memory_budget_bytes = 8 * 1024;  // far below one grid's products
+    so.artifact_cache_dir = dir.str();
+    cad::FlowService svc(so);
+
+    std::vector<cad::FlowJobId> ids;
+    std::vector<std::uint64_t> seeds = {1, 2, 3};
+    for (const auto seed : seeds)
+        ids.push_back(svc.submit(adder_job("s" + std::to_string(seed), adder, arch, seed)));
+    svc.wait_all();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const cad::FlowJobResult& r = svc.wait(ids[i]);
+        ASSERT_TRUE(r.ok()) << r.name << ": " << r.error;
+        cad::FlowOptions o;
+        o.seed = seeds[i];
+        const auto serial = cad::run_flow(adder.nl, adder.hints, arch, o);
+        EXPECT_EQ(testsupport::flow_fingerprint(serial),
+                  testsupport::flow_fingerprint(r.result))
+            << r.name;
+    }
+    const cad::ArtifactStoreStats st = svc.store().stats();
+    EXPECT_LE(st.resident_bytes, st.memory_budget_bytes);
+    EXPECT_GT(st.evictions, 0u);
+    EXPECT_EQ(st.memory_budget_bytes, 8u * 1024u);
+}
+
+TEST(FlowServiceDiskCache, ReportJsonCarriesTierFields) {
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    ScratchDir dir("report");
+    cad::FlowServiceOptions so;
+    so.artifact_memory_budget_bytes = 1 << 20;
+    so.artifact_cache_dir = dir.str();
+    cad::FlowService svc(so);
+    (void)svc.submit(adder_job("one", adder, arch));
+    svc.wait_all();
+    const std::string json = svc.report_json();
+    for (const char* field :
+         {"\"artifact_cache_dir\"", "\"disk_hits\"", "\"evictions\"", "\"collisions\"",
+          "\"resident_bytes\"", "\"memory_budget_bytes\":1048576", "\"disk_writes\"",
+          "\"disk_write_failures\"", "\"disk_bad_blobs\"", "\"rr_hits\"", "\"rr_misses\""})
         EXPECT_NE(json.find(field), std::string::npos) << field << " missing in " << json;
 }
 
