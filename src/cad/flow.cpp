@@ -155,12 +155,29 @@ private:
         report.add_metric("final_cost", pl.final_cost);
         report.add_metric("moves_tried", static_cast<double>(pl.moves_tried));
         report.add_metric("moves_accepted", static_cast<double>(pl.moves_accepted));
+        report.add_metric("engine", static_cast<double>(pl.engine));
+        if (pl.engine == PlaceEngine::Analytical) {
+            const AnalyticalStats& an = pl.analytical;
+            report.add_metric("solver_iterations", static_cast<double>(an.solver_iterations));
+            report.add_metric("solver_passes", static_cast<double>(an.solver_passes));
+            report.add_metric("spread_passes", static_cast<double>(an.spread_passes));
+            report.add_metric("pre_legal_cost", an.pre_legal_cost);
+            report.add_metric("legalized_cost", an.legalized_cost);
+            report.add_metric("legalize_max_displacement",
+                              static_cast<double>(an.legalize.max_displacement));
+            report.add_metric("legalize_avg_displacement", an.legalize.avg_displacement);
+            for (std::size_t b = 0; b < an.legalize.displacement_histogram.size(); ++b)
+                report.add_metric("legalize_disp_bucket" + std::to_string(b),
+                                  static_cast<double>(an.legalize.displacement_histogram[b]));
+        }
         if (!pl.replicas.empty()) {
             report.add_metric("parallel_seeds", static_cast<double>(pl.replicas.size()));
             report.add_metric("winner_replica", static_cast<double>(pl.winner_replica));
             for (std::size_t i = 0; i < pl.replicas.size(); ++i) {
                 const PlaceReplica& r = pl.replicas[i];
                 report.add_metric("replica" + std::to_string(i) + "_cost", r.final_cost);
+                report.add_metric("replica" + std::to_string(i) + "_engine",
+                                  static_cast<double>(r.engine));
                 if (!restored)
                     report.add_metric("replica" + std::to_string(i) + "_ms", r.wall_ms);
             }
@@ -618,7 +635,7 @@ std::uint64_t FlowOptions::fingerprint() const noexcept {
     // prebuilt_rr and artifact_store are deliberately NOT mixed: they are
     // plumbing, not semantics (the RR graph is a pure function of the arch,
     // and the store only changes where products come from).
-    static_assert(sizeof(FlowOptions) == 184,
+    static_assert(sizeof(FlowOptions) == 216,
                   "FlowOptions changed: update fingerprint() and this assert");
     Fingerprint f;
     f.mix(seed)

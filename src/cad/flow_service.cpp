@@ -27,7 +27,9 @@ FlowService::FlowService(FlowServiceOptions opts)
       threads_(opts.threads != 0 ? opts.threads
                                  : static_cast<unsigned>(base::ThreadPool::default_workers())),
       store_(std::make_shared<ArtifactStore>(
-          ArtifactStoreConfig{opts.artifact_memory_budget_bytes, opts.artifact_cache_dir})),
+          ArtifactStoreConfig{opts.artifact_memory_budget_bytes, opts.artifact_cache_dir,
+                              opts.artifact_disk_budget_bytes,
+                              opts.artifact_disk_max_age_seconds})),
       pool_(threads_) {
     // Make the single-core-container caveat machine-detectable: a pool wider
     // than the hardware can only time-slice, so wall-clock "speedups"
@@ -241,6 +243,7 @@ std::string FlowService::report_json() const {
     w.key("disk_writes").value(st.disk_writes);
     w.key("disk_write_failures").value(st.disk_write_failures);
     w.key("disk_bad_blobs").value(st.disk_bad_blobs);
+    w.key("disk_pruned").value(st.disk_pruned);
     w.key("rr_hits").value(st.rr_hits);
     w.key("rr_misses").value(st.rr_misses);
     w.end_object();

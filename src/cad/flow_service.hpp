@@ -53,6 +53,14 @@ struct FlowServiceOptions {
     /// concurrent services/processes may share one; see
     /// ArtifactStoreConfig::disk_dir.
     std::string artifact_cache_dir;
+    /// Disk-tier byte budget: blob directories otherwise grow without
+    /// bound across service restarts. Enforced by ArtifactStore::prune_disk
+    /// at service startup (oldest blobs deleted first); 0 = unbounded. See
+    /// ArtifactStoreConfig::disk_budget_bytes.
+    std::size_t artifact_disk_budget_bytes = 0;
+    /// Maximum blob age in seconds for the startup prune (0 = no age
+    /// limit); see ArtifactStoreConfig::disk_max_age_seconds.
+    std::uint64_t artifact_disk_max_age_seconds = 0;
 };
 
 /// One design-compile request. The netlist and hints are borrowed.

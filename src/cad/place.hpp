@@ -1,12 +1,19 @@
 /// \file
-/// Placement: simulated annealing over PLB locations and I/O pad
-/// assignment (VPR-style adaptive schedule, half-perimeter wirelength
-/// cost).
+/// Placement: two engines over one wirelength model (cad/place_model.hpp).
 ///
-/// Threading: PlaceOptions::parallel_seeds races independently-seeded
-/// replicas on a base::ThreadPool; each replica owns its state/Rng/cost
-/// engine and the winner is chosen by (cost, replica index), so results
-/// are bit-identical for any pool size.
+///  - `anneal`: simulated annealing over PLB locations and I/O pad
+///    assignment (VPR-style adaptive schedule, half-perimeter wirelength
+///    cost), optionally raced across independently-seeded replicas.
+///  - `analytical`: quadratic B2B global placement solved by a
+///    deterministic conjugate-gradient solver (cad/place_analytical.hpp),
+///    snapped legal by a Tetris-style legalizer (cad/place_legalize.hpp),
+///    then polished by a short warm-start anneal.
+///  - `race`: the analytical engine joins the multi-seed anneal race as
+///    one more replica.
+///
+/// Threading: races run replicas on a base::ThreadPool; each replica owns
+/// its state/Rng/cost engine and the winner is chosen by (cost, replica
+/// index), so results are bit-identical for any pool size or thread count.
 #pragma once
 
 #include <cstdint>
@@ -15,20 +22,43 @@
 #include <vector>
 
 #include "cad/pack.hpp"
+#include "cad/place_legalize.hpp"
 #include "core/fabric.hpp"
 
 namespace afpga::cad {
 
-/// What one annealing replica of a multi-seed race did (telemetry; the
-/// winner's fields are also promoted into the Placement itself).
+/// Which placement engine(s) a place() call runs.
+enum class PlaceAlgorithm : std::uint8_t {
+    Anneal = 0,      ///< simulated annealing (optionally multi-seed raced)
+    Analytical = 1,  ///< B2B quadratic solve + legalize + polish anneal
+    Race = 2,        ///< anneal replicas + one analytical replica, best wins
+};
+
+/// Which engine produced a given placement/replica (telemetry).
+enum class PlaceEngine : std::uint8_t { Anneal = 0, Analytical = 1 };
+
+/// Analytical-engine telemetry: what the solver, spreader and legalizer
+/// did (place StageReport metrics; serialized with the Placement).
+struct AnalyticalStats {
+    std::uint64_t solver_iterations = 0;  ///< total CG iterations, both axes
+    int solver_passes = 0;                ///< B2B rebuild+solve passes run
+    int spread_passes = 0;                ///< bisection spreading passes run
+    double pre_legal_cost = 0.0;          ///< HPWL at fractional coordinates
+    double legalized_cost = 0.0;          ///< HPWL after snapping legal
+    LegalizeStats legalize;               ///< displacement histogram etc.
+};
+
+/// What one replica of a multi-seed race did (telemetry; the winner's
+/// fields are also promoted into the Placement itself).
 struct PlaceReplica {
     std::uint64_t seed = 0;                ///< the replica's derived seed
     double final_cost = 0.0;               ///< HPWL at the replica's end
     double wall_ms = 0.0;                  ///< replica wall time (telemetry)
     std::vector<double> cost_trajectory;   ///< HPWL after each temperature step
+    PlaceEngine engine = PlaceEngine::Anneal;  ///< which engine ran it
 };
 
-/// Where everything landed, plus annealer telemetry.
+/// Where everything landed, plus engine telemetry.
 struct Placement {
     std::vector<core::PlbCoord> cluster_loc;           ///< per cluster
     std::unordered_map<std::string, std::uint32_t> pi_pad;  ///< PI name -> pad
@@ -38,13 +68,16 @@ struct Placement {
     std::uint64_t moves_accepted = 0;      ///< accepted proposals
     int anneal_rounds = 0;                 ///< temperature steps executed
     std::vector<double> cost_trajectory;   ///< HPWL after each temperature step
-    /// Multi-seed race only (parallel_seeds > 1): one entry per replica in
-    /// replica order, plus which replica won. Empty for a single-seed run.
+    /// Race only (parallel_seeds > 1, or algorithm == Race): one entry per
+    /// replica in replica order, plus which replica won. Empty otherwise.
     std::vector<PlaceReplica> replicas;
     std::size_t winner_replica = 0;        ///< index into replicas
+    PlaceEngine engine = PlaceEngine::Anneal;  ///< engine that produced this
+    /// Populated when `engine == Analytical` (zeroed otherwise).
+    AnalyticalStats analytical;
 };
 
-/// Annealer knobs.
+/// Placement knobs (both engines; see each field).
 struct PlaceOptions {
     std::uint64_t seed = 1;        ///< RNG seed (the flow injects its own)
     double alpha = 0.9;            ///< temperature decay
@@ -54,14 +87,33 @@ struct PlaceOptions {
     /// position lookups with mutate/rollback) — kept as the bench baseline
     /// and as a cross-check; decisions are bit-identical in both modes.
     bool incremental = true;
+    /// Engine selection; see PlaceAlgorithm. `Anneal` preserves the
+    /// historical behaviour bit-for-bit.
+    PlaceAlgorithm algorithm = PlaceAlgorithm::Anneal;
     /// Number of independently-seeded annealing replicas raced on a thread
     /// pool; replica i anneals with Rng::derive_seed(seed, i) and the winner
     /// is the lexicographic minimum of (final_cost, replica index), so the
     /// result is bit-reproducible regardless of pool size or scheduling.
-    /// 1 = the classic single-seed anneal using `seed` directly.
+    /// 1 = the classic single-seed anneal using `seed` directly. In `Race`
+    /// mode the analytical engine runs as one extra replica after these.
     int parallel_seeds = 1;
     /// Pool size for the race; 0 = base::ThreadPool::default_workers().
     unsigned threads = 0;
+    /// Hard cap on annealing temperature rounds (the schedule usually
+    /// exits on its own well before this).
+    int max_rounds = 300;
+    /// Analytical: B2B model rebuild+solve passes of global placement.
+    int solver_passes = 16;
+    /// Analytical: CG iteration cap per axis solve.
+    int solver_max_iters = 150;
+    /// Analytical: warm-start polish anneal rounds after legalization
+    /// (0 = no polish).
+    int polish_rounds = 8;
+    /// Analytical: CG convergence threshold (relative residual).
+    double solver_tolerance = 1e-9;
+    /// Analytical: base weight of spreading anchor pseudo-nets; the
+    /// effective weight grows linearly with the pass number.
+    double anchor_weight = 0.10;
 
     /// Canonical content hash over EVERY field (artifact-key material); the
     /// implementation pins the struct size so new fields fail loudly.

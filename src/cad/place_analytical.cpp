@@ -1,0 +1,562 @@
+#include "cad/place_analytical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "base/check.hpp"
+#include "base/rng.hpp"
+
+namespace afpga::cad {
+
+namespace {
+
+/// Minimum pin separation in B2B weights (keeps 1/d bounded when pins
+/// coincide).
+constexpr double kB2bEps = 1e-2;
+
+/// One axis of the quadratic system: symmetric positive-definite
+/// Laplacian-plus-anchors, assembled from deterministic-order triplets and
+/// finalized into CSR for the solver.
+struct QuadSystem {
+    std::vector<double> diag;
+    std::vector<double> rhs;
+    std::vector<std::tuple<std::size_t, std::size_t, double>> off;  ///< pre-CSR
+    std::vector<std::size_t> row_start;
+    std::vector<std::size_t> col;
+    std::vector<double> val;
+
+    explicit QuadSystem(std::size_t n) : diag(n, 0.0), rhs(n, 0.0) {}
+
+    void connect_movable(std::size_t i, std::size_t j, double w) {
+        diag[i] += w;
+        diag[j] += w;
+        off.emplace_back(i, j, -w);
+        off.emplace_back(j, i, -w);
+    }
+    void connect_fixed(std::size_t i, double coord, double w) {
+        diag[i] += w;
+        rhs[i] += w * coord;
+    }
+
+    /// Pin clusters with no connections at their current coordinate (the
+    /// system stays SPD and the solver leaves them put).
+    void fix_degenerate(const std::vector<double>& x) {
+        for (std::size_t i = 0; i < diag.size(); ++i)
+            if (diag[i] == 0.0) {
+                diag[i] = 1.0;
+                rhs[i] = x[i];
+            }
+    }
+
+    /// Sort + merge the triplets into CSR. The triplet sequence is a pure
+    /// function of the model, so the merge (and its FP summation order) is
+    /// identical on every run.
+    void finalize() {
+        std::sort(off.begin(), off.end(), [](const auto& a, const auto& b) {
+            if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+            return std::get<1>(a) < std::get<1>(b);
+        });
+        row_start.assign(diag.size() + 1, 0);
+        for (std::size_t t = 0; t < off.size();) {
+            const std::size_t row = std::get<0>(off[t]);
+            const std::size_t column = std::get<1>(off[t]);
+            double w = 0;
+            while (t < off.size() && std::get<0>(off[t]) == row &&
+                   std::get<1>(off[t]) == column) {
+                w += std::get<2>(off[t]);
+                ++t;
+            }
+            col.push_back(column);
+            val.push_back(w);
+            ++row_start[row + 1];
+        }
+        for (std::size_t i = 1; i < row_start.size(); ++i) row_start[i] += row_start[i - 1];
+        off.clear();
+        off.shrink_to_fit();
+    }
+
+    /// y = A x (serial, row order).
+    void apply(const std::vector<double>& x, std::vector<double>& y) const {
+        const std::size_t n = diag.size();
+        y.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            double acc = diag[i] * x[i];
+            for (std::size_t t = row_start[i]; t < row_start[i + 1]; ++t)
+                acc += val[t] * x[col[t]];
+            y[i] = acc;
+        }
+    }
+};
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+/// Jacobi-preconditioned conjugate gradient, warm-started from `x`.
+/// Strictly serial with a fixed iteration order — bit-reproducible.
+/// Returns the number of iterations run.
+std::uint64_t solve_pcg(const QuadSystem& sys, std::vector<double>& x, int max_iters,
+                        double tol) {
+    const std::size_t n = x.size();
+    if (n == 0) return 0;
+    std::vector<double> r(n);
+    std::vector<double> z(n);
+    std::vector<double> p(n);
+    std::vector<double> ap(n);
+    sys.apply(x, ap);
+    for (std::size_t i = 0; i < n; ++i) r[i] = sys.rhs[i] - ap[i];
+    double bnorm = std::sqrt(dot(sys.rhs, sys.rhs));
+    if (bnorm < 1e-300) bnorm = 1.0;
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / sys.diag[i];
+    p = z;
+    double rz = dot(r, z);
+    std::uint64_t iters = 0;
+    for (int it = 0; it < max_iters; ++it) {
+        if (std::sqrt(dot(r, r)) <= tol * bnorm) break;
+        sys.apply(p, ap);
+        const double pap = dot(p, ap);
+        if (!(pap > 0)) break;  // numerical breakdown: keep the best x so far
+        const double alpha = rz / pap;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / sys.diag[i];
+        const double rz_new = dot(r, z);
+        ++iters;
+        if (!(rz_new > 0)) break;
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
+    return iters;
+}
+
+/// Assemble one axis of the B2B model: for each net, the two bound pins
+/// (min/max coordinate, first-in-net-order on ties) connect to each other
+/// and to every interior pin with weight 2 / ((p-1) * max(dist, eps)).
+/// Fixed pins (I/O pads) fold into diag/rhs; anchor targets (spreading)
+/// attach every cluster to a fixed pseudo-pin.
+QuadSystem build_axis(const PlaceModel& model, int axis, const std::vector<double>& cx,
+                      const std::vector<double>& cy,
+                      const std::vector<std::uint32_t>& pad_of_io,
+                      const std::vector<double>* anchor_targets, double anchor_w) {
+    QuadSystem sys(model.num_clusters);
+    auto coord_of = [&](std::size_t eid) -> double {
+        const PlaceEntity& e = model.entities[eid];
+        if (e.kind == PlaceEntity::Kind::Cluster)
+            return axis == 0 ? cx[e.index] : cy[e.index];
+        const PlacePt p = model.pad_pts[pad_of_io[e.io_slot]];
+        return axis == 0 ? p.x : p.y;
+    };
+    for (const PlaceNet& net : model.nets) {
+        const std::size_t p = net.entities.size();
+        if (p < 2) continue;
+        std::size_t lo = net.entities[0];
+        std::size_t hi = lo;
+        double clo = coord_of(lo);
+        double chi = clo;
+        for (std::size_t k = 1; k < p; ++k) {
+            const std::size_t eid = net.entities[k];
+            const double c = coord_of(eid);
+            if (c < clo) {
+                clo = c;
+                lo = eid;
+            }
+            if (c > chi) {
+                chi = c;
+                hi = eid;
+            }
+        }
+        const double base = 2.0 / static_cast<double>(p - 1);
+        auto add_edge = [&](std::size_t a, std::size_t b, double ca, double cb) {
+            if (a == b) return;
+            const double w = base / std::max(std::abs(ca - cb), kB2bEps);
+            const PlaceEntity& ea = model.entities[a];
+            const PlaceEntity& eb = model.entities[b];
+            const bool ma = ea.kind == PlaceEntity::Kind::Cluster;
+            const bool mb = eb.kind == PlaceEntity::Kind::Cluster;
+            if (ma && mb)
+                sys.connect_movable(ea.index, eb.index, w);
+            else if (ma)
+                sys.connect_fixed(ea.index, cb, w);
+            else if (mb)
+                sys.connect_fixed(eb.index, ca, w);
+        };
+        add_edge(lo, hi, clo, chi);
+        for (std::size_t k = 0; k < p; ++k) {
+            const std::size_t eid = net.entities[k];
+            if (eid == lo || eid == hi) continue;
+            const double c = coord_of(eid);
+            add_edge(eid, lo, c, clo);
+            add_edge(eid, hi, c, chi);
+        }
+    }
+    if (anchor_targets != nullptr)
+        for (std::size_t i = 0; i < model.num_clusters; ++i)
+            sys.connect_fixed(i, (*anchor_targets)[i], anchor_w);
+    return sys;
+}
+
+/// Recursive-bisection spreading: split the grid region at its geometric
+/// midline and partition the clusters (sorted by coordinate along the cut
+/// axis, ties by index) to the side of the cut they already sit on; the
+/// boundary shifts only when a side exceeds its site capacity, so spreading
+/// displaces clusters exactly where density demands it and leaves sparse
+/// regions (the common low-utilization case) in place. Leaves assign each
+/// cluster its region's center as an anchor target. All comparisons have
+/// fixed tie-breaks, so targets are a pure function of the positions.
+void spread_region(std::uint32_t x0, std::uint32_t x1, std::uint32_t y0, std::uint32_t y1,
+                   std::vector<std::size_t> cl, const std::vector<double>& cx,
+                   const std::vector<double>& cy, std::vector<double>& tgt_x,
+                   std::vector<double>& tgt_y) {
+    if (cl.empty()) return;
+    const std::uint32_t w = x1 - x0;
+    const std::uint32_t h = y1 - y0;
+    if (cl.size() == 1 || (w == 1 && h == 1)) {
+        const double tx = (static_cast<double>(x0) + static_cast<double>(x1) - 1.0) / 2.0 + 1.0;
+        const double ty = (static_cast<double>(y0) + static_cast<double>(y1) - 1.0) / 2.0 + 1.0;
+        for (std::size_t ci : cl) {
+            tgt_x[ci] = tx;
+            tgt_y[ci] = ty;
+        }
+        return;
+    }
+    const bool split_x = w >= h;
+    const std::uint32_t xm = split_x ? x0 + w / 2 : x1;
+    const std::uint32_t ym = split_x ? y1 : y0 + h / 2;
+    const std::size_t cap_lo =
+        split_x ? std::size_t{xm - x0} * h : std::size_t{ym - y0} * w;
+    const std::size_t cap_hi =
+        split_x ? std::size_t{x1 - xm} * h : std::size_t{y1 - ym} * w;
+    std::sort(cl.begin(), cl.end(), [&](std::size_t a, std::size_t b) {
+        const double ca = split_x ? cx[a] : cy[a];
+        const double cb = split_x ? cx[b] : cy[b];
+        if (ca != cb) return ca < cb;
+        return a < b;
+    });
+    // Site i's center coordinate is i+1, so the cut between sites xm-1 and
+    // xm lies at coordinate xm + 0.5.
+    const double cut =
+        split_x ? static_cast<double>(xm) + 0.5 : static_cast<double>(ym) + 0.5;
+    std::size_t k = 0;
+    while (k < cl.size() && (split_x ? cx[cl[k]] : cy[cl[k]]) <= cut) ++k;
+    k = std::min(k, cap_lo);
+    k = std::min(k, cl.size());
+    if (cl.size() - k > cap_hi) k = cl.size() - cap_hi;
+    std::vector<std::size_t> lo_cl(cl.begin(), cl.begin() + static_cast<std::ptrdiff_t>(k));
+    std::vector<std::size_t> hi_cl(cl.begin() + static_cast<std::ptrdiff_t>(k), cl.end());
+    if (split_x) {
+        spread_region(x0, xm, y0, y1, std::move(lo_cl), cx, cy, tgt_x, tgt_y);
+        spread_region(xm, x1, y0, y1, std::move(hi_cl), cx, cy, tgt_x, tgt_y);
+    } else {
+        spread_region(x0, x1, y0, ym, std::move(lo_cl), cx, cy, tgt_x, tgt_y);
+        spread_region(x0, x1, ym, y1, std::move(hi_cl), cx, cy, tgt_x, tgt_y);
+    }
+}
+
+/// Greedy deterministic pad refinement: io slots in slot order each take
+/// the free pad nearest (Manhattan) to the centroid of the clusters on
+/// their nets; strict `<` keeps the lowest pad index on ties.
+void refine_pads(const PlaceModel& model, const std::vector<double>& cx,
+                 const std::vector<double>& cy, std::vector<std::uint32_t>& pad_of_io) {
+    const std::size_t n_io = model.io_entity_ids.size();
+    const std::size_t n_pads = model.pad_pts.size();
+    std::vector<char> taken(n_pads, 0);
+    std::vector<std::uint32_t> out(n_io, 0);
+    for (std::size_t s = 0; s < n_io; ++s) {
+        const std::size_t eid = model.io_entity_ids[s];
+        double sx = 0;
+        double sy = 0;
+        std::size_t cnt = 0;
+        for (std::size_t ni : model.nets_of_entity[eid])
+            for (std::size_t other : model.nets[ni].entities) {
+                const PlaceEntity& e = model.entities[other];
+                if (e.kind != PlaceEntity::Kind::Cluster) continue;
+                sx += cx[e.index];
+                sy += cy[e.index];
+                ++cnt;
+            }
+        std::uint32_t best = 0;
+        bool found = false;
+        if (cnt == 0) {
+            // Disconnected I/O: keep its seeded pad if free, else lowest free.
+            if (taken[pad_of_io[s]] == 0) {
+                best = pad_of_io[s];
+                found = true;
+            } else {
+                for (std::uint32_t p2 = 0; p2 < n_pads; ++p2)
+                    if (taken[p2] == 0) {
+                        best = p2;
+                        found = true;
+                        break;
+                    }
+            }
+        } else {
+            const double gx = sx / static_cast<double>(cnt);
+            const double gy = sy / static_cast<double>(cnt);
+            double best_d = 1e300;
+            for (std::uint32_t p2 = 0; p2 < n_pads; ++p2) {
+                if (taken[p2] != 0) continue;
+                const double d = std::abs(model.pad_pts[p2].x - gx) +
+                                 std::abs(model.pad_pts[p2].y - gy);
+                if (d < best_d) {
+                    best_d = d;
+                    best = p2;
+                    found = true;
+                }
+            }
+        }
+        base::check(found, "place_analytical: ran out of free pads");
+        taken[best] = 1;
+        out[s] = best;
+    }
+    pad_of_io = out;
+}
+
+/// HPWL over the fractional (pre-legalization) coordinates.
+double fractional_cost(const PlaceModel& model, const std::vector<double>& cx,
+                       const std::vector<double>& cy,
+                       const std::vector<std::uint32_t>& pad_of_io) {
+    double total = 0;
+    for (const PlaceNet& net : model.nets) {
+        double xmin = 1e18;
+        double xmax = -1e18;
+        double ymin = 1e18;
+        double ymax = -1e18;
+        for (std::size_t eid : net.entities) {
+            const PlaceEntity& e = model.entities[eid];
+            const PlacePt p = e.kind == PlaceEntity::Kind::Cluster
+                                  ? PlacePt{cx[e.index], cy[e.index]}
+                                  : model.pad_pts[pad_of_io[e.io_slot]];
+            xmin = std::min(xmin, p.x);
+            xmax = std::max(xmax, p.x);
+            ymin = std::min(ymin, p.y);
+            ymax = std::max(ymax, p.y);
+        }
+        total += (xmax - xmin) + (ymax - ymin);
+    }
+    return total;
+}
+
+}  // namespace
+
+// Exhaustive-window descent on the true objective (fixed scan orders,
+// strict improvement, fixed tie-breaks — see the header for why it must
+// run after, not before, the polish anneal). Cluster passes (windowed
+// moves/swaps) alternate with pad passes (every pad, plus pad swaps):
+// on I/O-heavy designs most of the recoverable wirelength is in the pad
+// assignment, which greedy seeding and short polishing leave suboptimal.
+void refine_detailed(const PlaceModel& model, std::vector<std::uint32_t>& pad_of_io,
+                     std::vector<core::PlbCoord>& loc) {
+    const std::uint32_t W = model.arch->width;
+    const std::uint32_t H = model.arch->height;
+    constexpr int kRadius = 3;
+    constexpr int kMaxPasses = 16;
+    const std::size_t n = model.num_clusters;
+    const std::size_t n_io = model.io_entity_ids.size();
+    const std::size_t n_pads = model.pad_pts.size();
+    constexpr std::uint32_t kFree = 0xffffffffu;
+    std::vector<std::uint32_t> grid(std::size_t{W} * H, kFree);
+    auto cell = [&](std::uint32_t gx, std::uint32_t gy) -> std::uint32_t& {
+        return grid[std::size_t{gy} * W + gx];
+    };
+    for (std::size_t i = 0; i < n; ++i) cell(loc[i].x, loc[i].y) = static_cast<std::uint32_t>(i);
+    std::vector<std::uint32_t> pad_owner(n_pads, kFree);
+    for (std::size_t s = 0; s < n_io; ++s) pad_owner[pad_of_io[s]] = static_cast<std::uint32_t>(s);
+
+    // Cost over the nets touching entity a (and b, when swapping),
+    // deduplicated — the only terms a move can change.
+    std::vector<std::size_t> touched;
+    auto cost_around = [&](std::size_t ea, std::size_t eb) {
+        touched.clear();
+        touched.insert(touched.end(), model.nets_of_entity[ea].begin(),
+                       model.nets_of_entity[ea].end());
+        if (eb != SIZE_MAX)
+            touched.insert(touched.end(), model.nets_of_entity[eb].begin(),
+                           model.nets_of_entity[eb].end());
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+        double c = 0;
+        for (std::size_t ni : touched) c += model.net_cost(model.nets[ni], loc, pad_of_io);
+        return c;
+    };
+
+    for (int pass = 0; pass < kMaxPasses; ++pass) {
+        bool improved = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const core::PlbCoord from = loc[i];
+            const std::uint32_t ty0 =
+                from.y > static_cast<std::uint32_t>(kRadius) ? from.y - kRadius : 0;
+            const std::uint32_t ty1 = std::min(H - 1, from.y + kRadius);
+            const std::uint32_t tx0 =
+                from.x > static_cast<std::uint32_t>(kRadius) ? from.x - kRadius : 0;
+            const std::uint32_t tx1 = std::min(W - 1, from.x + kRadius);
+            double best_delta = -1e-9;  // strict improvement only
+            core::PlbCoord best_to{};
+            bool have = false;
+            for (std::uint32_t ty = ty0; ty <= ty1; ++ty)
+                for (std::uint32_t tx = tx0; tx <= tx1; ++tx) {
+                    if (tx == from.x && ty == from.y) continue;
+                    const std::uint32_t occ = cell(tx, ty);
+                    const std::size_t j = occ == kFree ? SIZE_MAX : occ;
+                    const double before = cost_around(i, j);
+                    loc[i] = {tx, ty};
+                    if (j != SIZE_MAX) loc[j] = from;
+                    const double delta = cost_around(i, j) - before;
+                    loc[i] = from;
+                    if (j != SIZE_MAX) loc[j] = {tx, ty};
+                    if (delta < best_delta) {
+                        best_delta = delta;
+                        best_to = {tx, ty};
+                        have = true;
+                    }
+                }
+            if (have) {
+                const std::uint32_t occ = cell(best_to.x, best_to.y);
+                loc[i] = best_to;
+                if (occ != kFree) {
+                    loc[occ] = from;
+                    cell(from.x, from.y) = occ;
+                } else {
+                    cell(from.x, from.y) = kFree;
+                }
+                cell(best_to.x, best_to.y) = static_cast<std::uint32_t>(i);
+                improved = true;
+            }
+        }
+        // Pad pass: each io slot, in slot order, tries every pad — free
+        // pads as moves, owned pads as slot swaps.
+        for (std::size_t s = 0; s < n_io; ++s) {
+            const std::size_t es = model.io_entity_ids[s];
+            const std::uint32_t from = pad_of_io[s];
+            double best_delta = -1e-9;  // strict improvement only
+            std::uint32_t best_pad = 0;
+            bool have = false;
+            for (std::uint32_t p = 0; p < n_pads; ++p) {
+                if (p == from) continue;
+                const std::uint32_t owner = pad_owner[p];
+                const std::size_t t = owner == kFree ? SIZE_MAX : owner;
+                const std::size_t et = t == SIZE_MAX ? SIZE_MAX : model.io_entity_ids[t];
+                const double before = cost_around(es, et);
+                pad_of_io[s] = p;
+                if (t != SIZE_MAX) pad_of_io[t] = from;
+                const double delta = cost_around(es, et) - before;
+                pad_of_io[s] = from;
+                if (t != SIZE_MAX) pad_of_io[t] = p;
+                if (delta < best_delta) {
+                    best_delta = delta;
+                    best_pad = p;
+                    have = true;
+                }
+            }
+            if (have) {
+                const std::uint32_t owner = pad_owner[best_pad];
+                pad_of_io[s] = best_pad;
+                if (owner != kFree) {
+                    pad_of_io[owner] = from;
+                    pad_owner[from] = owner;
+                } else {
+                    pad_owner[from] = kFree;
+                }
+                pad_owner[best_pad] = static_cast<std::uint32_t>(s);
+                improved = true;
+            }
+        }
+        if (!improved) break;
+    }
+}
+
+AnalyticalResult place_analytical_global(const PlaceModel& model, const PlaceOptions& opts,
+                                         std::uint64_t seed) {
+    const std::uint32_t W = model.arch->width;
+    const std::uint32_t H = model.arch->height;
+    const std::size_t n = model.num_clusters;
+    AnalyticalResult res;
+
+    // Seeded pad shuffle — the same init recipe the annealer uses, so the
+    // engines start from comparably random I/O assignments.
+    res.pad_of_io.resize(model.io_entity_ids.size());
+    {
+        base::Rng rng(seed);
+        std::vector<std::uint32_t> pads(model.geom.num_pads());
+        for (std::uint32_t i = 0; i < pads.size(); ++i) pads[i] = i;
+        rng.shuffle(pads);
+        for (std::size_t i = 0; i < res.pad_of_io.size(); ++i) res.pad_of_io[i] = pads[i];
+    }
+
+    // Cluster init: fabric center plus a small deterministic per-index
+    // jitter (RNG-free) so the first B2B bounds are not all degenerate.
+    std::vector<double> cx(n);
+    std::vector<double> cy(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t h = (i + 1) * 0x9E3779B97F4A7C15ull;
+        cx[i] = (W + 1) * 0.5 + (static_cast<double>((h >> 16) & 1023) / 1023.0 - 0.5) * 0.5;
+        cy[i] = (H + 1) * 0.5 + (static_cast<double>((h >> 40) & 1023) / 1023.0 - 0.5) * 0.5;
+    }
+
+    std::vector<double> tgt_x(n);
+    std::vector<double> tgt_y(n);
+    bool have_targets = false;
+    double anchor_w = 0.0;
+
+    auto solve_axes = [&] {
+        for (int axis = 0; axis < 2; ++axis) {
+            QuadSystem sys = build_axis(model, axis, cx, cy, res.pad_of_io,
+                                        have_targets ? (axis == 0 ? &tgt_x : &tgt_y) : nullptr,
+                                        anchor_w);
+            std::vector<double>& x = axis == 0 ? cx : cy;
+            sys.fix_degenerate(x);
+            sys.finalize();
+            res.stats.solver_iterations +=
+                solve_pcg(sys, x, std::max(1, opts.solver_max_iters), opts.solver_tolerance);
+            const double hi = axis == 0 ? static_cast<double>(W) : static_cast<double>(H);
+            for (double& v : x) v = std::clamp(v, 1.0, hi);
+        }
+        ++res.stats.solver_passes;
+    };
+
+    const int passes = std::max(1, opts.solver_passes);
+    for (int pass = 0; pass < passes; ++pass) {
+        solve_axes();
+        // Re-seat the pads against the fresh cluster positions every pass:
+        // on I/O-heavy designs the pad assignment dominates the cost, and
+        // the pads are the solver's fixed anchors, so the two must
+        // co-converge rather than meet once at the end.
+        if (!model.io_entity_ids.empty()) refine_pads(model, cx, cy, res.pad_of_io);
+        if (n != 0) {
+            std::vector<std::size_t> all(n);
+            for (std::size_t i = 0; i < n; ++i) all[i] = i;
+            spread_region(0, W, 0, H, std::move(all), cx, cy, tgt_x, tgt_y);
+            have_targets = true;
+            anchor_w = opts.anchor_weight * static_cast<double>(pass + 1);
+            ++res.stats.spread_passes;
+        }
+    }
+    if (!model.io_entity_ids.empty()) refine_pads(model, cx, cy, res.pad_of_io);
+    // One closing solve against the refined pads and the last anchors.
+    solve_axes();
+
+    res.stats.pre_legal_cost = fractional_cost(model, cx, cy, res.pad_of_io);
+    // Legalize from one last round of bisection targets, not from the raw
+    // solve: the final solve re-clumps (its anchors are mild), and handing
+    // the displacement-greedy Tetris pass a dense clump lets it scatter
+    // nets arbitrarily. The targets are density-feasible (<= 1 cluster per
+    // unit cell whenever the region fits) while staying as close to the
+    // solved positions as capacity allows, so Tetris degenerates to a
+    // near-identity snap and the legalized cost tracks the fractional one.
+    if (n != 0) {
+        std::vector<std::size_t> all(n);
+        for (std::size_t i = 0; i < n; ++i) all[i] = i;
+        spread_region(0, W, 0, H, std::move(all), cx, cy, tgt_x, tgt_y);
+        ++res.stats.spread_passes;
+    }
+    res.cluster_loc = legalize_clusters(tgt_x, tgt_y, W, H, &res.stats.legalize);
+    res.stats.legalized_cost = model.total_cost(res.cluster_loc, res.pad_of_io);
+    return res;
+}
+
+}  // namespace afpga::cad

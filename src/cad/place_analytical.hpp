@@ -1,0 +1,54 @@
+/// \file
+/// Analytical global placement: a bound-to-bound (B2B) quadratic
+/// wirelength model over the placement model (cad/place_model.hpp) with
+/// I/O pads as fixed anchors, solved per axis by a Jacobi-preconditioned
+/// conjugate-gradient solver, interleaved with recursive-bisection
+/// spreading that pulls overlapping clusters apart via growing anchor
+/// pseudo-nets, and finished by a deterministic legalization pass
+/// (cad/place_legalize.hpp).
+///
+/// Determinism contract: every loop runs in a fixed serial order — net
+/// order from the model, ascending entity/cluster ids, no thread-count-
+/// or scheduling-dependent floating-point reductions — so the result is a
+/// pure function of (model, options, seed) and bit-identical across runs,
+/// machines and pool sizes. The driver in cad/place.cpp layers the
+/// optional warm-start polish anneal on top.
+///
+/// Threading: pure function of its arguments; race replicas may call it
+/// concurrently over one shared PlaceModel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cad/place.hpp"
+#include "cad/place_model.hpp"
+
+namespace afpga::cad {
+
+/// Output of analytical global placement + legalization (pre-polish).
+struct AnalyticalResult {
+    std::vector<core::PlbCoord> cluster_loc;  ///< legal per-cluster sites
+    std::vector<std::uint32_t> pad_of_io;     ///< io slot -> pad
+    AnalyticalStats stats;                    ///< solver/spread/legalize telemetry
+};
+
+/// Run global placement + pad refinement + legalization. `seed` only
+/// seeds the initial pad shuffle (the solver itself is RNG-free). Uses
+/// PlaceOptions::{solver_passes, solver_max_iters, solver_tolerance,
+/// anchor_weight}.
+[[nodiscard]] AnalyticalResult place_analytical_global(const PlaceModel& model,
+                                                       const PlaceOptions& opts,
+                                                       std::uint64_t seed);
+
+/// Deterministic detailed-placement descent on the real bounding-box cost:
+/// each cluster, in index order, takes the best strictly-improving free
+/// site or swap inside a small window, then each io slot takes the best
+/// strictly-improving pad move or pad swap; passes repeat until dry. Pure
+/// function of its inputs. The driver runs it as the final step, after the
+/// polish anneal — descending before annealing traps the anneal in the
+/// descent's local basin and measurably worsens the result.
+void refine_detailed(const PlaceModel& model, std::vector<std::uint32_t>& pad_of_io,
+                     std::vector<core::PlbCoord>& cluster_loc);
+
+}  // namespace afpga::cad

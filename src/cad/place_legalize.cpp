@@ -1,0 +1,81 @@
+#include "cad/place_legalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "base/check.hpp"
+
+namespace afpga::cad {
+
+using base::check;
+using core::PlbCoord;
+
+std::vector<PlbCoord> legalize_clusters(const std::vector<double>& x, const std::vector<double>& y,
+                                        std::uint32_t width, std::uint32_t height,
+                                        LegalizeStats* stats) {
+    check(x.size() == y.size(), "legalize: coordinate vectors disagree");
+    const std::size_t n = x.size();
+    check(n <= std::size_t{width} * height, "legalize: more clusters than sites");
+
+    // Integer targets, clamped into the grid. Solver space puts PLB (gx, gy)
+    // at (gx + 1, gy + 1); llround keeps the snap direction fixed at exact
+    // halves, independent of rounding mode.
+    std::vector<std::int64_t> tx(n);
+    std::vector<std::int64_t> ty(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        tx[i] = std::clamp<std::int64_t>(std::llround(x[i]) - 1, 0, std::int64_t{width} - 1);
+        ty[i] = std::clamp<std::int64_t>(std::llround(y[i]) - 1, 0, std::int64_t{height} - 1);
+    }
+
+    // Fixed processing order: target x, then target y, then cluster index.
+    // Ties broken by index keep the scan bit-reproducible whatever the
+    // solver emitted for coincident clusters.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (tx[a] != tx[b]) return tx[a] < tx[b];
+        if (ty[a] != ty[b]) return ty[a] < ty[b];
+        return a < b;
+    });
+
+    std::vector<char> occupied(std::size_t{width} * height, 0);
+    std::vector<PlbCoord> loc(n);
+    const std::int64_t max_ring = std::int64_t{width} + height;  // diameter bound
+
+    LegalizeStats st;
+    for (std::size_t ci : order) {
+        bool placed = false;
+        // Ring d enumerates sites at Manhattan distance exactly d from the
+        // target, in a fixed order: dx ascending, upper half-plane before
+        // lower. Ring 0 is the target itself.
+        for (std::int64_t d = 0; d <= max_ring && !placed; ++d) {
+            for (std::int64_t dx = -d; dx <= d && !placed; ++dx) {
+                const std::int64_t sx = tx[ci] + dx;
+                if (sx < 0 || sx >= std::int64_t{width}) continue;
+                const std::int64_t rest = d - std::llabs(dx);
+                for (int sign = 0; sign < (rest == 0 ? 1 : 2) && !placed; ++sign) {
+                    const std::int64_t sy = ty[ci] + (sign == 0 ? rest : -rest);
+                    if (sy < 0 || sy >= std::int64_t{height}) continue;
+                    const std::size_t cell =
+                        static_cast<std::size_t>(sy) * width + static_cast<std::size_t>(sx);
+                    if (occupied[cell]) continue;
+                    occupied[cell] = 1;
+                    loc[ci] = {static_cast<std::uint32_t>(sx), static_cast<std::uint32_t>(sy)};
+                    const auto disp = static_cast<std::uint64_t>(d);
+                    ++st.displacement_histogram[std::min<std::uint64_t>(disp, 15)];
+                    st.total_displacement += disp;
+                    st.max_displacement = std::max(st.max_displacement, disp);
+                    placed = true;
+                }
+            }
+        }
+        check(placed, "legalize: no free site found (grid full?)");
+    }
+    if (n != 0) st.avg_displacement = static_cast<double>(st.total_displacement) /
+                                      static_cast<double>(n);
+    if (stats != nullptr) *stats = st;
+    return loc;
+}
+
+}  // namespace afpga::cad

@@ -454,6 +454,16 @@ std::size_t ArtifactCodec<Placement>::approx_bytes(const Placement& v) noexcept 
     return total;
 }
 
+namespace {
+
+std::uint8_t get_engine(BlobReader& r) {
+    const std::uint8_t e = r.u8();
+    base::check(e <= 1, "placement blob: bad engine tag");
+    return e;
+}
+
+}  // namespace
+
 void ArtifactCodec<Placement>::encode(const Placement& v, BlobWriter& w) {
     w.u64(v.cluster_loc.size());
     for (const auto c : v.cluster_loc) put_coord(w, c);
@@ -470,8 +480,19 @@ void ArtifactCodec<Placement>::encode(const Placement& v, BlobWriter& w) {
         w.f64(rep.final_cost);
         w.f64(rep.wall_ms);
         put_f64_vec(w, rep.cost_trajectory);
+        w.u8(static_cast<std::uint8_t>(rep.engine));
     }
     w.u64(v.winner_replica);
+    w.u8(static_cast<std::uint8_t>(v.engine));
+    w.u64(v.analytical.solver_iterations);
+    w.i64(v.analytical.solver_passes);
+    w.i64(v.analytical.spread_passes);
+    w.f64(v.analytical.pre_legal_cost);
+    w.f64(v.analytical.legalized_cost);
+    for (const std::uint64_t b : v.analytical.legalize.displacement_histogram) w.u64(b);
+    w.u64(v.analytical.legalize.total_displacement);
+    w.u64(v.analytical.legalize.max_displacement);
+    w.f64(v.analytical.legalize.avg_displacement);
 }
 
 Placement ArtifactCodec<Placement>::decode(BlobReader& r) {
@@ -494,9 +515,20 @@ Placement ArtifactCodec<Placement>::decode(BlobReader& r) {
         rep.final_cost = r.f64();
         rep.wall_ms = r.f64();
         rep.cost_trajectory = get_f64_vec(r);
+        rep.engine = static_cast<PlaceEngine>(get_engine(r));
         v.replicas.push_back(std::move(rep));
     }
     v.winner_replica = static_cast<std::size_t>(r.u64());
+    v.engine = static_cast<PlaceEngine>(get_engine(r));
+    v.analytical.solver_iterations = r.u64();
+    v.analytical.solver_passes = static_cast<int>(r.i64());
+    v.analytical.spread_passes = static_cast<int>(r.i64());
+    v.analytical.pre_legal_cost = r.f64();
+    v.analytical.legalized_cost = r.f64();
+    for (std::uint64_t& b : v.analytical.legalize.displacement_histogram) b = r.u64();
+    v.analytical.legalize.total_displacement = r.u64();
+    v.analytical.legalize.max_displacement = r.u64();
+    v.analytical.legalize.avg_displacement = r.f64();
     return v;
 }
 

@@ -115,6 +115,71 @@ TEST(Determinism, LargerFabricBitstreamInvariantAcrossRouteThreads) {
     expect_thread_matrix_identical(adder.nl, adder.hints, arch, opts);
 }
 
+// --- placement algorithm x thread-count matrix ------------------------------
+// The analytical engine is serial by construction, and the race layers it on
+// top of the multi-seed anneal pool — in both cases PlaceOptions::threads
+// must stay a pure wall-clock knob: every pool size has to produce the same
+// winner, the same placement and therefore the same bitstream, bit for bit.
+
+void expect_place_thread_matrix_identical(const netlist::Netlist& nl,
+                                          const asynclib::MappingHints& hints,
+                                          const core::ArchSpec& arch,
+                                          cad::FlowOptions opts,
+                                          cad::PlaceAlgorithm algorithm) {
+    opts.place.algorithm = algorithm;
+    std::string ref_fp;
+    base::BitVector ref_bits;
+    for (unsigned t : {1u, 2u, 4u, 8u}) {
+        opts.place.threads = t;
+        const auto fr = cad::run_flow(nl, hints, arch, opts);
+        const std::string fp = testsupport::flow_fingerprint(fr);
+        const base::BitVector bits = fr.bits->serialize();
+        if (t == 1) {
+            ref_fp = fp;
+            ref_bits = bits;
+            continue;
+        }
+        EXPECT_EQ(ref_fp, fp) << t << " place threads changed the flow fingerprint";
+        EXPECT_TRUE(ref_bits == bits) << t << " place threads changed the bitstream";
+    }
+}
+
+void expect_both_algorithms_thread_invariant(const netlist::Netlist& nl,
+                                             const asynclib::MappingHints& hints,
+                                             const core::ArchSpec& arch,
+                                             cad::FlowOptions opts) {
+    expect_place_thread_matrix_identical(nl, hints, arch, opts,
+                                         cad::PlaceAlgorithm::Analytical);
+    // Give the race real annealing replicas to schedule around the extra
+    // analytical one.
+    opts.place.parallel_seeds = 3;
+    expect_place_thread_matrix_identical(nl, hints, arch, opts, cad::PlaceAlgorithm::Race);
+}
+
+TEST(Determinism, QdiAdderInvariantAcrossPlaceAlgorithmAndThreads) {
+    auto adder = asynclib::make_qdi_adder(2);
+    cad::FlowOptions opts;
+    opts.seed = 424242;
+    expect_both_algorithms_thread_invariant(adder.nl, adder.hints, core::ArchSpec{}, opts);
+}
+
+TEST(Determinism, WchbFifoInvariantAcrossPlaceAlgorithmAndThreads) {
+    auto fifo = asynclib::make_wchb_fifo(2, 2);
+    cad::FlowOptions opts;
+    opts.seed = 7;
+    expect_both_algorithms_thread_invariant(fifo.nl, fifo.hints, core::ArchSpec{}, opts);
+}
+
+TEST(Determinism, LargerFabricInvariantAcrossPlaceAlgorithmAndThreads) {
+    auto adder = asynclib::make_qdi_adder(4);
+    core::ArchSpec arch;
+    arch.width = arch.height = 13;
+    arch.channel_width = 12;
+    cad::FlowOptions opts;
+    opts.seed = 99;
+    expect_both_algorithms_thread_invariant(adder.nl, adder.hints, arch, opts);
+}
+
 TEST(Determinism, FingerprintReflectsSeedChange) {
     // Not a promise that every seed differs — just that the fingerprint is
     // sensitive enough to notice when the annealer takes a different path.

@@ -104,8 +104,20 @@ cad::Placement make_placement() {
     r1.final_cost = 12.5;
     r1.wall_ms = 1.25;
     r1.cost_trajectory = {29.0, 12.5};
+    r1.engine = cad::PlaceEngine::Analytical;
     pl.replicas = {r0, r1};
     pl.winner_replica = 1;
+    pl.engine = cad::PlaceEngine::Analytical;
+    pl.analytical.solver_iterations = 321;
+    pl.analytical.solver_passes = 9;
+    pl.analytical.spread_passes = 8;
+    pl.analytical.pre_legal_cost = 10.25;
+    pl.analytical.legalized_cost = 14.75;
+    pl.analytical.legalize.displacement_histogram[0] = 1;
+    pl.analytical.legalize.displacement_histogram[3] = 2;
+    pl.analytical.legalize.total_displacement = 6;
+    pl.analytical.legalize.max_displacement = 3;
+    pl.analytical.legalize.avg_displacement = 2.0;
     return pl;
 }
 
@@ -285,8 +297,23 @@ TEST(SerializeCodec, PlacementRoundtrip) {
         EXPECT_EQ(back.replicas[i].final_cost, pl.replicas[i].final_cost);
         EXPECT_EQ(back.replicas[i].wall_ms, pl.replicas[i].wall_ms);
         EXPECT_EQ(back.replicas[i].cost_trajectory, pl.replicas[i].cost_trajectory);
+        EXPECT_EQ(back.replicas[i].engine, pl.replicas[i].engine);
     }
     EXPECT_EQ(back.winner_replica, pl.winner_replica);
+    EXPECT_EQ(back.engine, pl.engine);
+    EXPECT_EQ(back.analytical.solver_iterations, pl.analytical.solver_iterations);
+    EXPECT_EQ(back.analytical.solver_passes, pl.analytical.solver_passes);
+    EXPECT_EQ(back.analytical.spread_passes, pl.analytical.spread_passes);
+    EXPECT_EQ(back.analytical.pre_legal_cost, pl.analytical.pre_legal_cost);
+    EXPECT_EQ(back.analytical.legalized_cost, pl.analytical.legalized_cost);
+    EXPECT_EQ(back.analytical.legalize.displacement_histogram,
+              pl.analytical.legalize.displacement_histogram);
+    EXPECT_EQ(back.analytical.legalize.total_displacement,
+              pl.analytical.legalize.total_displacement);
+    EXPECT_EQ(back.analytical.legalize.max_displacement,
+              pl.analytical.legalize.max_displacement);
+    EXPECT_EQ(back.analytical.legalize.avg_displacement,
+              pl.analytical.legalize.avg_displacement);
 }
 
 TEST(SerializeCodec, RouteArtifactRoundtrip) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Fail on dead relative links in the repo's markdown documentation.
 
-Scans README.md and docs/*.md for markdown links and inline references,
+Scans README.md, ROADMAP.md, CHANGES.md and docs/*.md for markdown links
+and inline references,
 resolves every relative target against the file's directory (anchors and
 external URLs are skipped), and exits non-zero listing any target that does
 not exist. Wired both as a ctest (docs_links) and as a CI step, so a page
@@ -18,7 +19,8 @@ SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 
 
 def doc_files(root):
-    files = [os.path.join(root, "README.md")]
+    files = [os.path.join(root, name)
+             for name in ("README.md", "ROADMAP.md", "CHANGES.md")]
     docs = os.path.join(root, "docs")
     if os.path.isdir(docs):
         for name in sorted(os.listdir(docs)):
