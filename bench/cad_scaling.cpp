@@ -11,6 +11,10 @@
 // one-worker run plus the QoR delta / bit-identity checks that prove
 // parallelism never changes results.
 //
+// Placement sections gate the analytical engine against the annealer and
+// the multilevel V-cycle against the flat analytical engine (the
+// placer_scale tier); any gate violation makes the bench exit non-zero.
+//
 // Usage: cad_scaling [--smoke] [--reps N] [--out FILE]
 //   --smoke   only the smallest fabric and thread counts {1,2}, one rep
 //   --reps N  repetitions per configuration, best time kept (default 2)
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "asynclib/adders.hpp"
+#include "asynclib/fifos.hpp"
 #include "base/bitvector.hpp"
 #include "base/json.hpp"
 #include "base/threadpool.hpp"
@@ -34,6 +39,9 @@
 #include "cad/flow.hpp"
 #include "cad/flow_service.hpp"
 #include "cad/pack.hpp"
+#include "cad/place_analytical.hpp"
+#include "cad/place_model.hpp"
+#include "cad/place_multilevel.hpp"
 #include "cad/techmap.hpp"
 #include "eval/sweep.hpp"
 
@@ -779,6 +787,173 @@ int main(int argc, char** argv) {
         w.end_object();
     }
 
+    // Tier 8: global-placement scaling — the multilevel V-cycle's reason to
+    // exist. Subject: the *global* stages head-to-head. Each engine call
+    // already produces a complete legal placement (legalized clusters +
+    // refined pads); the driver's polish/detailed-refinement pipeline
+    // downstream is byte-for-byte the same for both engines, so including
+    // it would only dilute the comparison with shared work. Fixture: deep
+    // WCHB FIFOs — cluster-dominated designs (a handful of I/Os, thousands
+    // of clusters) where the flat engine's per-pass spreading schedule, not
+    // the solve, bounds the wall (ROADMAP item 4). Three checks, all CI
+    // gates (a violation makes the bench exit non-zero):
+    //  (a) 60x60 head-to-head: the multilevel engine must be >= 3x faster
+    //      than the flat analytical engine at <= +2% legalized cost. Both
+    //      engines are strictly serial, so the ratio is meaningful on the
+    //      1-core container; both costs are deterministic, so the QoR half
+    //      of the gate is noise-free.
+    //  (b) scaling envelope: at 100x100 (~2.1x the clusters) the multilevel
+    //      wall must stay within 5x of its own 60x60 wall.
+    //  (c) the flat engine must blow that envelope at 100x100: its
+    //      projected wall — the measured wall scaled by the width ratio,
+    //      because the spreading pass count still has to grow ~linearly
+    //      with fabric width for displacement-bounded convergence — must
+    //      exceed the budget. In practice even its unscaled measured wall
+    //      does.
+    // In --smoke the fixtures shrink to toys (the asymptotic gap cannot
+    // show) and every gate is exempt; the tier still runs end to end.
+    bool placer_scale_ok = true;
+    {
+        struct ScalePoint {
+            std::size_t fifo_bits;
+            std::size_t fifo_depth;
+            std::uint32_t fabric;
+        };
+        const ScalePoint p60 = smoke ? ScalePoint{8, 12, 16} : ScalePoint{24, 140, 60};
+        const ScalePoint p100 = smoke ? ScalePoint{8, 16, 20} : ScalePoint{24, 290, 100};
+
+        struct EngineRun {
+            double ms = 1e18;
+            cad::AnalyticalResult res;
+        };
+        struct ScaleRun {
+            std::size_t clusters = 0;
+            std::size_t ios = 0;
+            EngineRun flat;
+            EngineRun multi;
+        };
+        auto measure = [&](const ScalePoint& sp) {
+            auto fifo = asynclib::make_wchb_fifo(sp.fifo_bits, sp.fifo_depth);
+            core::ArchSpec arch;
+            arch.width = arch.height = sp.fabric;
+            arch.channel_width = 16;
+            const auto md = cad::techmap(fifo.nl, fifo.hints);
+            const auto pd = cad::pack(md, arch);
+            const cad::PlaceModel model(pd, md, arch);
+            cad::PlaceOptions po;
+            po.seed = 7;
+            ScaleRun out;
+            out.clusters = pd.clusters.size();
+            out.ios = model.io_entity_ids.size();
+            // Interleave the reps so both engines sample the same slice of
+            // machine noise — the ratio is much steadier than with
+            // back-to-back blocks.
+            for (int r = 0; r < reps; ++r) {
+                {
+                    base::WallTimer t;
+                    auto res = cad::place_analytical_global(model, po, po.seed);
+                    const double ms = t.elapsed_ms();
+                    if (ms < out.flat.ms) {
+                        out.flat.ms = ms;
+                        out.flat.res = std::move(res);
+                    }
+                }
+                {
+                    base::WallTimer t;
+                    auto res = cad::place_multilevel_global(model, po, po.seed);
+                    const double ms = t.elapsed_ms();
+                    if (ms < out.multi.ms) {
+                        out.multi.ms = ms;
+                        out.multi.res = std::move(res);
+                    }
+                }
+            }
+            return out;
+        };
+
+        const ScaleRun a = measure(p60);
+        const ScaleRun b = measure(p100);
+
+        const double speedup60 = a.multi.ms > 0 ? a.flat.ms / a.multi.ms : 0.0;
+        const double qor60 =
+            a.flat.res.stats.legalized_cost > 0
+                ? a.multi.res.stats.legalized_cost / a.flat.res.stats.legalized_cost
+                : 0.0;
+        const double qor100 =
+            b.flat.res.stats.legalized_cost > 0
+                ? b.multi.res.stats.legalized_cost / b.flat.res.stats.legalized_cost
+                : 0.0;
+        const double budget_ms = 5.0 * a.multi.ms;
+        const double width_ratio =
+            static_cast<double>(p100.fabric) / static_cast<double>(p60.fabric);
+        const double flat100_projected_ms = b.flat.ms * width_ratio;
+        const bool speed_ok = smoke || speedup60 >= 3.0;
+        const bool qor_ok = smoke || qor60 <= 1.02;
+        const bool envelope_ok = smoke || b.multi.ms <= budget_ms;
+        const bool flat_blows_ok = smoke || flat100_projected_ms > budget_ms;
+        placer_scale_ok = speed_ok && qor_ok && envelope_ok && flat_blows_ok;
+
+        std::printf("placer_scale: wchb_fifo_%zux%zu on %ux%u (n=%zu, io=%zu): "
+                    "flat %.1f ms cost %.1f | multilevel %.1f ms cost %.1f "
+                    "(%zu levels) -> %.2fx, qor %.4f -> speed_ok=%d qor_ok=%d\n",
+                    p60.fifo_bits, p60.fifo_depth, p60.fabric, p60.fabric, a.clusters,
+                    a.ios, a.flat.ms, a.flat.res.stats.legalized_cost, a.multi.ms,
+                    a.multi.res.stats.legalized_cost, a.multi.res.stats.levels.size(),
+                    speedup60, qor60, speed_ok, qor_ok);
+        std::printf("placer_scale: wchb_fifo_%zux%zu on %ux%u (n=%zu, budget %.1f ms): "
+                    "multilevel %.1f ms cost %.1f qor %.4f | flat %.1f ms -> "
+                    "projected %.1f ms -> envelope_ok=%d flat_blows_budget=%d\n",
+                    p100.fifo_bits, p100.fifo_depth, p100.fabric, p100.fabric,
+                    b.clusters, budget_ms, b.multi.ms,
+                    b.multi.res.stats.legalized_cost, qor100, b.flat.ms,
+                    flat100_projected_ms, envelope_ok, flat_blows_ok);
+
+        w.key("placer_scale").begin_object();
+        w.key("fixture_60").value("wchb_fifo_" + std::to_string(p60.fifo_bits) + "x" +
+                                  std::to_string(p60.fifo_depth));
+        w.key("fabric_60").value(std::to_string(p60.fabric) + "x" +
+                                 std::to_string(p60.fabric));
+        w.key("clusters_60").value(std::uint64_t{a.clusters});
+        w.key("ios_60").value(std::uint64_t{a.ios});
+        w.key("flat_ms_60").value(a.flat.ms);
+        w.key("flat_cost_60").value(a.flat.res.stats.legalized_cost);
+        w.key("multilevel_ms_60").value(a.multi.ms);
+        w.key("multilevel_cost_60").value(a.multi.res.stats.legalized_cost);
+        w.key("speedup_60").value(speedup60);
+        w.key("qor_ratio_60").value(qor60);
+        w.key("speed_ok").value(speed_ok);
+        w.key("qor_ok").value(qor_ok);
+        w.key("fixture_100").value("wchb_fifo_" + std::to_string(p100.fifo_bits) + "x" +
+                                   std::to_string(p100.fifo_depth));
+        w.key("fabric_100").value(std::to_string(p100.fabric) + "x" +
+                                  std::to_string(p100.fabric));
+        w.key("clusters_100").value(std::uint64_t{b.clusters});
+        w.key("ios_100").value(std::uint64_t{b.ios});
+        w.key("budget_ms").value(budget_ms);
+        w.key("multilevel_ms_100").value(b.multi.ms);
+        w.key("multilevel_cost_100").value(b.multi.res.stats.legalized_cost);
+        w.key("qor_ratio_100").value(qor100);
+        w.key("flat_ms_100").value(b.flat.ms);
+        w.key("flat_projected_ms_100").value(flat100_projected_ms);
+        w.key("envelope_ok").value(envelope_ok);
+        w.key("flat_blows_budget").value(flat_blows_ok);
+        // Per-level telemetry of the 100x100 V-cycle (coarsest first) — the
+        // same LevelStats the place StageReport carries.
+        w.key("levels_100").begin_array();
+        for (const auto& lv : b.multi.res.stats.levels) {
+            w.begin_object();
+            w.key("nodes").value(lv.nodes);
+            w.key("nets").value(lv.nets);
+            w.key("solver_passes").value(lv.solver_passes);
+            w.key("spread_passes").value(lv.spread_passes);
+            w.key("solver_iterations").value(lv.solver_iterations);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("gate_ok").value(placer_scale_ok);
+        w.end_object();
+    }
+
     w.end_object();
 
     std::ofstream out(out_path);
@@ -788,9 +963,18 @@ int main(int argc, char** argv) {
     }
     out << w.str() << "\n";
     std::printf("wrote %s\n", out_path.c_str());
+    bool ok = true;
     if (!cache_gate_ok) {
         std::fprintf(stderr, "cad_scaling: artifact-cache gate violated (see above)\n");
-        return 1;
+        ok = false;
     }
-    return 0;
+    if (!placer_gate_ok) {
+        std::fprintf(stderr, "cad_scaling: placer gate violated (see above)\n");
+        ok = false;
+    }
+    if (!placer_scale_ok) {
+        std::fprintf(stderr, "cad_scaling: placer_scale gate violated (see above)\n");
+        ok = false;
+    }
+    return ok ? 0 : 1;
 }

@@ -32,6 +32,9 @@ void BM_Techmap(benchmark::State& state) {
 }
 BENCHMARK(BM_Techmap)->Arg(1)->Arg(4)->Arg(8);
 
+// Second arg selects the placement engine (PlaceAlgorithm: 0 = anneal,
+// 1 = analytical, 2 = race, 3 = multilevel) so perf trajectories cover
+// every engine, not just the annealer.
 void BM_PackPlace(benchmark::State& state) {
     auto adder = asynclib::make_qdi_adder(static_cast<std::size_t>(state.range(0)));
     const auto arch = bench_arch();
@@ -40,11 +43,14 @@ void BM_PackPlace(benchmark::State& state) {
         auto pd = cad::pack(md, arch);
         cad::PlaceOptions opts;
         opts.seed = 7;
+        opts.algorithm = static_cast<cad::PlaceAlgorithm>(state.range(1));
         auto pl = cad::place(pd, md, arch, opts);
         benchmark::DoNotOptimize(pl.final_cost);
     }
 }
-BENCHMARK(BM_PackPlace)->Arg(2)->Arg(4);
+BENCHMARK(BM_PackPlace)
+    ->ArgNames({"bits", "alg"})
+    ->ArgsProduct({{2, 4}, {0, 1, 2, 3}});
 
 void BM_FullFlow(benchmark::State& state) {
     auto adder = asynclib::make_qdi_adder(static_cast<std::size_t>(state.range(0)));

@@ -156,7 +156,7 @@ private:
         report.add_metric("moves_tried", static_cast<double>(pl.moves_tried));
         report.add_metric("moves_accepted", static_cast<double>(pl.moves_accepted));
         report.add_metric("engine", static_cast<double>(pl.engine));
-        if (pl.engine == PlaceEngine::Analytical) {
+        if (pl.engine == PlaceEngine::Analytical || pl.engine == PlaceEngine::Multilevel) {
             const AnalyticalStats& an = pl.analytical;
             report.add_metric("solver_iterations", static_cast<double>(an.solver_iterations));
             report.add_metric("solver_passes", static_cast<double>(an.solver_passes));
@@ -169,6 +169,21 @@ private:
             for (std::size_t b = 0; b < an.legalize.displacement_histogram.size(); ++b)
                 report.add_metric("legalize_disp_bucket" + std::to_string(b),
                                   static_cast<double>(an.legalize.displacement_histogram[b]));
+            // Multilevel V-cycle: one metric group per level, coarsest
+            // first (docs/TELEMETRY.md). Level walls are timings and are
+            // suppressed on cache hits like the replica walls above.
+            report.add_metric("levels", static_cast<double>(an.levels.size()));
+            for (std::size_t l = 0; l < an.levels.size(); ++l) {
+                const LevelStats& ls = an.levels[l];
+                const std::string p = "level" + std::to_string(l) + "_";
+                report.add_metric(p + "nodes", static_cast<double>(ls.nodes));
+                report.add_metric(p + "nets", static_cast<double>(ls.nets));
+                report.add_metric(p + "solver_passes", static_cast<double>(ls.solver_passes));
+                report.add_metric(p + "spread_passes", static_cast<double>(ls.spread_passes));
+                report.add_metric(p + "solver_iterations",
+                                  static_cast<double>(ls.solver_iterations));
+                if (!restored) report.add_metric(p + "wall_ms", ls.wall_ms);
+            }
         }
         if (!pl.replicas.empty()) {
             report.add_metric("parallel_seeds", static_cast<double>(pl.replicas.size()));
@@ -635,7 +650,7 @@ std::uint64_t FlowOptions::fingerprint() const noexcept {
     // prebuilt_rr and artifact_store are deliberately NOT mixed: they are
     // plumbing, not semantics (the RR graph is a pure function of the arch,
     // and the store only changes where products come from).
-    static_assert(sizeof(FlowOptions) == 216,
+    static_assert(sizeof(FlowOptions) == 232,
                   "FlowOptions changed: update fingerprint() and this assert");
     Fingerprint f;
     f.mix(seed)

@@ -11,6 +11,7 @@
 #include "cad/place_analytical.hpp"
 #include "cad/place_cost.hpp"
 #include "cad/place_model.hpp"
+#include "cad/place_multilevel.hpp"
 
 namespace afpga::cad {
 
@@ -365,11 +366,16 @@ Placement anneal_single(const MappedDesign& md, const PlaceModel& model,
     return result;
 }
 
-/// One analytical replica: global placement + legalization
-/// (cad/place_analytical.cpp), then the optional warm-start polish anneal.
+/// One analytical-family replica: global placement + legalization (flat
+/// cad/place_analytical.cpp, or the cad/place_multilevel.cpp V-cycle when
+/// `engine == PlaceEngine::Multilevel`), then the optional warm-start
+/// polish anneal — both engines share the polish/descent tail.
 Placement place_analytical_single(const MappedDesign& md, const PlaceModel& model,
-                                  const PlaceOptions& opts, std::uint64_t seed) {
-    AnalyticalResult ar = place_analytical_global(model, opts, seed);
+                                  const PlaceOptions& opts, std::uint64_t seed,
+                                  PlaceEngine engine) {
+    AnalyticalResult ar = engine == PlaceEngine::Multilevel
+                              ? place_multilevel_global(model, opts, seed)
+                              : place_analytical_global(model, opts, seed);
     Placement result;
     if (opts.polish_rounds > 0 && !model.nets.empty()) {
         result = anneal_single(md, model, opts, seed, &ar.cluster_loc, &ar.pad_of_io,
@@ -400,8 +406,8 @@ Placement place_analytical_single(const MappedDesign& md, const PlaceModel& mode
                 ar.pad_of_io[md.primary_inputs.size() + i];
         result.final_cost = model.total_cost(ar.cluster_loc, ar.pad_of_io);
     }
-    result.engine = PlaceEngine::Analytical;
-    result.analytical = ar.stats;
+    result.engine = engine;
+    result.analytical = std::move(ar.stats);
     return result;
 }
 
@@ -412,16 +418,19 @@ Placement place(const PackedDesign& pd, const MappedDesign& md, const core::Arch
     const PlaceModel model(pd, md, arch);
 
     if (opts.algorithm == PlaceAlgorithm::Analytical)
-        return place_analytical_single(md, model, opts, opts.seed);
+        return place_analytical_single(md, model, opts, opts.seed, PlaceEngine::Analytical);
+    if (opts.algorithm == PlaceAlgorithm::Multilevel)
+        return place_analytical_single(md, model, opts, opts.seed, PlaceEngine::Multilevel);
 
     const int n_anneal = std::max(1, opts.parallel_seeds);
     const bool with_analytical = opts.algorithm == PlaceAlgorithm::Race;
-    const int n = n_anneal + (with_analytical ? 1 : 0);
+    const int n = n_anneal + (with_analytical ? 2 : 0);
     if (n == 1)
         return anneal_single(md, model, opts, opts.seed, nullptr, nullptr, opts.max_rounds);
 
     // Race N independently-seeded replicas on the pool (in Race mode the
-    // analytical engine is the final replica). Every replica is a pure
+    // flat analytical and multilevel engines are the two final replicas, in
+    // that fixed order). Every replica is a pure
     // function of (model, opts, derived seed), and the winner is picked by
     // (final_cost, replica index) over the results in replica order, so the
     // outcome is identical whatever the pool size is. Replica slots outlive
@@ -440,8 +449,11 @@ Placement place(const PackedDesign& pd, const MappedDesign& md, const core::Arch
     pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
         base::WallTimer t;
         const std::uint64_t rseed = base::Rng::derive_seed(opts.seed, i);
-        if (with_analytical && i == static_cast<std::size_t>(n_anneal))
-            results[i] = place_analytical_single(md, model, opts, rseed);
+        if (with_analytical && i >= static_cast<std::size_t>(n_anneal))
+            results[i] = place_analytical_single(
+                md, model, opts, rseed,
+                i == static_cast<std::size_t>(n_anneal) ? PlaceEngine::Analytical
+                                                        : PlaceEngine::Multilevel);
         else
             results[i] = anneal_single(md, model, opts, rseed, nullptr, nullptr,
                                        opts.max_rounds);
@@ -527,7 +539,7 @@ double placement_wirelength(const PackedDesign& pd, const MappedDesign& md,
 }
 
 std::uint64_t PlaceOptions::fingerprint() const noexcept {
-    static_assert(sizeof(PlaceOptions) == 72,
+    static_assert(sizeof(PlaceOptions) == 88,
                   "PlaceOptions changed: update fingerprint() and this assert");
     Fingerprint f;
     f.mix(seed)
@@ -543,7 +555,10 @@ std::uint64_t PlaceOptions::fingerprint() const noexcept {
         .mix(solver_max_iters)
         .mix(polish_rounds)
         .mix(solver_tolerance)
-        .mix(anchor_weight);
+        .mix(anchor_weight)
+        .mix(coarsen_ratio)
+        .mix(min_coarse_nodes)
+        .mix(max_levels);
     return f.digest();
 }
 

@@ -1,5 +1,5 @@
 /// \file
-/// Placement: two engines over one wirelength model (cad/place_model.hpp).
+/// Placement: three engines over one wirelength model (cad/place_model.hpp).
 ///
 ///  - `anneal`: simulated annealing over PLB locations and I/O pad
 ///    assignment (VPR-style adaptive schedule, half-perimeter wirelength
@@ -8,8 +8,13 @@
 ///    deterministic conjugate-gradient solver (cad/place_analytical.hpp),
 ///    snapped legal by a Tetris-style legalizer (cad/place_legalize.hpp),
 ///    then polished by a short warm-start anneal.
-///  - `race`: the analytical engine joins the multi-seed anneal race as
-///    one more replica.
+///  - `multilevel`: the analytical solve run as a coarsen→solve→interpolate
+///    V-cycle (cad/place_coarsen.hpp + cad/place_multilevel.hpp) — the full
+///    spreading schedule runs only on the coarsest few hundred nodes and
+///    each finer level gets a short anchored refinement, so wall time stays
+///    flat where the flat engine's per-pass cost grows with the fabric.
+///  - `race`: the analytical and multilevel engines join the multi-seed
+///    anneal race as two more replicas.
 ///
 /// Threading: races run replicas on a base::ThreadPool; each replica owns
 /// its state/Rng/cost engine and the winner is chosen by (cost, replica
@@ -31,11 +36,23 @@ namespace afpga::cad {
 enum class PlaceAlgorithm : std::uint8_t {
     Anneal = 0,      ///< simulated annealing (optionally multi-seed raced)
     Analytical = 1,  ///< B2B quadratic solve + legalize + polish anneal
-    Race = 2,        ///< anneal replicas + one analytical replica, best wins
+    Race = 2,        ///< anneal replicas + analytical + multilevel, best wins
+    Multilevel = 3,  ///< coarsen→solve→interpolate V-cycle + legalize + polish
 };
 
 /// Which engine produced a given placement/replica (telemetry).
-enum class PlaceEngine : std::uint8_t { Anneal = 0, Analytical = 1 };
+enum class PlaceEngine : std::uint8_t { Anneal = 0, Analytical = 1, Multilevel = 2 };
+
+/// Per-level telemetry of one multilevel V-cycle descent (coarsest level
+/// first; place StageReport metrics, serialized with the Placement).
+struct LevelStats {
+    std::uint64_t nodes = 0;              ///< movable nodes at this level
+    std::uint64_t nets = 0;               ///< contracted nets at this level
+    int solver_passes = 0;                ///< solve passes run at this level
+    int spread_passes = 0;                ///< spreading passes at this level
+    std::uint64_t solver_iterations = 0;  ///< CG iterations at this level
+    double wall_ms = 0.0;                 ///< wall time spent at this level
+};
 
 /// Analytical-engine telemetry: what the solver, spreader and legalizer
 /// did (place StageReport metrics; serialized with the Placement).
@@ -46,6 +63,9 @@ struct AnalyticalStats {
     double pre_legal_cost = 0.0;          ///< HPWL at fractional coordinates
     double legalized_cost = 0.0;          ///< HPWL after snapping legal
     LegalizeStats legalize;               ///< displacement histogram etc.
+    /// Multilevel engine only: one entry per V-cycle level, coarsest first
+    /// (empty for the flat engine).
+    std::vector<LevelStats> levels;
 };
 
 /// What one replica of a multi-seed race did (telemetry; the winner's
@@ -95,7 +115,8 @@ struct PlaceOptions {
     /// is the lexicographic minimum of (final_cost, replica index), so the
     /// result is bit-reproducible regardless of pool size or scheduling.
     /// 1 = the classic single-seed anneal using `seed` directly. In `Race`
-    /// mode the analytical engine runs as one extra replica after these.
+    /// mode the flat analytical and multilevel engines run as two extra
+    /// replicas after these, in that fixed order.
     int parallel_seeds = 1;
     /// Pool size for the race; 0 = base::ThreadPool::default_workers().
     unsigned threads = 0;
@@ -114,6 +135,14 @@ struct PlaceOptions {
     /// Analytical: base weight of spreading anchor pseudo-nets; the
     /// effective weight grows linearly with the pass number.
     double anchor_weight = 0.10;
+    /// Multilevel: each coarsening level targets ceil(ratio * nodes) nodes
+    /// (smaller = more aggressive shrink per level, fewer levels).
+    double coarsen_ratio = 0.5;
+    /// Multilevel: stop coarsening once a level has this few movable nodes
+    /// (the full solve+spread schedule runs there).
+    int min_coarse_nodes = 64;
+    /// Multilevel: hard cap on coarsening levels above the finest.
+    int max_levels = 10;
 
     /// Canonical content hash over EVERY field (artifact-key material); the
     /// implementation pins the struct size so new fields fail loudly.

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <tuple>
 
 #include "base/check.hpp"
 #include "base/rng.hpp"
+#include "cad/place_solver.hpp"
 
 namespace afpga::cad {
 
@@ -15,136 +15,16 @@ namespace {
 /// coincide).
 constexpr double kB2bEps = 1e-2;
 
-/// One axis of the quadratic system: symmetric positive-definite
-/// Laplacian-plus-anchors, assembled from deterministic-order triplets and
-/// finalized into CSR for the solver.
-struct QuadSystem {
-    std::vector<double> diag;
-    std::vector<double> rhs;
-    std::vector<std::tuple<std::size_t, std::size_t, double>> off;  ///< pre-CSR
-    std::vector<std::size_t> row_start;
-    std::vector<std::size_t> col;
-    std::vector<double> val;
-
-    explicit QuadSystem(std::size_t n) : diag(n, 0.0), rhs(n, 0.0) {}
-
-    void connect_movable(std::size_t i, std::size_t j, double w) {
-        diag[i] += w;
-        diag[j] += w;
-        off.emplace_back(i, j, -w);
-        off.emplace_back(j, i, -w);
-    }
-    void connect_fixed(std::size_t i, double coord, double w) {
-        diag[i] += w;
-        rhs[i] += w * coord;
-    }
-
-    /// Pin clusters with no connections at their current coordinate (the
-    /// system stays SPD and the solver leaves them put).
-    void fix_degenerate(const std::vector<double>& x) {
-        for (std::size_t i = 0; i < diag.size(); ++i)
-            if (diag[i] == 0.0) {
-                diag[i] = 1.0;
-                rhs[i] = x[i];
-            }
-    }
-
-    /// Sort + merge the triplets into CSR. The triplet sequence is a pure
-    /// function of the model, so the merge (and its FP summation order) is
-    /// identical on every run.
-    void finalize() {
-        std::sort(off.begin(), off.end(), [](const auto& a, const auto& b) {
-            if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
-            return std::get<1>(a) < std::get<1>(b);
-        });
-        row_start.assign(diag.size() + 1, 0);
-        for (std::size_t t = 0; t < off.size();) {
-            const std::size_t row = std::get<0>(off[t]);
-            const std::size_t column = std::get<1>(off[t]);
-            double w = 0;
-            while (t < off.size() && std::get<0>(off[t]) == row &&
-                   std::get<1>(off[t]) == column) {
-                w += std::get<2>(off[t]);
-                ++t;
-            }
-            col.push_back(column);
-            val.push_back(w);
-            ++row_start[row + 1];
-        }
-        for (std::size_t i = 1; i < row_start.size(); ++i) row_start[i] += row_start[i - 1];
-        off.clear();
-        off.shrink_to_fit();
-    }
-
-    /// y = A x (serial, row order).
-    void apply(const std::vector<double>& x, std::vector<double>& y) const {
-        const std::size_t n = diag.size();
-        y.resize(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            double acc = diag[i] * x[i];
-            for (std::size_t t = row_start[i]; t < row_start[i + 1]; ++t)
-                acc += val[t] * x[col[t]];
-            y[i] = acc;
-        }
-    }
-};
-
-double dot(const std::vector<double>& a, const std::vector<double>& b) {
-    double acc = 0;
-    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-    return acc;
-}
-
-/// Jacobi-preconditioned conjugate gradient, warm-started from `x`.
-/// Strictly serial with a fixed iteration order — bit-reproducible.
-/// Returns the number of iterations run.
-std::uint64_t solve_pcg(const QuadSystem& sys, std::vector<double>& x, int max_iters,
-                        double tol) {
-    const std::size_t n = x.size();
-    if (n == 0) return 0;
-    std::vector<double> r(n);
-    std::vector<double> z(n);
-    std::vector<double> p(n);
-    std::vector<double> ap(n);
-    sys.apply(x, ap);
-    for (std::size_t i = 0; i < n; ++i) r[i] = sys.rhs[i] - ap[i];
-    double bnorm = std::sqrt(dot(sys.rhs, sys.rhs));
-    if (bnorm < 1e-300) bnorm = 1.0;
-    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / sys.diag[i];
-    p = z;
-    double rz = dot(r, z);
-    std::uint64_t iters = 0;
-    for (int it = 0; it < max_iters; ++it) {
-        if (std::sqrt(dot(r, r)) <= tol * bnorm) break;
-        sys.apply(p, ap);
-        const double pap = dot(p, ap);
-        if (!(pap > 0)) break;  // numerical breakdown: keep the best x so far
-        const double alpha = rz / pap;
-        for (std::size_t i = 0; i < n; ++i) {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
-        for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / sys.diag[i];
-        const double rz_new = dot(r, z);
-        ++iters;
-        if (!(rz_new > 0)) break;
-        const double beta = rz_new / rz;
-        rz = rz_new;
-        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
-    }
-    return iters;
-}
-
-/// Assemble one axis of the B2B model: for each net, the two bound pins
-/// (min/max coordinate, first-in-net-order on ties) connect to each other
-/// and to every interior pin with weight 2 / ((p-1) * max(dist, eps)).
-/// Fixed pins (I/O pads) fold into diag/rhs; anchor targets (spreading)
-/// attach every cluster to a fixed pseudo-pin.
-QuadSystem build_axis(const PlaceModel& model, int axis, const std::vector<double>& cx,
-                      const std::vector<double>& cy,
-                      const std::vector<std::uint32_t>& pad_of_io,
-                      const std::vector<double>* anchor_targets, double anchor_w) {
-    QuadSystem sys(model.num_clusters);
+/// Assemble one axis of the B2B model into the caller's reusable system:
+/// for each net, the two bound pins (min/max coordinate, first-in-net-order
+/// on ties) connect to each other and to every interior pin with weight
+/// 2 / ((p-1) * max(dist, eps)). Fixed pins (I/O pads) fold into diag/rhs;
+/// anchor targets (spreading) attach every cluster to a fixed pseudo-pin.
+void build_axis(const PlaceModel& model, int axis, const std::vector<double>& cx,
+                const std::vector<double>& cy, const std::vector<std::uint32_t>& pad_of_io,
+                const std::vector<double>* anchor_targets, double anchor_w,
+                QuadSystem& sys) {
+    sys.reset(model.num_clusters);
     auto coord_of = [&](std::size_t eid) -> double {
         const PlaceEntity& e = model.entities[eid];
         if (e.kind == PlaceEntity::Kind::Cluster)
@@ -198,75 +78,27 @@ QuadSystem build_axis(const PlaceModel& model, int axis, const std::vector<doubl
     if (anchor_targets != nullptr)
         for (std::size_t i = 0; i < model.num_clusters; ++i)
             sys.connect_fixed(i, (*anchor_targets)[i], anchor_w);
-    return sys;
 }
 
-/// Recursive-bisection spreading: split the grid region at its geometric
-/// midline and partition the clusters (sorted by coordinate along the cut
-/// axis, ties by index) to the side of the cut they already sit on; the
-/// boundary shifts only when a side exceeds its site capacity, so spreading
-/// displaces clusters exactly where density demands it and leaves sparse
-/// regions (the common low-utilization case) in place. Leaves assign each
-/// cluster its region's center as an anchor target. All comparisons have
-/// fixed tie-breaks, so targets are a pure function of the positions.
-void spread_region(std::uint32_t x0, std::uint32_t x1, std::uint32_t y0, std::uint32_t y1,
-                   std::vector<std::size_t> cl, const std::vector<double>& cx,
-                   const std::vector<double>& cy, std::vector<double>& tgt_x,
-                   std::vector<double>& tgt_y) {
-    if (cl.empty()) return;
-    const std::uint32_t w = x1 - x0;
-    const std::uint32_t h = y1 - y0;
-    if (cl.size() == 1 || (w == 1 && h == 1)) {
-        const double tx = (static_cast<double>(x0) + static_cast<double>(x1) - 1.0) / 2.0 + 1.0;
-        const double ty = (static_cast<double>(y0) + static_cast<double>(y1) - 1.0) / 2.0 + 1.0;
-        for (std::size_t ci : cl) {
-            tgt_x[ci] = tx;
-            tgt_y[ci] = ty;
-        }
-        return;
-    }
-    const bool split_x = w >= h;
-    const std::uint32_t xm = split_x ? x0 + w / 2 : x1;
-    const std::uint32_t ym = split_x ? y1 : y0 + h / 2;
-    const std::size_t cap_lo =
-        split_x ? std::size_t{xm - x0} * h : std::size_t{ym - y0} * w;
-    const std::size_t cap_hi =
-        split_x ? std::size_t{x1 - xm} * h : std::size_t{y1 - ym} * w;
-    std::sort(cl.begin(), cl.end(), [&](std::size_t a, std::size_t b) {
-        const double ca = split_x ? cx[a] : cy[a];
-        const double cb = split_x ? cx[b] : cy[b];
-        if (ca != cb) return ca < cb;
-        return a < b;
-    });
-    // Site i's center coordinate is i+1, so the cut between sites xm-1 and
-    // xm lies at coordinate xm + 0.5.
-    const double cut =
-        split_x ? static_cast<double>(xm) + 0.5 : static_cast<double>(ym) + 0.5;
-    std::size_t k = 0;
-    while (k < cl.size() && (split_x ? cx[cl[k]] : cy[cl[k]]) <= cut) ++k;
-    k = std::min(k, cap_lo);
-    k = std::min(k, cl.size());
-    if (cl.size() - k > cap_hi) k = cl.size() - cap_hi;
-    std::vector<std::size_t> lo_cl(cl.begin(), cl.begin() + static_cast<std::ptrdiff_t>(k));
-    std::vector<std::size_t> hi_cl(cl.begin() + static_cast<std::ptrdiff_t>(k), cl.end());
-    if (split_x) {
-        spread_region(x0, xm, y0, y1, std::move(lo_cl), cx, cy, tgt_x, tgt_y);
-        spread_region(xm, x1, y0, y1, std::move(hi_cl), cx, cy, tgt_x, tgt_y);
-    } else {
-        spread_region(x0, x1, y0, ym, std::move(lo_cl), cx, cy, tgt_x, tgt_y);
-        spread_region(x0, x1, ym, y1, std::move(hi_cl), cx, cy, tgt_x, tgt_y);
-    }
-}
+/// Reusable buffers of refine_pads (hoisted out of the per-pass loop).
+struct PadScratch {
+    PadFrame frame;
+    std::vector<std::uint32_t> out;
+};
 
 /// Greedy deterministic pad refinement: io slots in slot order each take
 /// the free pad nearest (Manhattan) to the centroid of the clusters on
-/// their nets; strict `<` keeps the lowest pad index on ties.
+/// their nets; ties keep the lowest pad index. The PadFrame answers each
+/// nearest-free query in O(log n_pads), so a pass costs
+/// O(pins + n_io log n_pads) instead of O(n_io * n_pads).
 void refine_pads(const PlaceModel& model, const std::vector<double>& cx,
-                 const std::vector<double>& cy, std::vector<std::uint32_t>& pad_of_io) {
+                 const std::vector<double>& cy, std::vector<std::uint32_t>& pad_of_io,
+                 PadScratch& scratch) {
     const std::size_t n_io = model.io_entity_ids.size();
-    const std::size_t n_pads = model.pad_pts.size();
-    std::vector<char> taken(n_pads, 0);
-    std::vector<std::uint32_t> out(n_io, 0);
+    PadFrame& frame = scratch.frame;
+    frame.reset();
+    std::vector<std::uint32_t>& out = scratch.out;
+    out.assign(n_io, 0);
     for (std::size_t s = 0; s < n_io; ++s) {
         const std::size_t eid = model.io_entity_ids[s];
         double sx = 0;
@@ -284,40 +116,27 @@ void refine_pads(const PlaceModel& model, const std::vector<double>& cx,
         bool found = false;
         if (cnt == 0) {
             // Disconnected I/O: keep its seeded pad if free, else lowest free.
-            if (taken[pad_of_io[s]] == 0) {
+            if (frame.is_free(pad_of_io[s])) {
                 best = pad_of_io[s];
                 found = true;
             } else {
-                for (std::uint32_t p2 = 0; p2 < n_pads; ++p2)
-                    if (taken[p2] == 0) {
-                        best = p2;
-                        found = true;
-                        break;
-                    }
+                found = frame.lowest_free(best);
             }
         } else {
-            const double gx = sx / static_cast<double>(cnt);
-            const double gy = sy / static_cast<double>(cnt);
-            double best_d = 1e300;
-            for (std::uint32_t p2 = 0; p2 < n_pads; ++p2) {
-                if (taken[p2] != 0) continue;
-                const double d = std::abs(model.pad_pts[p2].x - gx) +
-                                 std::abs(model.pad_pts[p2].y - gy);
-                if (d < best_d) {
-                    best_d = d;
-                    best = p2;
-                    found = true;
-                }
-            }
+            found = frame.nearest_free(sx / static_cast<double>(cnt),
+                                       sy / static_cast<double>(cnt), best);
         }
         base::check(found, "place_analytical: ran out of free pads");
-        taken[best] = 1;
+        frame.take(best);
         out[s] = best;
     }
     pad_of_io = out;
 }
 
-/// HPWL over the fractional (pre-legalization) coordinates.
+}  // namespace
+
+// HPWL over the fractional (pre-legalization) coordinates (shared with the
+// multilevel engine; declared in the header).
 double fractional_cost(const PlaceModel& model, const std::vector<double>& cx,
                        const std::vector<double>& cy,
                        const std::vector<std::uint32_t>& pad_of_io) {
@@ -341,8 +160,6 @@ double fractional_cost(const PlaceModel& model, const std::vector<double>& cx,
     }
     return total;
 }
-
-}  // namespace
 
 // Exhaustive-window descent on the true objective (fixed scan orders,
 // strict improvement, fixed tie-breaks — see the header for why it must
@@ -428,16 +245,54 @@ void refine_detailed(const PlaceModel& model, std::vector<std::uint32_t>& pad_of
                 improved = true;
             }
         }
-        // Pad pass: each io slot, in slot order, tries every pad — free
-        // pads as moves, owned pads as slot swaps.
+        // Pad pass: each io slot, in slot order, tries pads in a Manhattan
+        // window around the centroid of the other entities on its nets —
+        // free pads as moves, owned pads as slot swaps. Full-delta
+        // evaluation of every pad made this pass O(n_io * n_pads * pins)
+        // and it dominated the entire placer at 100x100; every pad still
+        // gets a cheap distance test, but only pads within kPadWindow of
+        // the nearest-pad distance to the centroid (where any improving
+        // move must roughly land, since the moved slot's nets are anchored
+        // at that centroid) pay for a full delta.
+        constexpr double kPadWindow = 8.0;
         for (std::size_t s = 0; s < n_io; ++s) {
             const std::size_t es = model.io_entity_ids[s];
             const std::uint32_t from = pad_of_io[s];
+            double gx = model.pad_pts[from].x;
+            double gy = model.pad_pts[from].y;
+            {
+                double sx = 0;
+                double sy = 0;
+                std::size_t cnt = 0;
+                for (std::size_t ni : model.nets_of_entity[es])
+                    for (std::size_t other : model.nets[ni].entities) {
+                        if (other == es) continue;
+                        const PlaceEntity& e = model.entities[other];
+                        const PlacePt p = e.kind == PlaceEntity::Kind::Cluster
+                                              ? PlacePt{loc[e.index].x + 1.0, loc[e.index].y + 1.0}
+                                              : model.pad_pts[pad_of_io[e.io_slot]];
+                        sx += p.x;
+                        sy += p.y;
+                        ++cnt;
+                    }
+                if (cnt != 0) {
+                    gx = sx / static_cast<double>(cnt);
+                    gy = sy / static_cast<double>(cnt);
+                }
+            }
+            double d_floor = 1e300;
+            for (std::uint32_t p = 0; p < n_pads; ++p)
+                d_floor = std::min(d_floor, std::abs(model.pad_pts[p].x - gx) +
+                                                std::abs(model.pad_pts[p].y - gy));
+            const double d_cut = d_floor + kPadWindow;
             double best_delta = -1e-9;  // strict improvement only
             std::uint32_t best_pad = 0;
             bool have = false;
             for (std::uint32_t p = 0; p < n_pads; ++p) {
                 if (p == from) continue;
+                if (std::abs(model.pad_pts[p].x - gx) + std::abs(model.pad_pts[p].y - gy) >
+                    d_cut)
+                    continue;
                 const std::uint32_t owner = pad_owner[p];
                 const std::size_t t = owner == kFree ? SIZE_MAX : owner;
                 const std::size_t et = t == SIZE_MAX ? SIZE_MAX : model.io_entity_ids[t];
@@ -503,16 +358,24 @@ AnalyticalResult place_analytical_global(const PlaceModel& model, const PlaceOpt
     bool have_targets = false;
     double anchor_w = 0.0;
 
+    // Per-pass scratch, hoisted out of the loops: the system/solver/spread/
+    // pad buffers are allocated once and reused every pass.
+    QuadSystem sys;
+    PcgScratch pcg;
+    SpreadScratch spread;
+    PadScratch pads;
+    if (!model.io_entity_ids.empty()) pads.frame.build(model.pad_pts, W, H);
+
     auto solve_axes = [&] {
         for (int axis = 0; axis < 2; ++axis) {
-            QuadSystem sys = build_axis(model, axis, cx, cy, res.pad_of_io,
-                                        have_targets ? (axis == 0 ? &tgt_x : &tgt_y) : nullptr,
-                                        anchor_w);
             std::vector<double>& x = axis == 0 ? cx : cy;
+            build_axis(model, axis, cx, cy, res.pad_of_io,
+                       have_targets ? (axis == 0 ? &tgt_x : &tgt_y) : nullptr, anchor_w,
+                       sys);
             sys.fix_degenerate(x);
             sys.finalize();
-            res.stats.solver_iterations +=
-                solve_pcg(sys, x, std::max(1, opts.solver_max_iters), opts.solver_tolerance);
+            res.stats.solver_iterations += solve_pcg(sys, x, std::max(1, opts.solver_max_iters),
+                                                     opts.solver_tolerance, pcg);
             const double hi = axis == 0 ? static_cast<double>(W) : static_cast<double>(H);
             for (double& v : x) v = std::clamp(v, 1.0, hi);
         }
@@ -526,17 +389,15 @@ AnalyticalResult place_analytical_global(const PlaceModel& model, const PlaceOpt
         // on I/O-heavy designs the pad assignment dominates the cost, and
         // the pads are the solver's fixed anchors, so the two must
         // co-converge rather than meet once at the end.
-        if (!model.io_entity_ids.empty()) refine_pads(model, cx, cy, res.pad_of_io);
+        if (!model.io_entity_ids.empty()) refine_pads(model, cx, cy, res.pad_of_io, pads);
         if (n != 0) {
-            std::vector<std::size_t> all(n);
-            for (std::size_t i = 0; i < n; ++i) all[i] = i;
-            spread_region(0, W, 0, H, std::move(all), cx, cy, tgt_x, tgt_y);
+            spread_targets(W, H, n, cx, cy, nullptr, tgt_x, tgt_y, spread);
             have_targets = true;
             anchor_w = opts.anchor_weight * static_cast<double>(pass + 1);
             ++res.stats.spread_passes;
         }
     }
-    if (!model.io_entity_ids.empty()) refine_pads(model, cx, cy, res.pad_of_io);
+    if (!model.io_entity_ids.empty()) refine_pads(model, cx, cy, res.pad_of_io, pads);
     // One closing solve against the refined pads and the last anchors.
     solve_axes();
 
@@ -549,9 +410,7 @@ AnalyticalResult place_analytical_global(const PlaceModel& model, const PlaceOpt
     // solved positions as capacity allows, so Tetris degenerates to a
     // near-identity snap and the legalized cost tracks the fractional one.
     if (n != 0) {
-        std::vector<std::size_t> all(n);
-        for (std::size_t i = 0; i < n; ++i) all[i] = i;
-        spread_region(0, W, 0, H, std::move(all), cx, cy, tgt_x, tgt_y);
+        spread_targets(W, H, n, cx, cy, nullptr, tgt_x, tgt_y, spread);
         ++res.stats.spread_passes;
     }
     res.cluster_loc = legalize_clusters(tgt_x, tgt_y, W, H, &res.stats.legalize);

@@ -41,6 +41,12 @@ struct AnalyticalResult {
                                                        const PlaceOptions& opts,
                                                        std::uint64_t seed);
 
+/// HPWL over fractional (pre-legalization) coordinates — the
+/// `pre_legal_cost` telemetry shared by the flat and multilevel engines.
+[[nodiscard]] double fractional_cost(const PlaceModel& model, const std::vector<double>& cx,
+                                     const std::vector<double>& cy,
+                                     const std::vector<std::uint32_t>& pad_of_io);
+
 /// Deterministic detailed-placement descent on the real bounding-box cost:
 /// each cluster, in index order, takes the best strictly-improving free
 /// site or swap inside a small window, then each io slot takes the best

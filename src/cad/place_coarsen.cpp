@@ -1,0 +1,212 @@
+#include "cad/place_coarsen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace afpga::cad {
+
+namespace {
+
+constexpr std::uint32_t kUnset = 0xffffffffu;
+
+/// Nets with more movable pins than this don't guide matching: a huge net
+/// says nothing about which two of its pins belong together, and rating
+/// through it costs O(pins^2) across the visit loop.
+constexpr std::size_t kMaxMatchPins = 10;
+
+/// Pins are sorted and io pins (>= num_nodes) compare above every movable
+/// pin, so the movable pins are a prefix.
+std::size_t movable_prefix(const CoarseNet& net, std::size_t num_nodes) {
+    std::size_t m = 0;
+    while (m < net.pins.size() && net.pins[m] < num_nodes) ++m;
+    return m;
+}
+
+/// Sort nets lexicographically by pin set and merge equal sets, summing
+/// weights. stable_sort keeps the pre-sort order of equal sets, so the FP
+/// summation order is a pure function of the input net order on every
+/// implementation.
+std::vector<CoarseNet> merge_nets(std::vector<CoarseNet> nets) {
+    std::stable_sort(nets.begin(), nets.end(),
+                     [](const CoarseNet& a, const CoarseNet& b) { return a.pins < b.pins; });
+    std::vector<CoarseNet> out;
+    out.reserve(nets.size());
+    for (CoarseNet& net : nets) {
+        if (!out.empty() && out.back().pins == net.pins)
+            out.back().weight += net.weight;
+        else
+            out.push_back(std::move(net));
+    }
+    return out;
+}
+
+}  // namespace
+
+CoarseLevel finest_level(const PlaceModel& model) {
+    CoarseLevel lv;
+    lv.num_nodes = model.num_clusters;
+    lv.num_io = model.io_entity_ids.size();
+    lv.node_weight.assign(lv.num_nodes, 1);
+    std::vector<CoarseNet> tmp;
+    tmp.reserve(model.nets.size());
+    for (const PlaceNet& net : model.nets) {
+        CoarseNet cn;
+        cn.pins.reserve(net.entities.size());
+        for (std::size_t eid : net.entities) {
+            const PlaceEntity& e = model.entities[eid];
+            if (e.kind == PlaceEntity::Kind::Cluster)
+                cn.pins.push_back(static_cast<std::uint32_t>(e.index));
+            else
+                cn.pins.push_back(static_cast<std::uint32_t>(lv.num_nodes + e.io_slot));
+        }
+        std::sort(cn.pins.begin(), cn.pins.end());
+        cn.pins.erase(std::unique(cn.pins.begin(), cn.pins.end()), cn.pins.end());
+        if (cn.pins.size() < 2) continue;
+        tmp.push_back(std::move(cn));
+    }
+    lv.nets = merge_nets(std::move(tmp));
+    return lv;
+}
+
+CoarseLevel coarsen_level(const CoarseLevel& fine, std::size_t target_nodes,
+                          std::uint64_t max_node_weight) {
+    const std::size_t n = fine.num_nodes;
+
+    // CSR adjacency node -> small nets (the only nets worth rating through).
+    std::vector<std::size_t> adj_start(n + 1, 0);
+    for (const CoarseNet& net : fine.nets) {
+        const std::size_t m = movable_prefix(net, n);
+        if (m < 2 || m > kMaxMatchPins) continue;
+        for (std::size_t k = 0; k < m; ++k) ++adj_start[net.pins[k] + 1];
+    }
+    for (std::size_t i = 1; i <= n; ++i) adj_start[i] += adj_start[i - 1];
+    std::vector<std::uint32_t> adj(adj_start[n]);
+    {
+        std::vector<std::size_t> fill(adj_start.begin(), adj_start.end() - 1);
+        for (std::size_t ni = 0; ni < fine.nets.size(); ++ni) {
+            const CoarseNet& net = fine.nets[ni];
+            const std::size_t m = movable_prefix(net, n);
+            if (m < 2 || m > kMaxMatchPins) continue;
+            for (std::size_t k = 0; k < m; ++k)
+                adj[fill[net.pins[k]]++] = static_cast<std::uint32_t>(ni);
+        }
+    }
+
+    // First-choice matching: ascending visit order, ties to the lowest
+    // neighbor index. Joining an existing group is allowed (first-choice),
+    // capped by max_node_weight so no level grows a super-node that a
+    // region of the fabric can't absorb.
+    std::vector<std::uint32_t> group_of(n, kUnset);
+    std::vector<std::uint64_t> group_weight;
+    group_weight.reserve(n / 2 + 1);
+    std::size_t merges_left = n > target_nodes ? n - target_nodes : 0;
+    std::vector<double> rating(n, 0.0);
+    std::vector<std::uint32_t> touched;
+    for (std::size_t v = 0; v < n && merges_left > 0; ++v) {
+        if (group_of[v] != kUnset) continue;
+        touched.clear();
+        for (std::size_t t = adj_start[v]; t < adj_start[v + 1]; ++t) {
+            const CoarseNet& net = fine.nets[adj[t]];
+            const std::size_t m = movable_prefix(net, n);
+            const double w = net.weight / static_cast<double>(m - 1);
+            for (std::size_t k = 0; k < m; ++k) {
+                const std::uint32_t u = net.pins[k];
+                if (u == v) continue;
+                if (rating[u] == 0.0) touched.push_back(u);
+                rating[u] += w;
+            }
+        }
+        std::uint32_t best = kUnset;
+        double best_r = 0.0;
+        for (const std::uint32_t u : touched) {
+            const std::uint64_t u_weight = group_of[u] == kUnset
+                                               ? fine.node_weight[u]
+                                               : group_weight[group_of[u]];
+            if (u_weight + fine.node_weight[v] > max_node_weight) continue;
+            if (rating[u] > best_r || (rating[u] == best_r && best != kUnset && u < best)) {
+                best_r = rating[u];
+                best = u;
+            }
+        }
+        for (const std::uint32_t u : touched) rating[u] = 0.0;
+        if (best == kUnset) continue;
+        if (group_of[best] != kUnset) {
+            const std::uint32_t g = group_of[best];
+            group_of[v] = g;
+            group_weight[g] += fine.node_weight[v];
+        } else {
+            const auto g = static_cast<std::uint32_t>(group_weight.size());
+            group_weight.push_back(std::uint64_t{fine.node_weight[v]} + fine.node_weight[best]);
+            group_of[v] = g;
+            group_of[best] = g;
+        }
+        --merges_left;
+    }
+
+    // Renumber by first appearance (stable ordering); unmatched nodes keep
+    // singleton groups. Weight conservation: every fine node adds its
+    // weight to exactly one coarse node.
+    CoarseLevel out;
+    out.num_io = fine.num_io;
+    out.map_down.assign(n, kUnset);
+    std::vector<std::uint32_t> coarse_of_group(group_weight.size(), kUnset);
+    std::uint32_t next = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+        const std::uint32_t g = group_of[v];
+        if (g != kUnset && coarse_of_group[g] != kUnset) {
+            out.map_down[v] = coarse_of_group[g];
+            out.node_weight[coarse_of_group[g]] += fine.node_weight[v];
+            continue;
+        }
+        if (g != kUnset) coarse_of_group[g] = next;
+        out.map_down[v] = next;
+        out.node_weight.push_back(fine.node_weight[v]);
+        ++next;
+    }
+    out.num_nodes = next;
+
+    // Contract nets through the mapping: pins collapse, duplicates drop,
+    // single-pin leftovers disappear, identical pin sets merge with summed
+    // weight (multiplicity).
+    std::vector<CoarseNet> tmp;
+    tmp.reserve(fine.nets.size());
+    for (const CoarseNet& net : fine.nets) {
+        CoarseNet cn;
+        cn.pins.reserve(net.pins.size());
+        for (const std::uint32_t p : net.pins)
+            cn.pins.push_back(p < n ? out.map_down[p]
+                                    : static_cast<std::uint32_t>(out.num_nodes + (p - n)));
+        std::sort(cn.pins.begin(), cn.pins.end());
+        cn.pins.erase(std::unique(cn.pins.begin(), cn.pins.end()), cn.pins.end());
+        if (cn.pins.size() < 2) continue;
+        cn.weight = net.weight;
+        tmp.push_back(std::move(cn));
+    }
+    out.nets = merge_nets(std::move(tmp));
+    return out;
+}
+
+std::vector<CoarseLevel> build_hierarchy(const PlaceModel& model, double ratio,
+                                         std::size_t min_nodes, std::size_t max_levels) {
+    ratio = std::clamp(ratio, 0.1, 0.95);
+    if (min_nodes == 0) min_nodes = 1;
+    std::vector<CoarseLevel> levels;
+    levels.push_back(finest_level(model));
+    const std::uint64_t total_weight = model.num_clusters;
+    while (levels.size() <= max_levels && levels.back().num_nodes > min_nodes) {
+        const CoarseLevel& cur = levels.back();
+        const auto target = std::max(
+            min_nodes, static_cast<std::size_t>(std::ceil(ratio * static_cast<double>(cur.num_nodes))));
+        if (target >= cur.num_nodes) break;
+        // Cap super-nodes at ~1.5x the average weight of the target level,
+        // so density stays spreadable at every level.
+        const std::uint64_t max_w =
+            std::max<std::uint64_t>(2, (3 * total_weight) / (2 * target) + 1);
+        CoarseLevel next = coarsen_level(cur, target, max_w);
+        if (next.num_nodes * 20 > cur.num_nodes * 19) break;  // <5% shrink: stalled
+        levels.push_back(std::move(next));
+    }
+    return levels;
+}
+
+}  // namespace afpga::cad

@@ -1,0 +1,73 @@
+/// \file
+/// Deterministic netlist coarsening for multilevel placement: heavy-edge /
+/// first-choice matching over the placement model (cad/place_model.hpp),
+/// producing a hierarchy of shrinking CoarseLevel graphs that
+/// cad/place_multilevel.hpp solves top-down.
+///
+/// Matching is first-choice with a fixed visit order (ascending node index)
+/// and lexicographic tie-breaks (highest connectivity rating, then lowest
+/// neighbor index), so the hierarchy is a pure function of the model and
+/// the coarsening knobs — bit-identical across runs, machines and thread
+/// counts. Cluster weights are conserved exactly at every level (the sum
+/// of node weights always equals the model's cluster count), nets are
+/// contracted with multiplicity (nets whose pins collapse to the same set
+/// merge, summing their weights), and I/O pads survive as fixed anchors at
+/// every level via stable slot-indexed pins.
+///
+/// Threading: pure functions of their arguments; safe to call concurrently
+/// over one shared PlaceModel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cad/place_model.hpp"
+
+namespace afpga::cad {
+
+/// One contracted net: sorted, duplicate-free pins plus the summed weight
+/// of every finer net that collapsed onto this pin set.
+struct CoarseNet {
+    std::vector<std::uint32_t> pins;  ///< < num_nodes: movable node; else num_nodes + io slot
+    double weight = 1.0;
+};
+
+/// One level of the coarsening hierarchy. Level 0 is the model itself
+/// (one node per cluster, unit weights); each further level groups the
+/// previous one. Pins below num_nodes index movable nodes of this level;
+/// pin num_nodes + s is I/O slot s, which keeps its identity (and its
+/// fixed pad anchor) at every level.
+struct CoarseLevel {
+    std::size_t num_nodes = 0;               ///< movable nodes at this level
+    std::size_t num_io = 0;                   ///< io slots (constant across levels)
+    std::vector<std::uint32_t> node_weight;   ///< clusters represented per node
+    std::vector<CoarseNet> nets;              ///< contracted nets, deterministic order
+    /// Finer-level node -> node at this level. Empty at level 0.
+    std::vector<std::uint32_t> map_down;
+};
+
+/// Build level 0 from the model: one unit-weight node per cluster, model
+/// nets translated to level pins. Nets with identical pin sets merge with
+/// summed weight (net order: lexicographic by pin set).
+[[nodiscard]] CoarseLevel finest_level(const PlaceModel& model);
+
+/// Coarsen one level by first-choice matching: visit nodes in ascending
+/// index order; each unmatched node rates its neighbors by summed
+/// connectivity weight(net) / (movable_pins - 1) over the small nets they
+/// share, then joins the best-rated group (ties to the lowest index) whose
+/// combined weight stays within `max_node_weight`, until the level would
+/// shrink below `target_nodes`. Coarse indices are assigned by first
+/// appearance, keeping the ordering stable.
+[[nodiscard]] CoarseLevel coarsen_level(const CoarseLevel& fine, std::size_t target_nodes,
+                                        std::uint64_t max_node_weight);
+
+/// Build the full hierarchy, finest first: coarsen with `ratio` (each
+/// level targets ceil(ratio * nodes)) until the movable count drops to
+/// `min_nodes`, the level count hits `max_levels`, or a level fails to
+/// shrink by at least 5% (matching saturated). Always returns at least
+/// level 0.
+[[nodiscard]] std::vector<CoarseLevel> build_hierarchy(const PlaceModel& model, double ratio,
+                                                       std::size_t min_nodes,
+                                                       std::size_t max_levels);
+
+}  // namespace afpga::cad

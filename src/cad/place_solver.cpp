@@ -1,0 +1,282 @@
+#include "cad/place_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.hpp"
+#include "cad/place_model.hpp"
+
+namespace afpga::cad {
+
+void QuadSystem::reset(std::size_t n) {
+    diag.assign(n, 0.0);
+    rhs.assign(n, 0.0);
+    off.clear();
+    row_start.clear();
+    col.clear();
+    val.clear();
+}
+
+void QuadSystem::fix_degenerate(const std::vector<double>& x) {
+    for (std::size_t i = 0; i < diag.size(); ++i)
+        if (diag[i] == 0.0) {
+            diag[i] = 1.0;
+            rhs[i] = x[i];
+        }
+}
+
+void QuadSystem::finalize() {
+    std::sort(off.begin(), off.end(), [](const auto& a, const auto& b) {
+        if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+        return std::get<1>(a) < std::get<1>(b);
+    });
+    row_start.assign(diag.size() + 1, 0);
+    for (std::size_t t = 0; t < off.size();) {
+        const std::size_t row = std::get<0>(off[t]);
+        const std::size_t column = std::get<1>(off[t]);
+        double w = 0;
+        while (t < off.size() && std::get<0>(off[t]) == row &&
+               std::get<1>(off[t]) == column) {
+            w += std::get<2>(off[t]);
+            ++t;
+        }
+        col.push_back(column);
+        val.push_back(w);
+        ++row_start[row + 1];
+    }
+    for (std::size_t i = 1; i < row_start.size(); ++i) row_start[i] += row_start[i - 1];
+    off.clear();
+}
+
+void QuadSystem::apply(const std::vector<double>& x, std::vector<double>& y) const {
+    const std::size_t n = diag.size();
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = diag[i] * x[i];
+        for (std::size_t t = row_start[i]; t < row_start[i + 1]; ++t)
+            acc += val[t] * x[col[t]];
+        y[i] = acc;
+    }
+}
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+}  // namespace
+
+std::uint64_t solve_pcg(const QuadSystem& sys, std::vector<double>& x, int max_iters,
+                        double tol, PcgScratch& scratch) {
+    const std::size_t n = x.size();
+    if (n == 0) return 0;
+    std::vector<double>& r = scratch.r;
+    std::vector<double>& z = scratch.z;
+    std::vector<double>& p = scratch.p;
+    std::vector<double>& ap = scratch.ap;
+    r.resize(n);
+    z.resize(n);
+    sys.apply(x, ap);
+    for (std::size_t i = 0; i < n; ++i) r[i] = sys.rhs[i] - ap[i];
+    double bnorm = std::sqrt(dot(sys.rhs, sys.rhs));
+    if (bnorm < 1e-300) bnorm = 1.0;
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / sys.diag[i];
+    p = z;
+    double rz = dot(r, z);
+    std::uint64_t iters = 0;
+    for (int it = 0; it < max_iters; ++it) {
+        if (std::sqrt(dot(r, r)) <= tol * bnorm) break;
+        sys.apply(p, ap);
+        const double pap = dot(p, ap);
+        if (!(pap > 0)) break;  // numerical breakdown: keep the best x so far
+        const double alpha = rz / pap;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / sys.diag[i];
+        const double rz_new = dot(r, z);
+        ++iters;
+        if (!(rz_new > 0)) break;
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
+    return iters;
+}
+
+void spread_targets(std::uint32_t width, std::uint32_t height, std::size_t num_nodes,
+                    const std::vector<double>& cx, const std::vector<double>& cy,
+                    const std::uint32_t* weight, std::vector<double>& tgt_x,
+                    std::vector<double>& tgt_y, SpreadScratch& scratch) {
+    if (num_nodes == 0) return;
+    scratch.idx.resize(num_nodes);
+    for (std::size_t i = 0; i < num_nodes; ++i) scratch.idx[i] = i;
+    scratch.stack.clear();
+    scratch.stack.push_back({0, width, 0, height, 0, num_nodes});
+    auto weight_of = [&](std::size_t node) -> std::uint64_t {
+        return weight == nullptr ? 1 : weight[node];
+    };
+    while (!scratch.stack.empty()) {
+        const SpreadScratch::Region rg = scratch.stack.back();
+        scratch.stack.pop_back();
+        const std::size_t size = rg.end - rg.begin;
+        if (size == 0) continue;
+        const std::uint32_t w = rg.x1 - rg.x0;
+        const std::uint32_t h = rg.y1 - rg.y0;
+        if (size == 1 || (w == 1 && h == 1)) {
+            const double tx =
+                (static_cast<double>(rg.x0) + static_cast<double>(rg.x1) - 1.0) / 2.0 + 1.0;
+            const double ty =
+                (static_cast<double>(rg.y0) + static_cast<double>(rg.y1) - 1.0) / 2.0 + 1.0;
+            for (std::size_t t = rg.begin; t < rg.end; ++t) {
+                tgt_x[scratch.idx[t]] = tx;
+                tgt_y[scratch.idx[t]] = ty;
+            }
+            continue;
+        }
+        const bool split_x = w >= h;
+        const std::uint32_t xm = split_x ? rg.x0 + w / 2 : rg.x1;
+        const std::uint32_t ym = split_x ? rg.y1 : rg.y0 + h / 2;
+        const std::uint64_t cap_lo =
+            split_x ? std::uint64_t{xm - rg.x0} * h : std::uint64_t{ym - rg.y0} * w;
+        const std::uint64_t cap_hi =
+            split_x ? std::uint64_t{rg.x1 - xm} * h : std::uint64_t{rg.y1 - ym} * w;
+        const auto first = scratch.idx.begin() + static_cast<std::ptrdiff_t>(rg.begin);
+        const auto last = scratch.idx.begin() + static_cast<std::ptrdiff_t>(rg.end);
+        std::sort(first, last, [&](std::size_t a, std::size_t b) {
+            const double ca = split_x ? cx[a] : cy[a];
+            const double cb = split_x ? cx[b] : cy[b];
+            if (ca != cb) return ca < cb;
+            return a < b;
+        });
+        // Site i's center coordinate is i+1, so the cut between sites xm-1
+        // and xm lies at coordinate xm + 0.5.
+        const double cut =
+            split_x ? static_cast<double>(xm) + 0.5 : static_cast<double>(ym) + 0.5;
+        std::size_t k = 0;
+        std::uint64_t w_lo = 0;
+        while (k < size) {
+            const std::size_t node = scratch.idx[rg.begin + k];
+            if ((split_x ? cx[node] : cy[node]) > cut) break;
+            w_lo += weight_of(node);
+            ++k;
+        }
+        std::uint64_t w_hi = 0;
+        for (std::size_t t = rg.begin + k; t < rg.end; ++t) w_hi += weight_of(scratch.idx[t]);
+        // Shift the boundary only as far as capacity demands. With unit
+        // weights this is exactly k = min(k, cap_lo), then k = max(k,
+        // size - cap_hi); with lumpy weights the second loop may re-exceed
+        // cap_lo — best effort, see the header.
+        while (k > 0 && w_lo > cap_lo) {
+            --k;
+            const std::uint64_t nw = weight_of(scratch.idx[rg.begin + k]);
+            w_lo -= nw;
+            w_hi += nw;
+        }
+        while (k < size && w_hi > cap_hi) {
+            const std::uint64_t nw = weight_of(scratch.idx[rg.begin + k]);
+            w_lo += nw;
+            w_hi -= nw;
+            ++k;
+        }
+        const std::size_t mid = rg.begin + k;
+        if (split_x) {
+            scratch.stack.push_back({xm, rg.x1, rg.y0, rg.y1, mid, rg.end});
+            scratch.stack.push_back({rg.x0, xm, rg.y0, rg.y1, rg.begin, mid});
+        } else {
+            scratch.stack.push_back({rg.x0, rg.x1, ym, rg.y1, mid, rg.end});
+            scratch.stack.push_back({rg.x0, rg.x1, rg.y0, ym, rg.begin, mid});
+        }
+    }
+}
+
+void PadFrame::build(const std::vector<PlacePt>& pads, std::uint32_t width,
+                     std::uint32_t height) {
+    // Side order is arbitrary (queries take a 4-way lexicographic min) but
+    // the geometry must match place_model's pad frame exactly.
+    sides_[0] = {1, 0.0, {}};                               // left:   x = 0
+    sides_[1] = {1, static_cast<double>(width) + 1.0, {}};  // right:  x = W+1
+    sides_[2] = {0, 0.0, {}};                               // bottom: y = 0
+    sides_[3] = {0, static_cast<double>(height) + 1.0, {}}; // top:    y = H+1
+    pad_side_.resize(pads.size());
+    free_.clear();
+    for (std::uint32_t p = 0; p < pads.size(); ++p) {
+        const PlacePt pt = pads[p];
+        std::uint8_t side = 0;
+        if (pt.x == sides_[0].fixed)
+            side = 0;
+        else if (pt.x == sides_[1].fixed)
+            side = 1;
+        else if (pt.y == sides_[2].fixed)
+            side = 2;
+        else {
+            base::check(pt.y == sides_[3].fixed, "PadFrame: pad off the perimeter frame");
+            side = 3;
+        }
+        const double run = sides_[side].run_axis == 0 ? pt.x : pt.y;
+        pad_side_[p] = {side, run};
+        sides_[side].free.emplace(run, p);
+        free_.insert(p);
+    }
+}
+
+void PadFrame::reset() {
+    for (std::uint32_t p = 0; p < pad_side_.size(); ++p) {
+        const auto [side, run] = pad_side_[p];
+        sides_[side].free.emplace(run, p);
+        free_.insert(p);
+    }
+}
+
+bool PadFrame::lowest_free(std::uint32_t& out) const {
+    if (free_.empty()) return false;
+    out = *free_.begin();
+    return true;
+}
+
+bool PadFrame::nearest_free(double gx, double gy, std::uint32_t& out) const {
+    double best_d = 0.0;
+    std::uint32_t best = 0;
+    bool found = false;
+    auto consider = [&](double d, std::uint32_t p) {
+        if (!found || d < best_d || (d == best_d && p < best)) {
+            best_d = d;
+            best = p;
+            found = true;
+        }
+    };
+    for (const Side& side : sides_) {
+        if (side.free.empty()) continue;
+        const double g = side.run_axis == 0 ? gx : gy;
+        // The off-axis term |side.fixed - off| is the same |pad.x - gx| /
+        // |pad.y - gy| term the full scan computes, and two-term IEEE
+        // addition is commutative, so d below is bit-identical to the
+        // scan's distance.
+        const double off_term = std::abs(side.fixed - (side.run_axis == 0 ? gy : gx));
+        const auto it = side.free.lower_bound({g, 0});
+        if (it != side.free.end()) {
+            // First entry at the bracketing run above g: lowest index there.
+            consider(std::abs(it->first - g) + off_term, it->second);
+        }
+        if (it != side.free.begin()) {
+            const double below = std::prev(it)->first;
+            // Jump to the first (lowest-index) entry at that run.
+            const auto lo = side.free.lower_bound({below, 0});
+            consider(std::abs(below - g) + off_term, lo->second);
+        }
+    }
+    if (found) out = best;
+    return found;
+}
+
+void PadFrame::take(std::uint32_t pad) {
+    const auto [side, run] = pad_side_[pad];
+    sides_[side].free.erase({run, pad});
+    free_.erase(pad);
+}
+
+}  // namespace afpga::cad

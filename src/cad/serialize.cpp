@@ -451,6 +451,7 @@ std::size_t ArtifactCodec<Placement>::approx_bytes(const Placement& v) noexcept 
     total += v.cost_trajectory.size() * 8;
     for (const auto& rep : v.replicas)
         total += sizeof(PlaceReplica) + rep.cost_trajectory.size() * 8;
+    total += v.analytical.levels.size() * sizeof(LevelStats);
     return total;
 }
 
@@ -458,7 +459,7 @@ namespace {
 
 std::uint8_t get_engine(BlobReader& r) {
     const std::uint8_t e = r.u8();
-    base::check(e <= 1, "placement blob: bad engine tag");
+    base::check(e <= 2, "placement blob: bad engine tag");
     return e;
 }
 
@@ -493,6 +494,15 @@ void ArtifactCodec<Placement>::encode(const Placement& v, BlobWriter& w) {
     w.u64(v.analytical.legalize.total_displacement);
     w.u64(v.analytical.legalize.max_displacement);
     w.f64(v.analytical.legalize.avg_displacement);
+    w.u64(v.analytical.levels.size());
+    for (const LevelStats& ls : v.analytical.levels) {
+        w.u64(ls.nodes);
+        w.u64(ls.nets);
+        w.i64(ls.solver_passes);
+        w.i64(ls.spread_passes);
+        w.u64(ls.solver_iterations);
+        w.f64(ls.wall_ms);
+    }
 }
 
 Placement ArtifactCodec<Placement>::decode(BlobReader& r) {
@@ -529,6 +539,18 @@ Placement ArtifactCodec<Placement>::decode(BlobReader& r) {
     v.analytical.legalize.total_displacement = r.u64();
     v.analytical.legalize.max_displacement = r.u64();
     v.analytical.legalize.avg_displacement = r.f64();
+    const std::size_t num_levels = get_count(r, 48);
+    v.analytical.levels.reserve(num_levels);
+    for (std::size_t i = 0; i < num_levels; ++i) {
+        LevelStats ls;
+        ls.nodes = r.u64();
+        ls.nets = r.u64();
+        ls.solver_passes = static_cast<int>(r.i64());
+        ls.spread_passes = static_cast<int>(r.i64());
+        ls.solver_iterations = r.u64();
+        ls.wall_ms = r.f64();
+        v.analytical.levels.push_back(ls);
+    }
     return v;
 }
 

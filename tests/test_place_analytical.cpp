@@ -168,10 +168,11 @@ TEST(PlaceRace, AnalyticalJoinsAsFinalReplicaAndLexMinWins) {
     const auto pl = cad::place(d.pd, d.md, d.arch, opts);
     expect_legal(pl, d.arch);
 
-    ASSERT_EQ(pl.replicas.size(), 4u);
+    ASSERT_EQ(pl.replicas.size(), 5u);
     for (std::size_t i = 0; i < 3; ++i)
         EXPECT_EQ(pl.replicas[i].engine, cad::PlaceEngine::Anneal) << i;
     EXPECT_EQ(pl.replicas[3].engine, cad::PlaceEngine::Analytical);
+    EXPECT_EQ(pl.replicas[4].engine, cad::PlaceEngine::Multilevel);
 
     // Winner is the lexicographic minimum of (final_cost, replica index).
     std::size_t expect_winner = 0;

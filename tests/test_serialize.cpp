@@ -107,7 +107,7 @@ cad::Placement make_placement() {
     r1.engine = cad::PlaceEngine::Analytical;
     pl.replicas = {r0, r1};
     pl.winner_replica = 1;
-    pl.engine = cad::PlaceEngine::Analytical;
+    pl.engine = cad::PlaceEngine::Multilevel;
     pl.analytical.solver_iterations = 321;
     pl.analytical.solver_passes = 9;
     pl.analytical.spread_passes = 8;
@@ -118,6 +118,21 @@ cad::Placement make_placement() {
     pl.analytical.legalize.total_displacement = 6;
     pl.analytical.legalize.max_displacement = 3;
     pl.analytical.legalize.avg_displacement = 2.0;
+    cad::LevelStats l0;
+    l0.nodes = 12;
+    l0.nets = 30;
+    l0.solver_passes = 8;
+    l0.spread_passes = 8;
+    l0.solver_iterations = 200;
+    l0.wall_ms = 0.75;
+    cad::LevelStats l1;
+    l1.nodes = 48;
+    l1.nets = 90;
+    l1.solver_passes = 1;
+    l1.spread_passes = 1;
+    l1.solver_iterations = 40;
+    l1.wall_ms = 0.5;
+    pl.analytical.levels = {l0, l1};
     return pl;
 }
 
@@ -314,6 +329,17 @@ TEST(SerializeCodec, PlacementRoundtrip) {
               pl.analytical.legalize.max_displacement);
     EXPECT_EQ(back.analytical.legalize.avg_displacement,
               pl.analytical.legalize.avg_displacement);
+    ASSERT_EQ(back.analytical.levels.size(), pl.analytical.levels.size());
+    for (std::size_t i = 0; i < pl.analytical.levels.size(); ++i) {
+        const cad::LevelStats& a = back.analytical.levels[i];
+        const cad::LevelStats& b = pl.analytical.levels[i];
+        EXPECT_EQ(a.nodes, b.nodes) << "level " << i;
+        EXPECT_EQ(a.nets, b.nets) << "level " << i;
+        EXPECT_EQ(a.solver_passes, b.solver_passes) << "level " << i;
+        EXPECT_EQ(a.spread_passes, b.spread_passes) << "level " << i;
+        EXPECT_EQ(a.solver_iterations, b.solver_iterations) << "level " << i;
+        EXPECT_EQ(a.wall_ms, b.wall_ms) << "level " << i;
+    }
 }
 
 TEST(SerializeCodec, RouteArtifactRoundtrip) {
