@@ -15,10 +15,16 @@
 // the multilevel V-cycle against the flat analytical engine (the
 // placer_scale tier); any gate violation makes the bench exit non-zero.
 //
+// The flow_server tier drives the socket front-end with concurrent clients
+// over a Unix socket: p50/p95/p99 submit->result latency, throughput, Busy
+// backpressure counts, and a bit-identity gate against in-process run_flow.
+//
 // Usage: cad_scaling [--smoke] [--reps N] [--out FILE]
 //   --smoke   only the smallest fabric and thread counts {1,2}, one rep
 //   --reps N  repetitions per configuration, best time kept (default 2)
 //   --out     output path (default BENCH_flow.json in the cwd)
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +43,10 @@
 #include "base/timer.hpp"
 #include "cad/batch.hpp"
 #include "cad/flow.hpp"
+#include "cad/flow_client.hpp"
+#include "cad/flow_server.hpp"
 #include "cad/flow_service.hpp"
+#include "cad/serialize.hpp"
 #include "cad/pack.hpp"
 #include "cad/place_analytical.hpp"
 #include "cad/place_model.hpp"
@@ -954,6 +963,153 @@ int main(int argc, char** argv) {
         w.end_object();
     }
 
+    // ---- flow_server: the socket front-end under concurrent clients -------
+    //
+    // An in-process FlowServer on a Unix socket, a deliberately small queue
+    // bound, and C client threads each pushing J compiles through the wire.
+    // Gates: every remote result byte-identical to an in-process run_flow of
+    // the same job, backpressure observed (Busy responses > 0, queue depth
+    // never above the bound), and the protocol clean (no errors). Reports
+    // p50/p95/p99 submit->result latency and end-to-end throughput.
+    bool flow_server_gate_ok = true;
+    {
+        const std::size_t n_clients = smoke ? 2 : 3;
+        const std::size_t jobs_per_client = smoke ? 2 : 4;
+        auto adder = asynclib::make_qdi_adder(4);
+        core::ArchSpec arch;
+        arch.width = arch.height = 10;
+        arch.channel_width = 12;
+
+        cad::FlowServerOptions so;
+        so.unix_path = (std::filesystem::temp_directory_path() /
+                        ("afpga_bench_" + std::to_string(::getpid()) + ".sock"))
+                           .string();
+        so.service.threads = 1;  // one worker: the queue must actually form
+        so.max_pending = 2;
+        so.retry_after_ms = 2;
+        cad::FlowServer server(std::move(so));
+        server.start();
+
+        auto make_job = [&](std::uint64_t seed) {
+            cad::RemoteJobSpec j;
+            j.name = "bench_s" + std::to_string(seed);
+            j.nl = &adder.nl;
+            j.hints = &adder.hints;
+            j.arch = arch;
+            j.opts.seed = seed;
+            return j;
+        };
+
+        // Backpressure probe (untimed): fill the paused queue to its bound,
+        // demand a Busy bounce, then let the probes drain.
+        {
+            server.service().pause();
+            cad::FlowClient probe = cad::FlowClient::connect_unix(server.unix_path(), "probe");
+            std::vector<std::uint64_t> probe_ids;
+            for (std::uint64_t s = 1; s <= 2; ++s) {
+                const auto id = probe.try_submit(make_job(s));
+                if (id) probe_ids.push_back(*id);
+            }
+            const bool bounced = !probe.try_submit(make_job(3)).has_value();
+            if (!bounced) {
+                std::fprintf(stderr, "cad_scaling: flow_server queue bound did not bounce\n");
+                flow_server_gate_ok = false;
+            }
+            server.service().resume();
+            for (const auto id : probe_ids) (void)probe.wait(id);
+        }
+
+        // Timed phase: every client runs submit -> wait back-to-back, riding
+        // the Busy backoff exactly like afpga_client would.
+        struct JobRecord {
+            std::uint64_t seed = 0;
+            double latency_ms = 0.0;
+            std::vector<std::uint8_t> blob;
+        };
+        std::vector<std::vector<JobRecord>> per_client(n_clients);
+        base::WallTimer phase_timer;
+        {
+            std::vector<std::thread> threads;
+            for (std::size_t c = 0; c < n_clients; ++c) {
+                threads.emplace_back([&, c] {
+                    cad::FlowClient client =
+                        cad::FlowClient::connect_unix(server.unix_path(), "bench_" + std::to_string(c));
+                    for (std::size_t j = 0; j < jobs_per_client; ++j) {
+                        const std::uint64_t seed = 100 + c * 10 + j;
+                        base::WallTimer t;
+                        const std::uint64_t id = client.submit(make_job(seed));
+                        cad::RemoteFlowResult r = client.wait(id);
+                        JobRecord rec;
+                        rec.seed = seed;
+                        rec.latency_ms = t.elapsed_ms();
+                        rec.blob = std::move(r.result_blob);
+                        per_client[c].push_back(std::move(rec));
+                    }
+                });
+            }
+            for (auto& t : threads) t.join();
+        }
+        const double phase_ms = phase_timer.elapsed_ms();
+        server.drain();
+        server.wait_drained();
+        const cad::FlowServerStats st = server.stats();
+        server.stop();
+
+        // Bit-identity gate: replay every job in-process and compare blobs.
+        bool bit_identical = true;
+        std::vector<double> latencies;
+        for (const auto& client_jobs : per_client) {
+            for (const JobRecord& rec : client_jobs) {
+                latencies.push_back(rec.latency_ms);
+                cad::FlowOptions opts;
+                opts.seed = rec.seed;
+                const cad::FlowResult local = cad::run_flow(adder.nl, adder.hints, arch, opts);
+                const auto local_blob = cad::ArtifactCodec<cad::BitstreamArtifact>::encode_blob(
+                    cad::BitstreamArtifact{*local.bits, local.pad_names});
+                if (rec.blob != local_blob) bit_identical = false;
+            }
+        }
+        std::sort(latencies.begin(), latencies.end());
+        auto pct = [&](double q) {
+            const std::size_t i =
+                static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1));
+            return latencies[i];
+        };
+        const std::size_t jobs_total = latencies.size();
+        const double throughput = static_cast<double>(jobs_total) / (phase_ms / 1000.0);
+
+        const bool backpressure_seen =
+            st.submits_rejected_busy > 0 && st.max_queue_depth_observed <= 2;
+        flow_server_gate_ok =
+            flow_server_gate_ok && bit_identical && backpressure_seen && st.protocol_errors == 0;
+
+        std::printf("flow_server: %zu clients x %zu jobs: p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, "
+                    "%.1f jobs/s, %llu busy bounces, peak queue %llu -> gate %s\n",
+                    n_clients, jobs_per_client, pct(0.50), pct(0.95), pct(0.99), throughput,
+                    static_cast<unsigned long long>(st.submits_rejected_busy),
+                    static_cast<unsigned long long>(st.max_queue_depth_observed),
+                    flow_server_gate_ok ? "ok" : "VIOLATED");
+
+        w.key("flow_server").begin_object();
+        w.key("clients").value(std::uint64_t{n_clients});
+        w.key("jobs_per_client").value(std::uint64_t{jobs_per_client});
+        w.key("jobs_total").value(std::uint64_t{jobs_total});
+        w.key("max_pending").value(std::uint64_t{2});
+        w.key("p50_ms").value(pct(0.50));
+        w.key("p95_ms").value(pct(0.95));
+        w.key("p99_ms").value(pct(0.99));
+        w.key("throughput_jobs_per_s").value(throughput);
+        w.key("busy_responses").value(st.submits_rejected_busy);
+        w.key("submits_accepted").value(st.submits_accepted);
+        w.key("results_streamed").value(st.results_streamed);
+        w.key("max_queue_depth_observed").value(st.max_queue_depth_observed);
+        w.key("max_outbound_bytes_observed").value(st.max_outbound_bytes_observed);
+        w.key("protocol_errors").value(st.protocol_errors);
+        w.key("bit_identical").value(bit_identical);
+        w.key("gate_ok").value(flow_server_gate_ok);
+        w.end_object();
+    }
+
     w.end_object();
 
     std::ofstream out(out_path);
@@ -974,6 +1130,10 @@ int main(int argc, char** argv) {
     }
     if (!placer_scale_ok) {
         std::fprintf(stderr, "cad_scaling: placer_scale gate violated (see above)\n");
+        ok = false;
+    }
+    if (!flow_server_gate_ok) {
+        std::fprintf(stderr, "cad_scaling: flow_server gate violated (see above)\n");
         ok = false;
     }
     return ok ? 0 : 1;

@@ -42,23 +42,31 @@ FlowService::FlowService(FlowServiceOptions opts)
                      threads_, hw);
 }
 
-FlowService::~FlowService() = default;
+FlowService::~FlowService() {
+    // A paused service must still drain: re-open the dispatch gate so the
+    // pool's destructor (which runs after this body) can finish the queue.
+    resume();
+}
 
 FlowJobId FlowService::submit(FlowJob job) {
     check(job.nl != nullptr, "flow_service: job '" + job.name + "' has no netlist");
     job.arch.validate();
-    Job* slot = nullptr;
     FlowJobId id = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         id = jobs_.size();
         jobs_.push_back(std::make_unique<Job>());
-        slot = jobs_.back().get();
+        Job* slot = jobs_.back().get();
         slot->spec = std::move(job);
         slot->result.name = slot->spec.name;
+        slot->id = id;
         slot->queued.reset();
+        pending_.push_back(id);
     }
-    pool_.submit([this, slot] { execute(*slot); });
+    // Tickets are generic: each one runs whichever pending job the scheduler
+    // ranks best at pick time, so priorities/lanes submitted later can still
+    // jump ahead of this job.
+    pool_.submit([this] { run_one(); });
     return id;
 }
 
@@ -76,17 +84,38 @@ std::vector<FlowJobId> FlowService::submit_grid(std::vector<FlowJob> jobs) {
     return ids;
 }
 
-void FlowService::execute(Job& job) {
+void FlowService::run_one() {
+    Job* job = nullptr;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (job.result.status == FlowJobStatus::Cancelled) {
-            cv_.notify_all();
-            return;
+        if (paused_ || pending_.empty()) return;  // stale/extra ticket: no-op
+        // Pick: highest priority, then the least-recently-started lane
+        // (fair round-robin), then submission order. pending_ is ascending
+        // by id, so keeping the first of any tie yields submission order.
+        std::size_t best = 0;
+        auto lane_last = [this](const Job& j) -> std::uint64_t {
+            auto it = lane_last_start_.find(j.spec.lane);
+            return it == lane_last_start_.end() ? 0 : it->second;
+        };
+        for (std::size_t i = 1; i < pending_.size(); ++i) {
+            const Job& cand = *jobs_[pending_[i]];
+            const Job& cur = *jobs_[pending_[best]];
+            if (cand.spec.priority > cur.spec.priority ||
+                (cand.spec.priority == cur.spec.priority &&
+                 lane_last(cand) < lane_last(cur)))
+                best = i;
         }
-        job.result.status = FlowJobStatus::Running;
-        job.result.queue_ms = job.queued.elapsed_ms();
+        job = jobs_[pending_[best]].get();
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+        job->result.status = FlowJobStatus::Running;
+        job->result.queue_ms = job->queued.elapsed_ms();
+        job->result.start_seq = ++start_clock_;
+        lane_last_start_[job->spec.lane] = start_clock_;
     }
+    execute(*job);
+}
 
+void FlowService::execute(Job& job) {
     static const asynclib::MappingHints kNoHints;
     const asynclib::MappingHints& hints = job.spec.hints ? *job.spec.hints : kNoHints;
 
@@ -132,6 +161,7 @@ void FlowService::execute(Job& job) {
         job.result.wall_ms = wall_ms;
     }
     cv_.notify_all();
+    if (opts_.on_job_finished) opts_.on_job_finished(job.id);
 }
 
 namespace {
@@ -165,8 +195,13 @@ FlowJobResult FlowService::take(FlowJobId id) {
     job.result.error = out.error;
     job.result.wall_ms = out.wall_ms;
     job.result.queue_ms = out.queue_ms;
+    job.result.start_seq = out.start_seq;
     job.taken = true;
+    const int priority = job.spec.priority;
+    const std::uint32_t lane = job.spec.lane;
     job.spec = FlowJob{};
+    job.spec.priority = priority;
+    job.spec.lane = lane;
     return out;
 }
 
@@ -183,13 +218,62 @@ void FlowService::wait_all() {
 }
 
 bool FlowService::cancel(FlowJobId id) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        check(id < jobs_.size(), "flow_service: unknown job id");
+        Job& job = *jobs_[id];
+        if (job.result.status != FlowJobStatus::Queued) return false;
+        job.result.status = FlowJobStatus::Cancelled;
+        // Drop it from the pending list so the next worker ticket skips it;
+        // the ticket submitted for it becomes a harmless no-op.
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            if (pending_[i] == id) {
+                pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+    }
+    cv_.notify_all();
+    if (opts_.on_job_finished) opts_.on_job_finished(id);
+    return true;
+}
+
+FlowService::JobBrief FlowService::peek(FlowJobId id) const {
     std::lock_guard<std::mutex> lock(mu_);
     check(id < jobs_.size(), "flow_service: unknown job id");
-    Job& job = *jobs_[id];
-    if (job.result.status != FlowJobStatus::Queued) return false;
-    job.result.status = FlowJobStatus::Cancelled;
-    cv_.notify_all();
-    return true;
+    const Job& job = *jobs_[id];
+    JobBrief b;
+    b.status = job.result.status;
+    b.start_seq = job.result.start_seq;
+    b.wall_ms = job.result.wall_ms;
+    b.queue_ms = job.result.queue_ms;
+    b.error = job.result.error;
+    b.taken = job.taken;
+    return b;
+}
+
+void FlowService::pause() {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+}
+
+void FlowService::resume() {
+    std::size_t backlog = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!paused_) return;
+        paused_ = false;
+        backlog = pending_.size();
+    }
+    // Tickets consumed as no-ops while paused must be re-issued, one per
+    // pending job; any surplus (a pre-pause ticket still in flight) just
+    // no-ops against an empty pending list.
+    for (std::size_t i = 0; i < backlog; ++i) pool_.submit([this] { run_one(); });
+}
+
+std::size_t FlowService::num_pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
 }
 
 std::shared_ptr<const core::RRGraph> FlowService::prewarm_rr(const core::ArchSpec& arch) {
@@ -255,6 +339,9 @@ std::string FlowService::report_json() const {
         w.key("status").value(to_string(r.status));
         w.key("wall_ms").value(r.wall_ms);
         w.key("queue_ms").value(r.queue_ms);
+        w.key("priority").value(std::int64_t{j->spec.priority});
+        w.key("lane").value(std::uint64_t{j->spec.lane});
+        w.key("start_seq").value(r.start_seq);
         if (j->taken) {
             w.key("taken").value(true);  // result moved out; no telemetry left
         } else if (r.status == FlowJobStatus::Ok) {

@@ -24,9 +24,12 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "base/threadpool.hpp"
@@ -35,6 +38,9 @@
 #include "cad/flow.hpp"
 
 namespace afpga::cad {
+
+/// Handle to a submitted job (dense, in submission order).
+using FlowJobId = std::size_t;
 
 /// Service configuration.
 struct FlowServiceOptions {
@@ -61,6 +67,12 @@ struct FlowServiceOptions {
     /// Maximum blob age in seconds for the startup prune (0 = no age
     /// limit); see ArtifactStoreConfig::disk_max_age_seconds.
     std::uint64_t artifact_disk_max_age_seconds = 0;
+    /// Fired once per job on its terminal transition (Ok/Failed from a
+    /// worker, Cancelled from cancel()), outside the service lock, from
+    /// whichever thread drove the transition. Used by the socket front-end
+    /// to wake its IO loop; must not call back into the service in a way
+    /// that blocks (wait()/take() are fine — the job is already terminal).
+    std::function<void(FlowJobId)> on_job_finished;
 };
 
 /// One design-compile request. The netlist and hints are borrowed.
@@ -70,6 +82,13 @@ struct FlowJob {
     const asynclib::MappingHints* hints = nullptr;  ///< optional hints (borrowed)
     core::ArchSpec arch;                            ///< per-job target architecture
     FlowOptions opts;                               ///< per-job knobs (seed, stages)
+    /// Scheduling class: higher-priority queued jobs always start first.
+    int priority = 0;
+    /// Fairness lane (the socket front-end uses one lane per client). Among
+    /// equal-priority queued jobs the scheduler round-robins lanes by
+    /// least-recently-started, so one lane flooding the queue cannot starve
+    /// the others.
+    std::uint32_t lane = 0;
 };
 
 /// Lifecycle of a job inside the service.
@@ -92,12 +111,14 @@ struct FlowJobResult {
     FlowResult result;     ///< valid when Ok
     double wall_ms = 0.0;  ///< flow execution time (not queue wait)
     double queue_ms = 0.0; ///< time spent waiting for a worker
+    /// Global start order: 1 for the first job a worker picked up, 2 for the
+    /// second, ... 0 while still queued / if cancelled before starting.
+    /// Tests and the fairness-asserting server verbs read this to observe
+    /// the scheduler's actual dispatch order.
+    std::uint64_t start_seq = 0;
 
     [[nodiscard]] bool ok() const noexcept { return status == FlowJobStatus::Ok; }
 };
-
-/// Handle to a submitted job (dense, in submission order).
-using FlowJobId = std::size_t;
 
 /// The persistent flow server; see the file comment for the contract.
 class FlowService {
@@ -135,6 +156,29 @@ public:
     /// will never run); false if it is already running or done.
     bool cancel(FlowJobId id);
 
+    /// Non-blocking status snapshot of one job, cheap enough for a polling
+    /// front-end: everything except the heavy FlowResult.
+    struct JobBrief {
+        FlowJobStatus status = FlowJobStatus::Queued;  ///< current lifecycle state
+        std::uint64_t start_seq = 0;  ///< FlowJobResult::start_seq (0 = not started)
+        double wall_ms = 0.0;         ///< flow execution time so far recorded
+        double queue_ms = 0.0;        ///< queue wait (set when the job starts)
+        std::string error;            ///< failure text when Failed
+        bool taken = false;           ///< result already moved out via take()
+    };
+    /// Fetch a JobBrief without blocking (throws base::Error on a bad id).
+    [[nodiscard]] JobBrief peek(FlowJobId id) const;
+
+    /// Stop dispatching queued jobs; running jobs finish normally. Used by
+    /// tests to line up a deterministic queue before releasing it, and by
+    /// the bench to provoke backpressure.
+    void pause();
+    /// Resume dispatching (idempotent). The destructor resumes implicitly,
+    /// so a paused service still drains on shutdown.
+    void resume();
+    /// Queued-and-not-yet-started job count.
+    [[nodiscard]] std::size_t num_pending() const;
+
     /// Build (or fetch) the shared RR graph of `arch` now instead of inside
     /// the first job that needs it; returns it for callers that want to
     /// hand the same graph elsewhere.
@@ -161,10 +205,15 @@ private:
     struct Job {
         FlowJob spec;
         FlowJobResult result;
+        FlowJobId id = 0;        ///< own index in jobs_ (for the callback)
         base::WallTimer queued;  ///< started at submit; read once at start
         bool taken = false;      ///< result moved out via take()
     };
 
+    /// Worker ticket: pick the best pending job (priority, then per-lane
+    /// fairness, then submission order) and run it; no-op when paused or
+    /// nothing is pending.
+    void run_one();
     void execute(Job& job);
 
     FlowServiceOptions opts_;
@@ -174,6 +223,12 @@ private:
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::vector<std::unique_ptr<Job>> jobs_;  ///< id = index; slots never move
+    std::vector<FlowJobId> pending_;          ///< queued ids, ascending
+    bool paused_ = false;                     ///< dispatch gate (pause()/resume())
+    std::uint64_t start_clock_ = 0;           ///< stamps FlowJobResult::start_seq
+    /// start_clock_ value of each lane's most recent dispatch; equal-priority
+    /// scheduling picks the least-recently-started lane.
+    std::unordered_map<std::uint32_t, std::uint64_t> lane_last_start_;
 
     /// Last member: its destructor drains the queue while everything above
     /// (store, job slots) is still alive.

@@ -98,6 +98,72 @@ void Netlist::set_net_name(NetId net, const std::string& name) {
     if (!name.empty()) net_by_name_[name] = net;
 }
 
+Netlist Netlist::from_parts(std::string name, std::vector<Cell> cells,
+                            std::vector<Net> nets, std::vector<NetId> pis,
+                            std::vector<std::pair<std::string, NetId>> pos) {
+    // Bounds-check every cross-reference up front: validate() assumes
+    // in-range ids (it indexes without checking), so on untrusted input the
+    // range checks must come first.
+    const std::size_t nc = cells.size();
+    const std::size_t nn = nets.size();
+    std::size_t input_edges = 0;
+    for (const Cell& c : cells) {
+        for (NetId in : c.inputs)
+            check(in.valid() && in.index() < nn, "from_parts: cell input net out of range");
+        check(c.output.valid() && c.output.index() < nn,
+              "from_parts: cell output net out of range");
+        input_edges += c.inputs.size();
+    }
+    std::size_t sink_edges = 0;
+    for (const Net& n : nets) {
+        if (n.driver.valid())
+            check(n.driver.index() < nc, "from_parts: net driver out of range");
+        for (const PinRef& s : n.sinks) {
+            check(s.cell.valid() && s.cell.index() < nc, "from_parts: sink cell out of range");
+            check(s.pin < cells[s.cell.index()].inputs.size(), "from_parts: sink pin out of range");
+        }
+        sink_edges += n.sinks.size();
+    }
+    // validate() proves every sink points at a matching input pin; requiring
+    // equal edge counts and no duplicate sinks upgrades that to a bijection
+    // (no input pin silently missing from its net's sink list).
+    check(sink_edges == input_edges, "from_parts: sink/input edge count mismatch");
+    std::vector<bool> seen(input_edges, false);
+    std::vector<std::size_t> pin_base(nc, 0);
+    for (std::size_t i = 1; i < nc; ++i)
+        pin_base[i] = pin_base[i - 1] + cells[i - 1].inputs.size();
+    for (const Net& n : nets)
+        for (const PinRef& s : n.sinks) {
+            const std::size_t slot = pin_base[s.cell.index()] + s.pin;
+            check(!seen[slot], "from_parts: duplicate sink entry");
+            seen[slot] = true;
+        }
+    std::vector<bool> pi_seen(nn, false);
+    for (NetId pi : pis) {
+        check(pi.valid() && pi.index() < nn, "from_parts: primary input out of range");
+        check(nets[pi.index()].is_primary_input,
+              "from_parts: primary-input list names a non-PI net");
+        check(!pi_seen[pi.index()], "from_parts: duplicate primary input");
+        pi_seen[pi.index()] = true;
+    }
+    std::size_t pi_nets = 0;
+    for (const Net& n : nets) pi_nets += n.is_primary_input ? 1 : 0;
+    check(pi_nets == pis.size(), "from_parts: primary-input list incomplete");
+    for (const auto& [po_name, po_net] : pos)
+        check(po_net.valid() && po_net.index() < nn,
+              "from_parts: primary output '" + po_name + "' out of range");
+
+    Netlist nl(std::move(name));
+    nl.cells_ = std::move(cells);
+    nl.nets_ = std::move(nets);
+    nl.pis_ = std::move(pis);
+    nl.pos_ = std::move(pos);
+    for (std::size_t i = 0; i < nl.nets_.size(); ++i)
+        if (!nl.nets_[i].name.empty()) nl.net_by_name_.emplace(nl.nets_[i].name, NetId{i});
+    nl.validate();
+    return nl;
+}
+
 const Cell& Netlist::cell(CellId id) const {
     check(id.valid() && id.index() < cells_.size(), "cell: bad id");
     return cells_[id.index()];

@@ -73,6 +73,17 @@ public:
     /// Rename a net (purely cosmetic; also used by generators to tag rails).
     void set_net_name(NetId net, const std::string& name);
 
+    /// Rebuild a netlist from raw tables (the wire decoder's entry point:
+    /// replaying the construction API cannot reproduce the sink ordering of
+    /// handshake feedback cycles, so decoded nets carry their sinks
+    /// verbatim). Bounds-checks every cross-reference, requires the
+    /// input-pin/sink relation to be an exact bijection, rebuilds the
+    /// name index, and finishes with validate(); throws base::Error on any
+    /// inconsistency, so hostile bytes cannot produce a malformed graph.
+    [[nodiscard]] static Netlist from_parts(
+        std::string name, std::vector<Cell> cells, std::vector<Net> nets,
+        std::vector<NetId> pis, std::vector<std::pair<std::string, NetId>> pos);
+
     // --- access -----------------------------------------------------------
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] std::size_t num_cells() const noexcept { return cells_.size(); }

@@ -2,12 +2,16 @@
 // shares across jobs: warm-vs-cold bit identity, the invalidation matrix
 // ({seed, per-stage option, arch, netlist} each hitting exactly the stages
 // they should), concurrent jobs over one store (the CI TSan leg executes
-// this binary), submit/wait/cancel semantics, and the mixed-grid smoke that
-// pins service results byte-for-byte to the serial run_flow loop.
+// this binary), submit/wait/cancel semantics, the mixed-grid smoke that
+// pins service results byte-for-byte to the serial run_flow loop, and the
+// scheduler's dispatch-order contract (priority, then per-lane round-robin)
+// that the socket front-end builds its fairness guarantees on.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "asynclib/adders.hpp"
@@ -459,6 +463,107 @@ TEST(FlowService, PrewarmedRrIsSharedIntoResults) {
     const cad::FlowJobResult& r = svc.wait(id);
     ASSERT_TRUE(r.ok()) << r.error;
     EXPECT_EQ(r.result.rr.get(), rr.get());  // one graph end to end
+}
+
+TEST(FlowServiceScheduling, PriorityOrdersDispatchAcrossSubmissionOrder) {
+    // Queue four jobs while dispatch is paused; on resume the scheduler must
+    // start them by priority (desc), then submission order — regardless of
+    // the order they were submitted in.
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    cad::FlowServiceOptions so;
+    so.threads = 1;
+    cad::FlowService svc(so);
+    svc.pause();
+    auto job = [&](const char* name, int prio, std::uint64_t seed) {
+        cad::FlowJob j = adder_job(name, adder, arch, seed);
+        j.priority = prio;
+        return svc.submit(std::move(j));
+    };
+    const auto a = job("a_p0", 0, 1);
+    const auto b = job("b_p0", 0, 2);
+    const auto c = job("c_p2", 2, 3);
+    const auto d = job("d_p1", 1, 4);
+    EXPECT_EQ(svc.peek(c).start_seq, 0u);  // nothing started while paused
+    svc.resume();
+    svc.wait_all();
+    EXPECT_EQ(svc.wait(c).start_seq, 1u);
+    EXPECT_EQ(svc.wait(d).start_seq, 2u);
+    EXPECT_EQ(svc.wait(a).start_seq, 3u);
+    EXPECT_EQ(svc.wait(b).start_seq, 4u);
+    for (const auto id : {a, b, c, d}) EXPECT_TRUE(svc.wait(id).ok());
+}
+
+TEST(FlowServiceScheduling, EqualPriorityRoundRobinsAcrossLanes) {
+    // Lane 1 floods the queue with three jobs before lane 2 submits its
+    // three: dispatch must still alternate lanes (least-recently-started
+    // lane first), so a flooding client cannot starve the other.
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    cad::FlowServiceOptions so;
+    so.threads = 1;
+    cad::FlowService svc(so);
+    svc.pause();
+    std::vector<cad::FlowJobId> lane1, lane2;
+    for (int i = 0; i < 3; ++i) {
+        cad::FlowJob j = adder_job("l1_" + std::to_string(i), adder, arch, i + 1);
+        j.lane = 1;
+        lane1.push_back(svc.submit(std::move(j)));
+    }
+    for (int i = 0; i < 3; ++i) {
+        cad::FlowJob j = adder_job("l2_" + std::to_string(i), adder, arch, i + 4);
+        j.lane = 2;
+        lane2.push_back(svc.submit(std::move(j)));
+    }
+    svc.resume();
+    svc.wait_all();
+    // Expected interleave: l1_0 l2_0 l1_1 l2_1 l1_2 l2_2.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(svc.wait(lane1[i]).start_seq, static_cast<std::uint64_t>(2 * i + 1)) << i;
+        EXPECT_EQ(svc.wait(lane2[i]).start_seq, static_cast<std::uint64_t>(2 * i + 2)) << i;
+    }
+}
+
+TEST(FlowServiceScheduling, CancelRacingWaitAllNeverHangs) {
+    // wait_all() parks on "every job terminal"; cancelling queued jobs from
+    // another thread is one of the transitions that must wake it.
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    cad::FlowServiceOptions so;
+    so.threads = 1;
+    cad::FlowService svc(so);
+    svc.pause();
+    std::vector<cad::FlowJobId> ids;
+    for (int i = 0; i < 4; ++i)
+        ids.push_back(svc.submit(adder_job("j" + std::to_string(i), adder, arch, i + 1)));
+    std::thread waiter([&] { svc.wait_all(); });
+    EXPECT_TRUE(svc.cancel(ids[2]));
+    EXPECT_TRUE(svc.cancel(ids[3]));
+    svc.resume();
+    waiter.join();  // hangs here if a cancel transition fails to notify
+    EXPECT_TRUE(svc.wait(ids[0]).ok());
+    EXPECT_TRUE(svc.wait(ids[1]).ok());
+    EXPECT_EQ(svc.wait(ids[2]).status, cad::FlowJobStatus::Cancelled);
+    EXPECT_EQ(svc.wait(ids[3]).status, cad::FlowJobStatus::Cancelled);
+}
+
+TEST(FlowServiceScheduling, PausedServiceDestructorStillDrains) {
+    // Destroying a paused service with queued jobs must not deadlock: the
+    // destructor resumes dispatch implicitly and drains the queue.
+    auto adder = asynclib::make_qdi_adder(2);
+    const core::ArchSpec arch;
+    std::atomic<int> finished{0};
+    {
+        cad::FlowServiceOptions so;
+        so.threads = 1;
+        so.on_job_finished = [&](cad::FlowJobId) { finished.fetch_add(1); };
+        cad::FlowService svc(so);
+        svc.pause();
+        (void)svc.submit(adder_job("one", adder, arch, 1));
+        (void)svc.submit(adder_job("two", adder, arch, 2));
+        EXPECT_EQ(svc.num_pending(), 2u);
+    }  // destructor: resume + drain
+    EXPECT_EQ(finished.load(), 2);
 }
 
 }  // namespace
