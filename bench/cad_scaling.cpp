@@ -51,6 +51,7 @@
 #include "cad/place_analytical.hpp"
 #include "cad/place_model.hpp"
 #include "cad/place_multilevel.hpp"
+#include "cad/route_search.hpp"
 #include "cad/techmap.hpp"
 #include "eval/sweep.hpp"
 
@@ -386,10 +387,128 @@ int main(int argc, char** argv) {
             w.key("boundary_nets").value(boundary ? *boundary : 0.0);
             w.key("wirelength").value(std::uint64_t{best_fr.routing.wirelength});
             w.key("route_iterations").value(best_fr.routing.iterations);
+            // Kernel counters: decision-deterministic, so identical at every
+            // thread count — BENCH_flow.json tracks expansions/net over time.
+            const cad::RouteKernelStats& ks = best_fr.routing.kernel;
+            w.key("kernel_heap_pushes").value(ks.heap_pushes);
+            w.key("kernel_heap_pops").value(ks.heap_pops);
+            w.key("kernel_nodes_expanded").value(ks.nodes_expanded);
+            w.key("kernel_edges_scanned").value(ks.edges_scanned);
+            w.key("kernel_wavefront_peak").value(ks.wavefront_peak);
+            w.key("kernel_expansions_per_net")
+                .value(ks.nets_routed > 0 ? static_cast<double>(ks.nodes_expanded) /
+                                                static_cast<double>(ks.nets_routed)
+                                          : 0.0);
             w.key("qor_identical").value(qor_identical);
             w.end_object();
         }
         w.end_array();
+    }
+
+    // Tier 3b: route_kernel — the pooled search kernel raced against the
+    // retained pre-rework reference kernel on the largest sweep design.
+    // Three checks, all CI gates (a violation makes the bench exit
+    // non-zero): (1) the bitstream must be byte-identical to the reference
+    // kernel's, serially and at every thread count — the whole rework is
+    // sold as observation-equivalent; (2) the pooled kernel must actually
+    // have run (heap_pops > 0 — the reference kernel fills no telemetry,
+    // so a silent fallback would zero the counters); (3) zero steady-state
+    // heap growth (steady_allocations == 0: after the first PathFinder
+    // iteration every scratch buffer has reached capacity). The recorded
+    // speedup is reference route-stage wall over pooled route-stage wall.
+    bool route_kernel_gate_ok = true;
+    {
+        const SweepPoint pt = smoke ? sweep.front() : sweep.back();
+        auto adder = asynclib::make_qdi_adder(pt.adder_bits);
+        core::ArchSpec arch;
+        arch.width = pt.fabric;
+        arch.height = pt.fabric;
+        arch.channel_width = pt.channel_width;
+
+        auto route_stage_ms = [](const cad::FlowResult& fr) {
+            const cad::StageReport* s = fr.telemetry.stage("route");
+            return s ? s->wall_ms : 0.0;
+        };
+        auto best_serial_flow = [&](int n) {
+            cad::FlowOptions opts;
+            opts.seed = 7;
+            RunResult best;
+            double best_route = 1e18;
+            for (int r = 0; r < n; ++r) {
+                auto fr = cad::run_flow(adder.nl, adder.hints, arch, opts);
+                const double ms = route_stage_ms(fr);
+                if (ms < best_route) {
+                    best_route = ms;
+                    best.total_ms = ms;
+                    best.fr = std::move(fr);
+                }
+            }
+            return best;
+        };
+
+        cad::detail::set_use_reference_kernel(true);
+        const RunResult ref = best_serial_flow(reps);
+        cad::detail::set_use_reference_kernel(false);
+        const RunResult pooled = best_serial_flow(reps);
+
+        const base::BitVector ref_bits = ref.fr.bits->serialize();
+        const base::BitVector pooled_bits = pooled.fr.bits->serialize();
+        bool bit_identical = pooled_bits == ref_bits;
+
+        // Thread matrix: the equivalence must also hold inside the
+        // partitioned parallel router, where the kernel runs on per-worker
+        // scratches. Reference vs pooled compared at each thread count.
+        for (unsigned t : thread_counts) {
+            cad::FlowOptions popts;
+            popts.seed = 7;
+            popts.route.threads = t;
+            cad::detail::set_use_reference_kernel(true);
+            const auto rfr = cad::run_flow(adder.nl, adder.hints, arch, popts);
+            cad::detail::set_use_reference_kernel(false);
+            const auto nfr = cad::run_flow(adder.nl, adder.hints, arch, popts);
+            if (!(rfr.bits->serialize() == nfr.bits->serialize())) {
+                std::fprintf(stderr,
+                             "route_kernel: pooled kernel bitstream DIVERGES from "
+                             "reference at %u threads\n",
+                             t);
+                bit_identical = false;
+            }
+        }
+
+        const cad::RouteKernelStats& ks = pooled.fr.routing.kernel;
+        const double speedup =
+            pooled.total_ms > 0.0 ? ref.total_ms / pooled.total_ms : 0.0;
+        route_kernel_gate_ok =
+            bit_identical && ks.heap_pops > 0 && ks.steady_allocations == 0;
+
+        std::printf("route_kernel qdi_adder_%zu on %ux%u cw=%u: reference %.1f ms, "
+                    "pooled %.1f ms (%.2fx), pops %llu, expanded %llu, wavefront "
+                    "peak %llu, steady allocs %llu, bit_identical=%d -> gate %s\n",
+                    pt.adder_bits, pt.fabric, pt.fabric, pt.channel_width,
+                    ref.total_ms, pooled.total_ms, speedup,
+                    static_cast<unsigned long long>(ks.heap_pops),
+                    static_cast<unsigned long long>(ks.nodes_expanded),
+                    static_cast<unsigned long long>(ks.wavefront_peak),
+                    static_cast<unsigned long long>(ks.steady_allocations),
+                    bit_identical, route_kernel_gate_ok ? "ok" : "VIOLATED");
+
+        w.key("route_kernel").begin_object();
+        w.key("design").value("qdi_adder_" + std::to_string(pt.adder_bits));
+        w.key("fabric").value(std::to_string(pt.fabric) + "x" + std::to_string(pt.fabric));
+        w.key("channel_width").value(std::uint64_t{pt.channel_width});
+        w.key("reference_route_ms").value(ref.total_ms);
+        w.key("pooled_route_ms").value(pooled.total_ms);
+        w.key("speedup").value(speedup);
+        w.key("bit_identical").value(bit_identical);
+        w.key("heap_pushes").value(ks.heap_pushes);
+        w.key("heap_pops").value(ks.heap_pops);
+        w.key("nodes_expanded").value(ks.nodes_expanded);
+        w.key("edges_scanned").value(ks.edges_scanned);
+        w.key("wavefront_peak").value(ks.wavefront_peak);
+        w.key("allocations").value(ks.allocations);
+        w.key("steady_allocations").value(ks.steady_allocations);
+        w.key("gate_ok").value(route_kernel_gate_ok);
+        w.end_object();
     }
 
     // Tier 4: parallel RR-graph construction. A fabric larger than any
@@ -1120,6 +1239,10 @@ int main(int argc, char** argv) {
     out << w.str() << "\n";
     std::printf("wrote %s\n", out_path.c_str());
     bool ok = true;
+    if (!route_kernel_gate_ok) {
+        std::fprintf(stderr, "cad_scaling: route_kernel gate violated (see above)\n");
+        ok = false;
+    }
     if (!cache_gate_ok) {
         std::fprintf(stderr, "cad_scaling: artifact-cache gate violated (see above)\n");
         ok = false;

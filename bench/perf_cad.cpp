@@ -7,6 +7,7 @@
 #include "asynclib/adders.hpp"
 #include "asynclib/fifos.hpp"
 #include "cad/flow.hpp"
+#include "cad/route_search.hpp"
 #include "sim/channels.hpp"
 #include "sim/simulator.hpp"
 #include "sim/testbench.hpp"
@@ -61,6 +62,46 @@ void BM_FullFlow(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_FullFlow)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The negotiated-congestion search kernel in isolation: a congested
+// cross-quadrant net mix on a 13x13 fabric, routed with the pooled-heap
+// kernel (arg 0) or the retained pre-rework reference kernel (arg 1).
+// Both produce bit-identical trees, so the delta is pure kernel overhead.
+void BM_RouteSearch(benchmark::State& state) {
+    core::ArchSpec a = core::paper_arch();
+    a.width = 13;
+    a.height = 13;
+    a.channel_width = 8;
+    const core::RRGraph rr(a);
+
+    std::vector<cad::RouteRequest> reqs;
+    auto add = [&](core::PlbCoord from, core::PlbCoord to) {
+        cad::RouteRequest rq;
+        rq.src_plb = from;
+        cad::RouteRequest::Sink sk;
+        sk.plb = to;
+        rq.sinks.push_back(sk);
+        reqs.push_back(std::move(rq));
+    };
+    // Long cross-fabric nets sharing the central channels force several
+    // PathFinder iterations, so the steady-state path dominates.
+    for (std::uint32_t i = 0; i < 11; ++i) {
+        add({1, 1 + i}, {11, 11 - i});
+        add({11, 1 + i}, {1, 11 - i});
+    }
+
+    cad::detail::set_use_reference_kernel(state.range(0) != 0);
+    for (auto _ : state) {
+        auto res = cad::route(rr, reqs);
+        benchmark::DoNotOptimize(res.wirelength);
+    }
+    cad::detail::set_use_reference_kernel(false);
+}
+BENCHMARK(BM_RouteSearch)
+    ->ArgNames({"reference"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RRGraphBuild(benchmark::State& state) {
     core::ArchSpec a = core::paper_arch();

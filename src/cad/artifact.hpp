@@ -135,7 +135,7 @@ class ArtifactStore {
 public:
     /// Version stamped into every disk-blob header. Bump when any encoder
     /// in cad/serialize.cpp changes shape; older blobs then read as misses.
-    static constexpr std::uint32_t kDiskFormatVersion = 3;
+    static constexpr std::uint32_t kDiskFormatVersion = 4;
 
     /// An unbounded, memory-only store.
     ArtifactStore() = default;

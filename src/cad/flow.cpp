@@ -228,6 +228,7 @@ public:
                   " overused nodes) — widen the channels");
 
         report_metrics(fr.routing, report);
+        report.add_metric("kernel_search_ms", fr.routing.kernel.search_ms);
         if (pool) {
             report.add_metric("route_threads", static_cast<double>(pool->num_workers()));
             report.add_metric("route_bins", static_cast<double>(fr.routing.num_bins));
@@ -318,6 +319,19 @@ private:
             report.cost_trajectory.push_back(static_cast<double>(o));
         report.add_metric("nets_rerouted", static_cast<double>(routing.nets_rerouted));
         report.add_metric("wirelength", static_cast<double>(routing.wirelength));
+        // Search-kernel counters: decision-deterministic (identical across
+        // thread counts), so warm restores report the same values a fresh
+        // route would. Wall time is the exception and reported in run() only.
+        const RouteKernelStats& ks = routing.kernel;
+        report.add_metric("kernel_heap_pushes", static_cast<double>(ks.heap_pushes));
+        report.add_metric("kernel_heap_pops", static_cast<double>(ks.heap_pops));
+        report.add_metric("kernel_nodes_expanded", static_cast<double>(ks.nodes_expanded));
+        report.add_metric("kernel_edges_scanned", static_cast<double>(ks.edges_scanned));
+        report.add_metric("kernel_wavefront_peak", static_cast<double>(ks.wavefront_peak));
+        report.add_metric("kernel_allocations", static_cast<double>(ks.allocations));
+        report.add_metric("kernel_steady_allocations",
+                          static_cast<double>(ks.steady_allocations));
+        report.add_metric("kernel_nets_routed", static_cast<double>(ks.nets_routed));
     }
 
     /// Flatten the packed design into per-signal route requests, remembering

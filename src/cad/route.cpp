@@ -23,15 +23,20 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
     // Per-net bookkeeping of occupied nodes so rip-up is exact.
     std::vector<std::vector<std::uint32_t>> net_nodes(reqs.size());
 
-    auto base_cost = [&](std::uint32_t n) {
-        return static_cast<double>(std::max<std::int64_t>(rr.node(n).delay_ps, 1));
-    };
-
     detail::SearchScratch scratch(N);
+
+    // Test/bench hook, read once: a whole run routes with either the pooled
+    // kernel or the pre-rework reference kernel, never a mix.
+    const bool use_ref = detail::use_reference_kernel();
+    const auto kernel =
+        use_ref ? detail::route_one_net_reference : detail::route_one_net;
 
     std::vector<std::size_t> dirty;  // nets to (re)route this iteration
     std::size_t best_overused = SIZE_MAX;
     int stall = 0;
+    // Scratch growth seen during warm-up (iteration 1): everything after it
+    // counts against the zero-steady-state-allocation contract.
+    std::uint64_t warmup_allocations = 0;
 
     for (int iter = 1; iter <= opts.max_iterations; ++iter) {
         // Select this iteration's work. The first iteration routes everything;
@@ -74,10 +79,20 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
             // conflict sets oscillate forever.
             const std::size_t ri =
                 dirty[(k + static_cast<std::size_t>(iter - 1)) % dirty.size()];
-            detail::NetRouteState st = detail::route_one_net(
-                rr, reqs[ri], opts, pres_fac, hist, occ, scratch, nullptr);
+            detail::NetRouteState st =
+                kernel(rr, reqs[ri], opts, pres_fac, hist, occ, scratch, nullptr);
             net_nodes[ri] = std::move(st.nodes);
             result.trees[ri] = std::move(st.tree);
+        }
+        if (iter == 1) {
+            // End of warm-up: every pooled buffer has seen one full routing
+            // pass. Later iterations can still wave a wider front than the
+            // first (rising pres_fac makes searches detour), and the vector's
+            // doubling leaves capacity just above the iteration-1 peak — so
+            // give the heap 2x headroom now, while growth is still free, to
+            // honor the zero-steady-state-allocation contract afterwards.
+            scratch.heap.reserve(2 * scratch.heap.capacity());
+            warmup_allocations = scratch.stats.allocations;
         }
 
         // Congestion accounting.
@@ -89,7 +104,7 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
                 ++overused;
                 // History scaled by the node's base cost so that it competes
                 // with real detour costs within a few iterations.
-                hist[n] += opts.hist_fac * base_cost(static_cast<std::uint32_t>(n)) *
+                hist[n] += opts.hist_fac * rr.node_base_cost(static_cast<std::uint32_t>(n)) *
                            static_cast<double>(occ[n] - cap);
             }
         }
@@ -128,12 +143,21 @@ RoutingResult route(const RRGraph& rr, const std::vector<RouteRequest>& reqs,
         pres_fac *= opts.pres_fac_mult;
     }
 
+    result.kernel = scratch.stats;
+    result.kernel.steady_allocations = scratch.stats.allocations - warmup_allocations;
+
     if (!result.success) {
-        detail::report_overuse(rr, reqs, net_nodes, occ, result);
+        if (use_ref)
+            detail::report_overuse_reference(rr, reqs, net_nodes, occ, result);
+        else
+            detail::report_overuse(rr, reqs, net_nodes, occ, result);
         return result;
     }
 
-    detail::finalize_routing(rr, reqs, net_nodes, result);
+    if (use_ref)
+        detail::finalize_routing_reference(rr, reqs, net_nodes, result);
+    else
+        detail::finalize_routing(rr, reqs, net_nodes, result);
     return result;
 }
 

@@ -98,6 +98,42 @@ struct RouterOptions {
     [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
+/// Counters of the inner search kernel (route_one_net), aggregated over every
+/// net x sink search of a routing run. All counts except `search_ms` are pure
+/// functions of the routing decisions, so they are bit-identical across
+/// thread counts — the route stage reports them as deterministic telemetry.
+struct RouteKernelStats {
+    std::uint64_t heap_pushes = 0;    ///< wavefront items pushed
+    std::uint64_t heap_pops = 0;      ///< wavefront items popped (incl. stale)
+    std::uint64_t nodes_expanded = 0; ///< popped nodes whose out-edges were scanned
+    std::uint64_t edges_scanned = 0;  ///< adjacency entries considered
+    std::uint64_t wavefront_peak = 0; ///< max live heap size of any search
+    /// Scratch-buffer growth events (heap or pooled target/source buffers).
+    /// Capacity is retained across sinks/nets/iterations, so in steady state
+    /// this stops moving after warm-up.
+    std::uint64_t allocations = 0;
+    /// Growth events after the first PathFinder iteration. The zero-steady-
+    /// state-allocation contract gates on this; only the serial router fills
+    /// it (the parallel router's scratch-pool growth is schedule-dependent).
+    std::uint64_t steady_allocations = 0;
+    std::uint64_t nets_routed = 0;    ///< route_one_net invocations
+    /// Wall time inside route_one_net (timing only — schedule-dependent).
+    double search_ms = 0.0;
+
+    /// Combine counters from another searcher: sums, except the peak.
+    void merge(const RouteKernelStats& o) noexcept {
+        heap_pushes += o.heap_pushes;
+        heap_pops += o.heap_pops;
+        nodes_expanded += o.nodes_expanded;
+        edges_scanned += o.edges_scanned;
+        wavefront_peak = wavefront_peak > o.wavefront_peak ? wavefront_peak : o.wavefront_peak;
+        allocations += o.allocations;
+        steady_allocations += o.steady_allocations;
+        nets_routed += o.nets_routed;
+        search_ms += o.search_ms;
+    }
+};
+
 /// Everything the router decided plus its telemetry counters.
 struct RoutingResult {
     std::vector<RouteTree> trees;  ///< parallel to requests
@@ -111,6 +147,7 @@ struct RoutingResult {
     std::vector<std::size_t> overuse_trajectory;  ///< overused nodes per iteration
     std::size_t nets_rerouted = 0;   ///< sum of per-iteration reroute counts
     std::size_t wirelength = 0;      ///< channel-wire nodes used (on success)
+    RouteKernelStats kernel;         ///< inner search-kernel counters
 
     // --- partitioned parallel router only ------------------------------------
     std::size_t num_bins = 0;        ///< leaf regions of the partition tree

@@ -133,10 +133,13 @@ RoutingResult route_parallel(const RRGraph& rr, const std::vector<RouteRequest>&
 
     std::vector<std::vector<std::uint32_t>> net_nodes(reqs.size());
 
-    auto base_cost = [&](std::uint32_t n) {
-        return static_cast<double>(std::max<std::int64_t>(rr.node(n).delay_ps, 1));
-    };
     auto escalate = [&](std::size_t ri) { extra[ri] = extra[ri] * 2 + 2; };
+
+    // Test/bench hook, read once at entry: the whole run uses either the
+    // pooled kernel or the pre-rework reference kernel, never a mix.
+    const bool use_ref = detail::use_reference_kernel();
+    const auto kernel =
+        use_ref ? detail::route_one_net_reference : detail::route_one_net;
 
     // The tree is processed bottom-up, one depth level per barrier: all
     // same-depth nodes live in disjoint subtrees, so they can route
@@ -267,8 +270,8 @@ RoutingResult route_parallel(const RRGraph& rr, const std::vector<RouteRequest>&
                     // present-congestion cost.
                     const std::size_t ri =
                         work[(k + static_cast<std::size_t>(iter - 1)) % work.size()];
-                    detail::NetRouteState st = detail::route_one_net(
-                        rr, reqs[ri], opts, pres_fac, hist, occ, *scratch, &region[ri]);
+                    detail::NetRouteState st = kernel(rr, reqs[ri], opts, pres_fac, hist,
+                                                      occ, *scratch, &region[ri]);
                     if (!st.all_sinks_found) escalate(ri);
                     net_nodes[ri] = std::move(st.nodes);
                     result.trees[ri] = std::move(st.tree);
@@ -285,7 +288,7 @@ RoutingResult route_parallel(const RRGraph& rr, const std::vector<RouteRequest>&
             const auto cap = rr.node_capacity(static_cast<std::uint32_t>(n));
             if (occ[n] > cap) {
                 ++overused;
-                hist[n] += opts.hist_fac * base_cost(static_cast<std::uint32_t>(n)) *
+                hist[n] += opts.hist_fac * rr.node_base_cost(static_cast<std::uint32_t>(n)) *
                            static_cast<double>(occ[n] - cap);
             }
         }
@@ -339,11 +342,25 @@ RoutingResult route_parallel(const RRGraph& rr, const std::vector<RouteRequest>&
             result.boundary_wall_ms += node_wall[i];
     }
 
+    // Kernel counters: every scratch is back in the pool (workers release at
+    // each level barrier), so summing the pool covers every search. The sums
+    // are schedule-independent — which scratch a task popped only moves
+    // counts between addends. steady_allocations stays 0 here by design:
+    // scratch-pool creation is schedule-dependent, so the zero-steady-state
+    // gate runs on the serial router.
+    for (const auto& s : scratch_pool) result.kernel.merge(s->stats);
+
     if (!result.success) {
-        detail::report_overuse(rr, reqs, net_nodes, occ, result);
+        if (use_ref)
+            detail::report_overuse_reference(rr, reqs, net_nodes, occ, result);
+        else
+            detail::report_overuse(rr, reqs, net_nodes, occ, result);
         return result;
     }
-    detail::finalize_routing(rr, reqs, net_nodes, result);
+    if (use_ref)
+        detail::finalize_routing_reference(rr, reqs, net_nodes, result);
+    else
+        detail::finalize_routing(rr, reqs, net_nodes, result);
     return result;
 }
 

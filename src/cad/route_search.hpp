@@ -17,6 +17,7 @@
 /// the end-of-iteration barrier.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -69,20 +70,117 @@ struct RouteBBox {
                 return n.x >= x0 && n.x <= x1 && n.y >= y0 && n.y <= y1;
         }
     }
+    /// Same predicate over the packed SoA position word (wavefront hot path).
+    [[nodiscard]] bool allows(core::RRNodeWord n) const noexcept {
+        if (n.is_pad()) return true;
+        switch (n.kind()) {
+            case core::RRKind::ChanX:
+                return n.x() >= x0 && n.x() <= x1 && n.y() >= y0 && n.y() <= y1 + 1;
+            case core::RRKind::ChanY:
+                return n.x() >= x0 && n.x() <= x1 + 1 && n.y() >= y0 && n.y() <= y1;
+            default:  // Opin / Ipin of a PLB
+                return n.x() >= x0 && n.x() <= x1 && n.y() >= y0 && n.y() <= y1;
+        }
+    }
 };
 
-/// Per-searcher scratch arrays (one per routing thread): the label arrays of
-/// the A* search, recycled across nets via a visit-mark epoch instead of a
-/// clear. Never shared between concurrently-running searches.
+/// One wavefront entry of the A* search.
+struct HeapItem {
+    double cost;         ///< accumulated + heuristic (the heap key)
+    double backward;     ///< accumulated only
+    std::uint32_t node;  ///< RR node this entry would expand
+    /// Max-heap ordering on cost inverted into a min-heap, exactly like the
+    /// seed kernel's `std::priority_queue` comparator.
+    friend bool operator<(const HeapItem& a, const HeapItem& b) noexcept {
+        return a.cost > b.cost;
+    }
+};
+
+/// Pooled min-heap of the wavefront: a flat vector driven by std::push_heap /
+/// std::pop_heap whose capacity is retained across sinks, nets and PathFinder
+/// iterations — after warm-up the wavefront loop performs zero heap
+/// allocation.
+///
+/// Deliberately a *binary* heap through the standard heap algorithms, not a
+/// 4-ary layout: std::priority_queue::push is specified as push_back +
+/// push_heap and ::pop as pop_heap + pop_back, so this heap's pop order —
+/// including the order among cost ties, which decides which target pin and
+/// prev_edge win a search — is identical to the seed kernel's by definition.
+/// A 4-ary sift would reorder ties and change routed bitstreams, violating
+/// the bit-identity contract the route_kernel bench tier gates on.
+class PooledHeap {
+public:
+    /// Push one item. Returns true when the buffer had to grow (an
+    /// allocation event — the telemetry's zero-steady-state gate material).
+    bool push(HeapItem it) {
+        const bool grew = v_.size() == v_.capacity();
+        v_.push_back(it);
+        std::push_heap(v_.begin(), v_.end());
+        return grew;
+    }
+    /// Pop the cheapest item (ties resolved exactly as std::priority_queue).
+    HeapItem pop() {
+        std::pop_heap(v_.begin(), v_.end());
+        const HeapItem it = v_.back();
+        v_.pop_back();
+        return it;
+    }
+    /// True when the wavefront is exhausted.
+    [[nodiscard]] bool empty() const noexcept { return v_.empty(); }
+    /// Live entries (stale duplicates included).
+    [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+    /// Retained storage, in items.
+    [[nodiscard]] std::size_t capacity() const noexcept { return v_.capacity(); }
+    /// Forget contents, keep capacity.
+    void clear() noexcept { v_.clear(); }
+    /// Pre-size the buffer (not an allocation event for telemetry — callers
+    /// use this at the warm-up boundary, before the steady-state clock runs).
+    void reserve(std::size_t n) { v_.reserve(n); }
+
+private:
+    std::vector<HeapItem> v_;
+};
+
+/// Per-searcher scratch (one per routing thread): the label arrays, pooled
+/// wavefront heap and pooled terminal buffers of the A* search, recycled
+/// across sinks/nets/iterations via mark epochs instead of clears — in steady
+/// state a search allocates nothing. Never shared between concurrently-
+/// running searches.
 struct SearchScratch {
     std::vector<double> best;                ///< cheapest backward cost found
     std::vector<std::uint32_t> prev_edge;    ///< incoming edge of `best`
     std::vector<std::uint32_t> visit_mark;   ///< epoch a node was last labelled
-    std::uint32_t mark = 0;                  ///< current epoch
+    std::vector<std::uint32_t> target_mark;  ///< epoch a node was last a sink target
+    std::vector<std::uint32_t> tree_mark;    ///< epoch a node last joined a route tree
+    std::uint32_t mark = 0;                  ///< per-sink epoch (visit + target)
+    std::uint32_t tree_epoch = 0;            ///< per-net epoch (tree membership)
+
+    PooledHeap heap;                       ///< pooled wavefront
+    std::vector<std::uint32_t> targets;    ///< pooled per-sink target-pin buffer
+    std::vector<std::uint32_t> sources;    ///< pooled per-net source-pin buffer
+    RouteKernelStats stats;                ///< counters, accumulated across calls
 
     explicit SearchScratch(std::size_t num_nodes)
-        : best(num_nodes, 0.0), prev_edge(num_nodes, UINT32_MAX),
-          visit_mark(num_nodes, 0) {}
+        : best(num_nodes, 0.0), prev_edge(num_nodes, UINT32_MAX), visit_mark(num_nodes, 0),
+          target_mark(num_nodes, 0), tree_mark(num_nodes, 0) {}
+
+    /// Open a fresh per-sink epoch. On the (astronomically rare) 32-bit
+    /// wraparound, stale stamps could collide with reissued epochs, so both
+    /// stamp arrays are washed back to 0 and the counter restarts at 1.
+    void begin_sink() {
+        if (++mark == 0) {
+            std::fill(visit_mark.begin(), visit_mark.end(), 0u);
+            std::fill(target_mark.begin(), target_mark.end(), 0u);
+            mark = 1;
+        }
+    }
+    /// Open a fresh per-net tree epoch (same wraparound rule).
+    void begin_net() {
+        if (++tree_epoch == 0) {
+            std::fill(tree_mark.begin(), tree_mark.end(), 0u);
+            tree_epoch = 1;
+        }
+    }
 };
 
 /// Everything route_one_net decided about one net.
@@ -123,5 +221,37 @@ void finalize_routing(const core::RRGraph& rr, const std::vector<RouteRequest>& 
 void report_overuse(const core::RRGraph& rr, const std::vector<RouteRequest>& reqs,
                     const std::vector<std::vector<std::uint32_t>>& net_nodes,
                     const std::vector<std::uint16_t>& occ, RoutingResult& result);
+
+// --- pre-rework reference kernel --------------------------------------------
+
+/// The seed search kernel (per-sink std::priority_queue, std::find tree
+/// membership, RRNode-struct reads), retained verbatim so tests and the
+/// route_kernel bench tier can demand the pooled kernel's bitstreams
+/// bit-identical to pre-rework results. Functionally interchangeable with
+/// route_one_net(); fills no kernel telemetry.
+[[nodiscard]] NetRouteState route_one_net_reference(
+    const core::RRGraph& rr, const RouteRequest& rq, const RouterOptions& opts,
+    double pres_fac, const std::vector<double>& hist, std::vector<std::uint16_t>& occ,
+    SearchScratch& scratch, const RouteBBox* bbox);
+
+/// Pre-rework finalize_routing (per-net unordered_map adjacency), retained
+/// verbatim alongside route_one_net_reference.
+void finalize_routing_reference(const core::RRGraph& rr, const std::vector<RouteRequest>& reqs,
+                                const std::vector<std::vector<std::uint32_t>>& net_nodes,
+                                RoutingResult& result);
+
+/// Pre-rework report_overuse (nets x overused-nodes scan), retained verbatim
+/// alongside route_one_net_reference.
+void report_overuse_reference(const core::RRGraph& rr, const std::vector<RouteRequest>& reqs,
+                              const std::vector<std::vector<std::uint32_t>>& net_nodes,
+                              const std::vector<std::uint16_t>& occ, RoutingResult& result);
+
+/// Test/bench hook: route every subsequent route()/route_parallel() call with
+/// the reference kernel instead of the pooled one. The flag is read ONCE at
+/// router entry (never mid-run), so flipping it concurrently with a routing
+/// call selects whole runs, not individual nets.
+void set_use_reference_kernel(bool on) noexcept;
+/// Current state of the set_use_reference_kernel() hook.
+[[nodiscard]] bool use_reference_kernel() noexcept;
 
 }  // namespace afpga::cad::detail

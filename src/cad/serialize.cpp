@@ -598,6 +598,15 @@ void ArtifactCodec<RouteArtifact>::encode(const RouteArtifact& v, BlobWriter& w)
     w.u64(rr.boundary_nets);
     put_f64_vec(w, rr.bin_wall_ms);
     w.f64(rr.boundary_wall_ms);
+    w.u64(rr.kernel.heap_pushes);
+    w.u64(rr.kernel.heap_pops);
+    w.u64(rr.kernel.nodes_expanded);
+    w.u64(rr.kernel.edges_scanned);
+    w.u64(rr.kernel.wavefront_peak);
+    w.u64(rr.kernel.allocations);
+    w.u64(rr.kernel.steady_allocations);
+    w.u64(rr.kernel.nets_routed);
+    w.f64(rr.kernel.search_ms);
 
     w.u64(v.reqs.size());
     for (const auto& req : v.reqs) {
@@ -651,6 +660,15 @@ RouteArtifact ArtifactCodec<RouteArtifact>::decode(BlobReader& r) {
     rr.boundary_nets = static_cast<std::size_t>(r.u64());
     rr.bin_wall_ms = get_f64_vec(r);
     rr.boundary_wall_ms = r.f64();
+    rr.kernel.heap_pushes = r.u64();
+    rr.kernel.heap_pops = r.u64();
+    rr.kernel.nodes_expanded = r.u64();
+    rr.kernel.edges_scanned = r.u64();
+    rr.kernel.wavefront_peak = r.u64();
+    rr.kernel.allocations = r.u64();
+    rr.kernel.steady_allocations = r.u64();
+    rr.kernel.nets_routed = r.u64();
+    rr.kernel.search_ms = r.f64();
 
     const std::size_t num_reqs = get_count(r, 30);
     v.reqs.reserve(num_reqs);

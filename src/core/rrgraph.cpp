@@ -232,6 +232,16 @@ void RRGraph::build(base::ThreadPool* pool) {
     }
 
     build_csr(pool);
+
+    // SoA hot arrays: a pure function of nodes_, so serial and pool-backed
+    // builds stay byte-identical regardless of schedule.
+    hot_word_.resize(nodes_.size());
+    base_cost_.resize(nodes_.size());
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        const RRNode& nd = nodes_[n];
+        hot_word_[n] = RRNodeWord::pack(nd.kind, nd.x, nd.y, nd.is_pad);
+        base_cost_[n] = static_cast<double>(nd.delay_ps > 0 ? nd.delay_ps : 1);
+    }
 }
 
 void RRGraph::build_csr(base::ThreadPool* pool) {

@@ -48,6 +48,34 @@ struct RRNode {
     std::int64_t delay_ps = 0;
 };
 
+/// Packed hot-path view of one RR node: position, kind and the pad flag in a
+/// single 8-byte word. The router's wavefront loop (heuristic + bounding-box
+/// tests) reads only these fields, and reading them through the dense
+/// position-word array touches half the bytes per node that chasing RRNode
+/// structs would (and never drags the cold delay field into cache).
+struct RRNodeWord {
+    std::uint64_t w = 0;
+
+    RRNodeWord() = default;
+    explicit constexpr RRNodeWord(std::uint64_t word) noexcept : w(word) {}
+    static constexpr RRNodeWord pack(RRKind kind, std::uint16_t x, std::uint16_t y,
+                                     bool is_pad) noexcept {
+        return RRNodeWord{std::uint64_t{x} | (std::uint64_t{y} << 16) |
+                          (static_cast<std::uint64_t>(kind) << 32) |
+                          (std::uint64_t{is_pad} << 40)};
+    }
+    [[nodiscard]] constexpr std::uint32_t x() const noexcept {
+        return static_cast<std::uint32_t>(w & 0xFFFF);
+    }
+    [[nodiscard]] constexpr std::uint32_t y() const noexcept {
+        return static_cast<std::uint32_t>((w >> 16) & 0xFFFF);
+    }
+    [[nodiscard]] constexpr RRKind kind() const noexcept {
+        return static_cast<RRKind>((w >> 32) & 0xFF);
+    }
+    [[nodiscard]] constexpr bool is_pad() const noexcept { return ((w >> 40) & 1) != 0; }
+};
+
 class RRGraph {
 public:
     /// Serial build.
@@ -120,6 +148,22 @@ public:
         return capacity_[n];
     }
 
+    // --- SoA hot data (router wavefront loop) --------------------------------
+    // Built once per graph from nodes_: dense side arrays holding exactly
+    // what the per-node search touches, so the expansion loop never chases
+    // RRNode structs. Raw-indexed like out()/node_capacity().
+
+    /// Packed {x, y, kind, is_pad} word of `n` — the heuristic/bounding-box
+    /// view of the node.
+    [[nodiscard]] RRNodeWord node_word(std::uint32_t n) const noexcept { return hot_word_[n]; }
+    /// The router's base cost of occupying `n`: max(delay_ps, 1) as a double,
+    /// precomputed so the wavefront loop never converts or clamps.
+    [[nodiscard]] double node_base_cost(std::uint32_t n) const noexcept { return base_cost_[n]; }
+    /// The whole base-cost array (kernel microbenches / bulk scans).
+    [[nodiscard]] std::span<const double> base_costs() const noexcept { return base_cost_; }
+    /// The whole position-word array.
+    [[nodiscard]] std::span<const RRNodeWord> node_words() const noexcept { return hot_word_; }
+
     // --- node lookup --------------------------------------------------------
     [[nodiscard]] std::uint32_t plb_opin(PlbCoord c, std::uint32_t pin) const;
     [[nodiscard]] std::uint32_t plb_ipin(PlbCoord c, std::uint32_t pin) const;
@@ -182,6 +226,8 @@ private:
     std::vector<std::uint16_t> capacity_;   // node -> legal occupancy
     std::vector<std::uint32_t> csr_first_;  // node -> first index into csr_adj_
     std::vector<OutEdge> csr_adj_;          // adjacency flattened by source node
+    std::vector<RRNodeWord> hot_word_;      // node -> packed {x,y,kind,is_pad}
+    std::vector<double> base_cost_;         // node -> max(delay_ps,1) as double
 
     // dense lookup bases
     std::uint32_t base_plb_opin_ = 0;

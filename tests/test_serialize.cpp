@@ -157,6 +157,15 @@ cad::RouteArtifact make_route() {
     ra.routing.boundary_nets = 2;
     ra.routing.bin_wall_ms = {0.5, 0.25, 0.75, 0.125};
     ra.routing.boundary_wall_ms = 0.0625;
+    ra.routing.kernel.heap_pushes = 1234;
+    ra.routing.kernel.heap_pops = 1100;
+    ra.routing.kernel.nodes_expanded = 900;
+    ra.routing.kernel.edges_scanned = 5400;
+    ra.routing.kernel.wavefront_peak = 77;
+    ra.routing.kernel.allocations = 6;
+    ra.routing.kernel.steady_allocations = 0;
+    ra.routing.kernel.nets_routed = 15;
+    ra.routing.kernel.search_ms = 1.5;
 
     cad::RouteRequest q0;
     q0.signal = nid(7);
@@ -370,6 +379,15 @@ TEST(SerializeCodec, RouteArtifactRoundtrip) {
     EXPECT_EQ(b.boundary_nets, a.boundary_nets);
     EXPECT_EQ(b.bin_wall_ms, a.bin_wall_ms);
     EXPECT_EQ(b.boundary_wall_ms, a.boundary_wall_ms);
+    EXPECT_EQ(b.kernel.heap_pushes, a.kernel.heap_pushes);
+    EXPECT_EQ(b.kernel.heap_pops, a.kernel.heap_pops);
+    EXPECT_EQ(b.kernel.nodes_expanded, a.kernel.nodes_expanded);
+    EXPECT_EQ(b.kernel.edges_scanned, a.kernel.edges_scanned);
+    EXPECT_EQ(b.kernel.wavefront_peak, a.kernel.wavefront_peak);
+    EXPECT_EQ(b.kernel.allocations, a.kernel.allocations);
+    EXPECT_EQ(b.kernel.steady_allocations, a.kernel.steady_allocations);
+    EXPECT_EQ(b.kernel.nets_routed, a.kernel.nets_routed);
+    EXPECT_EQ(b.kernel.search_ms, a.kernel.search_ms);
 
     ASSERT_EQ(back.reqs.size(), ra.reqs.size());
     for (std::size_t i = 0; i < ra.reqs.size(); ++i) {
